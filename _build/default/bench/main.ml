@@ -1,0 +1,158 @@
+(* Benchmark harness: regenerates every table and figure of the
+   (reconstructed) evaluation, plus Bechamel micro-benchmarks of the
+   computational kernels.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- -e T3   -- one experiment
+     dune exec bench/main.exe -- -l      -- list experiment ids
+
+   Experiment ids: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 BM (see
+   EXPERIMENTS.md). *)
+
+module Experiment = Dpp_core.Experiment
+module Series = Dpp_report.Series
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let rule () = say "%s" (String.make 78 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_design =
+  lazy
+    (let spec =
+       Dpp_gen.Presets.scaled ~name:"micro" ~seed:42 ~cells:2000 ~dp_fraction:0.5
+     in
+     Dpp_gen.Compose.build spec)
+
+let micro_tests () =
+  let open Bechamel in
+  let d = Lazy.force micro_design in
+  let pins = Dpp_wirelen.Pins.build d in
+  let cx, cy = Dpp_wirelen.Pins.centers_of_design d in
+  let n = Dpp_netlist.Design.num_cells d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let grid = Dpp_density.Grid.build d ~nx:24 ~ny:24 in
+  let bell = Dpp_density.Bell.create d ~grid ~target_density:0.9 in
+  let lse =
+    Test.make ~name:"lse-value-grad" (Staged.stage (fun () ->
+        Array.fill gx 0 n 0.0;
+        Array.fill gy 0 n 0.0;
+        ignore (Dpp_wirelen.Lse.value_grad pins ~gamma:5.0 ~cx ~cy ~gx ~gy)))
+  in
+  let wa =
+    Test.make ~name:"wa-value-grad" (Staged.stage (fun () ->
+        Array.fill gx 0 n 0.0;
+        Array.fill gy 0 n 0.0;
+        ignore (Dpp_wirelen.Wa.value_grad pins ~gamma:5.0 ~cx ~cy ~gx ~gy)))
+  in
+  let hpwl =
+    Test.make ~name:"hpwl-total" (Staged.stage (fun () ->
+        ignore (Dpp_wirelen.Hpwl.total pins ~cx ~cy)))
+  in
+  let density =
+    Test.make ~name:"bell-value-grad" (Staged.stage (fun () ->
+        Array.fill gx 0 n 0.0;
+        Array.fill gy 0 n 0.0;
+        ignore (Dpp_density.Bell.value_grad bell ~cx ~cy ~gx ~gy)))
+  in
+  let extract =
+    Test.make ~name:"extraction" (Staged.stage (fun () ->
+        ignore (Dpp_extract.Slicer.run d Dpp_extract.Slicer.default_config)))
+  in
+  let qp =
+    Test.make ~name:"quadratic-init" (Staged.stage (fun () ->
+        ignore (Dpp_place.Qp.run ~seed:1 d)))
+  in
+  [ lse; wa; hpwl; density; extract; qp ]
+
+let run_micro () =
+  let open Bechamel in
+  say "BM: kernel micro-benchmarks (Bechamel; ~1s per kernel)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 200) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                       ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> say "  %-24s %12.0f ns/run" name est
+          | Some _ | None -> say "  %-24s (no estimate)" name)
+        analyzed)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "T1",
+      "benchmark statistics",
+      fun () -> Experiment.print_table (Experiment.table1 ()) );
+    ( "T2",
+      "extraction quality",
+      fun () -> Experiment.print_table (Experiment.table2 ()) );
+    ( "T3+T4+T6",
+      "main comparison + runtime breakdown + routability/timing",
+      fun () ->
+        let entries = Experiment.run_suite () in
+        Experiment.print_table (Experiment.table3 entries);
+        say "";
+        Experiment.print_table (Experiment.table4 entries);
+        say "";
+        Experiment.print_table (Experiment.table6 entries) );
+    ( "T5",
+      "structure-mode ablation",
+      fun () -> Experiment.print_table (Experiment.table5 ()) );
+    ("F1", "GP convergence", fun () -> Series.print (Experiment.figure1 ()));
+    ("F2", "dp-fraction sweep", fun () -> Series.print (Experiment.figure2 ()));
+    ("F3", "beta ablation", fun () -> Series.print (Experiment.figure3 ()));
+    ("F4", "runtime scaling", fun () -> Series.print (Experiment.figure4 ()));
+    ("F5", "extraction noise robustness", fun () -> Series.print (Experiment.figure5 ()));
+    ("BM", "kernel micro-benchmarks", run_micro);
+  ]
+
+let matches selector (id, _, _) =
+  String.lowercase_ascii selector = String.lowercase_ascii id
+  || (selector = "T3" || selector = "T4" || selector = "T6") && id = "T3+T4+T6"
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Error);
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "-l" ] ->
+    List.iter (fun (id, doc, _) -> say "%-6s %s" id doc) experiments
+  | [ "-e"; sel ] -> (
+    match List.find_opt (matches sel) experiments with
+    | Some (id, doc, f) ->
+      rule ();
+      say "%s: %s" id doc;
+      rule ();
+      f ()
+    | None ->
+      say "unknown experiment %S; use -l to list" sel;
+      exit 1)
+  | [] ->
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, doc, f) ->
+        rule ();
+        say "%s: %s" id doc;
+        rule ();
+        f ();
+        say "")
+      experiments;
+    say "total bench time: %.1f s" (Unix.gettimeofday () -. t0)
+  | _ ->
+    say "usage: main.exe [-l | -e <experiment-id>]";
+    exit 1

@@ -1,0 +1,1 @@
+bin/dpp_extract_cli.ml: Arg Cmd Cmdliner Dpp_extract Dpp_gen Dpp_netlist Dpp_structure List Logs Printf Term Unix

@@ -1,0 +1,1 @@
+bin/dpp_extract_cli.mli:

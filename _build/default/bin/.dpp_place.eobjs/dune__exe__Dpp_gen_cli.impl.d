@@ -1,0 +1,1 @@
+bin/dpp_gen_cli.ml: Arg Cmd Cmdliner Dpp_gen Dpp_netlist Format List Printf Term

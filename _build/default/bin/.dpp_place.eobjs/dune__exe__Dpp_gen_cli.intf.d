@@ -1,0 +1,1 @@
+bin/dpp_gen_cli.mli:

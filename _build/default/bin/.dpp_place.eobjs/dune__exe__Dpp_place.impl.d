@@ -1,0 +1,1 @@
+bin/dpp_place.ml: Arg Cmd Cmdliner Dpp_core Dpp_gen Dpp_netlist Dpp_viz Format List Logs Printf String Term

@@ -1,0 +1,1 @@
+bin/dpp_place.mli:

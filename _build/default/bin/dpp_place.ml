@@ -1,0 +1,121 @@
+(* dpp_place: place a design (Bookshelf input or built-in preset) with the
+   baseline or structure-aware flow.
+
+     dpp_place --preset dp_add32 --mode sa
+     dpp_place --bookshelf path/to/design --mode baseline --out placed   *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let load ~preset ~bookshelf =
+  match preset, bookshelf with
+  | Some name, None -> (
+    match Dpp_gen.Presets.by_name name with
+    | Some spec -> Ok (Dpp_gen.Compose.build spec)
+    | None ->
+      Error
+        (Printf.sprintf "unknown preset %S (available: %s)" name
+           (String.concat ", " Dpp_gen.Presets.names)))
+  | None, Some base -> (
+    try Ok (Dpp_netlist.Bookshelf.read ~basename:base) with
+    | Dpp_netlist.Bookshelf.Parse_error msg -> Error msg
+    | Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
+  | None, None -> Error "give --preset <name> or --bookshelf <basename>"
+
+let run verbose preset bookshelf mode beta density seed out svg compare =
+  setup_logs verbose;
+  match load ~preset ~bookshelf with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok design -> (
+    let cfg =
+      {
+        Dpp_core.Config.structure_aware with
+        Dpp_core.Config.beta;
+        target_density = density;
+        seed;
+      }
+    in
+    let report tag (r : Dpp_core.Flow.result) =
+      Printf.printf "%s: HPWL %.0f  Steiner %.0f  overflow %.3f  groups %d  time %.2fs\n" tag
+        r.Dpp_core.Flow.hpwl_final r.Dpp_core.Flow.steiner_final r.Dpp_core.Flow.overflow_gp
+        (List.length r.Dpp_core.Flow.groups_used)
+        r.Dpp_core.Flow.total_time;
+      List.iter (fun (s, t) -> Printf.printf "  %-8s %6.2fs\n" s t) r.Dpp_core.Flow.times
+    in
+    try
+      if compare then begin
+        let base, sa = Dpp_core.Flow.run_both design cfg in
+        report "baseline" base;
+        report "structure-aware" sa;
+        Printf.printf "HPWL ratio (sa/base): %.4f\n"
+          (sa.Dpp_core.Flow.hpwl_final /. base.Dpp_core.Flow.hpwl_final);
+        0
+      end
+      else begin
+        let cfg =
+          match mode with
+          | "baseline" | "base" -> { cfg with Dpp_core.Config.mode = Dpp_core.Config.Baseline }
+          | "sa" | "structure-aware" ->
+            { cfg with Dpp_core.Config.mode = Dpp_core.Config.Structure_aware }
+          | other ->
+            Printf.eprintf "unknown mode %S, using structure-aware\n" other;
+            cfg
+        in
+        let r = Dpp_core.Flow.run design cfg in
+        report (Dpp_core.Config.mode_to_string r.Dpp_core.Flow.config.Dpp_core.Config.mode) r;
+        (match out with
+        | Some base ->
+          Dpp_netlist.Bookshelf.write r.Dpp_core.Flow.design ~basename:base;
+          Printf.printf "placement written to %s.*\n" base
+        | None -> ());
+        (match svg with
+        | Some path ->
+          let placed =
+            Dpp_netlist.Design.with_groups r.Dpp_core.Flow.design r.Dpp_core.Flow.groups_used
+          in
+          Dpp_viz.Plot.placement ~title:(Dpp_core.Config.mode_to_string cfg.Dpp_core.Config.mode)
+            placed ~path;
+          Printf.printf "plot written to %s\n" path
+        | None -> ());
+        0
+      end
+    with Dpp_core.Flow.Invalid_design issues ->
+      Printf.eprintf "design has %d validation errors; first: %s\n" (List.length issues)
+        (match issues with
+        | i :: _ -> Format.asprintf "%a" Dpp_netlist.Validate.pp_issue i
+        | [] -> "?");
+      1)
+
+let cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.") in
+  let preset =
+    Arg.(value & opt (some string) None & info [ "preset" ] ~docv:"NAME" ~doc:"Built-in benchmark name.")
+  in
+  let bookshelf =
+    Arg.(value & opt (some string) None & info [ "bookshelf" ] ~docv:"BASE" ~doc:"Bookshelf basename (reads BASE.aux).")
+  in
+  let mode =
+    Arg.(value & opt string "sa" & info [ "mode" ] ~docv:"MODE" ~doc:"baseline or sa (structure-aware).")
+  in
+  let beta = Arg.(value & opt float 1.0 & info [ "beta" ] ~doc:"Soft-alignment weight knob.") in
+  let density = Arg.(value & opt float 0.9 & info [ "density" ] ~doc:"Target placement density.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Flow random seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"BASE" ~doc:"Write the placed design as Bookshelf BASE.*.")
+  in
+  let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run both flows and report the ratio.") in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG plot of the placement.")
+  in
+  let term =
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare)
+  in
+  Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
+
+let () = exit (Cmd.eval' cmd)

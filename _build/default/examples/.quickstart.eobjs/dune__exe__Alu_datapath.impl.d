@@ -1,0 +1,1 @@
+examples/alu_datapath.ml: Dpp_core Dpp_extract Dpp_gen Dpp_geom Dpp_netlist Format List Logs Printf String

@@ -1,0 +1,1 @@
+examples/alu_datapath.mli:

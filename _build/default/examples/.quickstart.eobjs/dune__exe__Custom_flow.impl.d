@@ -1,0 +1,1 @@
+examples/custom_flow.ml: Dpp_extract Dpp_gen Dpp_netlist Dpp_place Dpp_structure Dpp_wirelen Filename Format List Logs

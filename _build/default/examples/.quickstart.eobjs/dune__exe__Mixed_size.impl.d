@@ -1,0 +1,1 @@
+examples/mixed_size.ml: Dpp_core Dpp_gen Dpp_netlist Dpp_place Dpp_structure Dpp_viz Dpp_wirelen Filename Format List Logs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dpp_core Dpp_extract Dpp_gen Dpp_netlist Format List Logs

@@ -1,0 +1,1 @@
+examples/regularity_sweep.ml: Dpp_core Dpp_gen Dpp_netlist Dpp_report Format List Logs Printf

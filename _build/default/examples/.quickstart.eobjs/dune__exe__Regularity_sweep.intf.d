@@ -1,0 +1,1 @@
+examples/regularity_sweep.mli:

@@ -1,0 +1,1 @@
+examples/timing_driven.ml: Dpp_core Dpp_gen Dpp_timing Dpp_wirelen Format List Logs

@@ -1,0 +1,1 @@
+examples/visualize.ml: Dpp_congest Dpp_core Dpp_gen Dpp_netlist Dpp_viz Dpp_wirelen Filename Format Logs Printf

@@ -1,0 +1,37 @@
+(* Where does structure-awareness pay?  A miniature of Figure 2: sweep the
+   datapath fraction of a fixed-size design and watch the wirelength ratio
+   cross 1.0.
+
+     dune exec examples/regularity_sweep.exe                               *)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Error);
+  let cells = 1500 in
+  let fractions = [ 0.1; 0.3; 0.5; 0.7 ] in
+  Format.printf "sweeping datapath fraction at ~%d cells (smaller than the F2 bench run)@." cells;
+  let rows =
+    List.map
+      (fun f ->
+        let spec =
+          Dpp_gen.Presets.scaled
+            ~name:(Printf.sprintf "sw%.0f" (f *. 100.0))
+            ~seed:(200 + int_of_float (f *. 100.0))
+            ~cells ~dp_fraction:f
+        in
+        let d = Dpp_gen.Compose.build spec in
+        let st = Dpp_netlist.Nstats.compute d in
+        let base, sa = Dpp_core.Flow.run_both d Dpp_core.Config.structure_aware in
+        let ratio = sa.Dpp_core.Flow.hpwl_final /. base.Dpp_core.Flow.hpwl_final in
+        Format.printf "  dp-fraction %.2f: ratio %.4f@." st.Dpp_netlist.Nstats.s_datapath_fraction
+          ratio;
+        st.Dpp_netlist.Nstats.s_datapath_fraction, [ ratio ])
+      fractions
+  in
+  let series =
+    Dpp_report.Series.make ~title:"HPWL ratio vs datapath fraction" ~x_label:"dp-fraction"
+      ~y_labels:[ "hpwl-ratio" ] rows
+  in
+  Dpp_report.Series.print series;
+  let ratios = List.map (fun (_, ys) -> List.hd ys) rows in
+  Format.printf "ratio sparkline: %s@." (Dpp_report.Series.sparkline ratios)

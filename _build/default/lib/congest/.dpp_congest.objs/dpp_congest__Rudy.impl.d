@@ -1,0 +1,1 @@
+lib/congest/rudy.ml: Array Dpp_geom Dpp_netlist Dpp_util Dpp_wirelen Float List Option

@@ -1,0 +1,1 @@
+lib/congest/rudy.mli: Dpp_netlist

@@ -1,0 +1,100 @@
+module Rect = Dpp_geom.Rect
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Pins = Dpp_wirelen.Pins
+
+type t = {
+  nx : int;
+  ny : int;
+  bin_w : float;
+  bin_h : float;
+  demand : float array;
+  supply : float;
+}
+
+let default_dims (d : Design.t) =
+  let movable = Array.length (Design.movable_ids d) in
+  let side = int_of_float (Float.round (sqrt (float_of_int movable /. 4.0))) in
+  let side = max 8 (min 256 side) in
+  side, side
+
+let compute ?nx ?ny (d : Design.t) ~cx ~cy =
+  let dnx, dny = default_dims d in
+  let nx = Option.value nx ~default:dnx and ny = Option.value ny ~default:dny in
+  let die = d.Design.die in
+  let bin_w = Rect.width die /. float_of_int nx in
+  let bin_h = Rect.height die /. float_of_int ny in
+  let demand = Array.make (nx * ny) 0.0 in
+  let pins = Pins.build d in
+  let clamp_ix v = max 0 (min (nx - 1) v) in
+  let clamp_iy v = max 0 (min (ny - 1) v) in
+  for n = 0 to Design.num_nets d - 1 do
+    let k = Pins.load_net pins ~cx ~cy n in
+    if k >= 2 then begin
+      let xmin = ref pins.Pins.scratch_x.(0) and xmax = ref pins.Pins.scratch_x.(0) in
+      let ymin = ref pins.Pins.scratch_y.(0) and ymax = ref pins.Pins.scratch_y.(0) in
+      for i = 1 to k - 1 do
+        let x = pins.Pins.scratch_x.(i) and y = pins.Pins.scratch_y.(i) in
+        if x < !xmin then xmin := x;
+        if x > !xmax then xmax := x;
+        if y < !ymin then ymin := y;
+        if y > !ymax then ymax := y
+      done;
+      (* degenerate boxes get one wire-width of extent *)
+      let w = max 1.0 (!xmax -. !xmin) and h = max 1.0 (!ymax -. !ymin) in
+      let weight = (Design.net d n).Types.n_weight in
+      let density = weight *. (w +. h) /. (w *. h) in
+      let box = Rect.make ~xl:!xmin ~yl:!ymin ~xh:(!xmin +. w) ~yh:(!ymin +. h) in
+      let ix0 = clamp_ix (int_of_float (floor ((box.Rect.xl -. die.Rect.xl) /. bin_w))) in
+      let ix1 = clamp_ix (int_of_float (ceil ((box.Rect.xh -. die.Rect.xl) /. bin_w)) - 1) in
+      let iy0 = clamp_iy (int_of_float (floor ((box.Rect.yl -. die.Rect.yl) /. bin_h))) in
+      let iy1 = clamp_iy (int_of_float (ceil ((box.Rect.yh -. die.Rect.yl) /. bin_h)) - 1) in
+      for iy = iy0 to iy1 do
+        for ix = ix0 to ix1 do
+          let bin =
+            Rect.make
+              ~xl:(die.Rect.xl +. (float_of_int ix *. bin_w))
+              ~yl:(die.Rect.yl +. (float_of_int iy *. bin_h))
+              ~xh:(die.Rect.xl +. (float_of_int (ix + 1) *. bin_w))
+              ~yh:(die.Rect.yl +. (float_of_int (iy + 1) *. bin_h))
+          in
+          let ov = Rect.overlap_area box bin in
+          if ov > 0.0 then demand.((iy * nx) + ix) <- demand.((iy * nx) + ix) +. (density *. ov)
+        done
+      done
+    end
+  done;
+  (* express demand as density per area unit: divide by bin area *)
+  let bin_area = bin_w *. bin_h in
+  Array.iteri (fun i v -> demand.(i) <- v /. bin_area) demand;
+  { nx; ny; bin_w; bin_h; demand; supply = 1.0 }
+
+type stats = {
+  max_ratio : float;
+  avg_ratio : float;
+  p95_ratio : float;
+  overflowed_bins : float;
+}
+
+let stats t =
+  let ratios = Array.map (fun v -> v /. t.supply) t.demand in
+  let n = Array.length ratios in
+  let over = Array.fold_left (fun acc r -> if r > 1.0 then acc + 1 else acc) 0 ratios in
+  {
+    max_ratio = Dpp_util.Statx.maximum ratios;
+    avg_ratio = Dpp_util.Statx.mean ratios;
+    p95_ratio = Dpp_util.Statx.quantile ratios 0.95;
+    overflowed_bins = float_of_int over /. float_of_int (max 1 n);
+  }
+
+let ratio_at t ~ix ~iy = t.demand.((iy * t.nx) + ix) /. t.supply
+
+let hotspots t ~count =
+  let all = ref [] in
+  for iy = 0 to t.ny - 1 do
+    for ix = 0 to t.nx - 1 do
+      all := (ix, iy, ratio_at t ~ix ~iy) :: !all
+    done
+  done;
+  List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) !all
+  |> List.filteri (fun i _ -> i < count)

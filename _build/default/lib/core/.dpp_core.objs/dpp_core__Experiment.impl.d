@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Config Dpp_congest Dpp_extract Dpp_gen Dpp_netlist Dpp_place Dpp_report Dpp_util Flow List Printf Unix

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Config Dpp_report Flow

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Config Dpp_congest Dpp_extract Dpp_geom Dpp_netlist Dpp_place Dpp_steiner Dpp_structure Dpp_timing Dpp_util Dpp_wirelen Hashtbl List Logs

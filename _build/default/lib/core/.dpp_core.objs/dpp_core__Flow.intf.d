@@ -1,0 +1,1 @@
+lib/core/flow.mli: Config Dpp_congest Dpp_extract Dpp_netlist Dpp_place

@@ -1,0 +1,55 @@
+(** Flow configuration — the one record a user tweaks.
+
+    [Baseline] is the structure-oblivious analytical placer (standing in
+    for NTUplace3); [Structure_aware] is the paper's flow: extraction,
+    alignment forces in GP, group snapping, structure-preserving
+    legalization and detailed placement. *)
+
+type mode = Baseline | Structure_aware
+
+type group_source =
+  | Extracted  (** run the datapath extractor (the paper's flow) *)
+  | Ground_truth  (** use the generator's labels (oracle ablation) *)
+
+type structure_style =
+  | Rigid_macros
+      (** groups become single macro variables in GP (exact arrays by
+          construction) — the primary mode *)
+  | Soft_alignment
+      (** groups get the quadratic alignment penalty weighted by [beta];
+          the ablation mode (and what oversized groups fall back to) *)
+
+type t = {
+  mode : mode;
+  group_source : group_source;
+  structure : structure_style;
+  model : Dpp_wirelen.Model.kind;
+  target_density : float;
+  beta : float;  (** alignment weight knob (dimensionless, 1.0 nominal) *)
+  min_coupling : float;
+      (** groups whose {!Dpp_structure.Dgroup.internal_coupling} falls
+          below this are not constrained at all (default 0.7) *)
+  max_slice_span : float;
+      (** groups whose {!Dpp_structure.Dgroup.slice_span} exceeds this are
+          not constrained (butterfly wiring; default 1.5) *)
+  gp_rounds : int;
+  gp_inner_iters : int;
+  overflow_target : float;
+  detail_passes : int;
+  extract : Dpp_extract.Slicer.config;
+  seed : int;
+}
+
+val baseline : t
+(** LSE, density 0.9, 30 rounds x 60 iterations, overflow 0.08, 3 detail
+    passes, seed 1. *)
+
+val structure_aware : t
+(** [baseline] with [mode = Structure_aware], [beta = 1.0], extracted
+    groups. *)
+
+val with_mode : mode -> t -> t
+val with_structure : structure_style -> t -> t
+val with_beta : float -> t -> t
+val with_model : Dpp_wirelen.Model.kind -> t -> t
+val mode_to_string : mode -> string

@@ -1,0 +1,213 @@
+module Design = Dpp_netlist.Design
+module Validate = Dpp_netlist.Validate
+module Groups = Dpp_netlist.Groups
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Rsmt = Dpp_steiner.Rsmt
+module Slicer = Dpp_extract.Slicer
+module Exmetrics = Dpp_extract.Exmetrics
+module Dgroup = Dpp_structure.Dgroup
+module Alignment = Dpp_structure.Alignment
+module Shaping = Dpp_structure.Shaping
+module Qp = Dpp_place.Qp
+module Gp = Dpp_place.Gp
+module Legal = Dpp_place.Legal
+module Abacus = Dpp_place.Abacus
+module Detail = Dpp_place.Detail
+module Timer = Dpp_util.Timer
+
+exception Invalid_design of Validate.issue list
+
+type result = {
+  design : Design.t;
+  config : Config.t;
+  hpwl_init : float;
+  hpwl_gp : float;
+  hpwl_legal : float;
+  hpwl_final : float;
+  steiner_final : float;
+  congestion : Dpp_congest.Rudy.stats;
+  critical_delay : float;
+  overflow_gp : float;
+  align_error_final : float;
+  groups_used : Groups.t list;
+  extraction : (Slicer.result * Exmetrics.t) option;
+  trace : Gp.round_info list;
+  times : (string * float) list;
+  total_time : float;
+}
+
+let src = Logs.Src.create "dpp.flow" ~doc:"placement flow"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let copy_design (d : Design.t) =
+  { d with Design.x = Array.copy d.Design.x; y = Array.copy d.Design.y;
+           orient = Array.copy d.Design.orient }
+
+let run (input : Design.t) (cfg : Config.t) =
+  let issues = Validate.check input in
+  if not (Validate.is_clean issues) then raise (Invalid_design (Validate.errors issues));
+  List.iter
+    (fun i ->
+      match i.Validate.severity with
+      | Validate.Warning -> Log.warn (fun m -> m "%a" Validate.pp_issue i)
+      | Validate.Error -> ())
+    issues;
+  let d = copy_design input in
+  let timer = Timer.create () in
+  (* ----- groups ----- *)
+  let extraction, groups_used =
+    match cfg.Config.mode with
+    | Config.Baseline -> None, []
+    | Config.Structure_aware -> (
+      match cfg.Config.group_source with
+      | Config.Ground_truth -> None, d.Design.groups
+      | Config.Extracted ->
+        let r = Timer.time timer "extract" (fun () -> Slicer.run d cfg.Config.extract) in
+        let metrics =
+          Exmetrics.compare_to_truth ~truth:d.Design.groups ~found:r.Slicer.groups
+        in
+        Log.info (fun m ->
+            m "extraction: %d groups, precision %.3f recall %.3f"
+              (List.length r.Slicer.groups) metrics.Exmetrics.precision
+              metrics.Exmetrics.recall);
+        Some (r, metrics), r.Slicer.groups)
+  in
+  (* ----- initial placement ----- *)
+  let qp = Timer.time timer "init" (fun () -> Qp.run ~seed:cfg.Config.seed d) in
+  (* idealized arrays are oriented by the connectivity-driven initial
+     placement, so alignment works with the net forces, not against them *)
+  (* regularity evaluation: structures dominated by boundary coupling lose
+     wirelength when constrained, so they are dropped here *)
+  let groups_kept =
+    List.filter
+      (fun g ->
+        Dgroup.internal_coupling d g >= cfg.Config.min_coupling
+        && Dgroup.slice_span d g <= cfg.Config.max_slice_span)
+      groups_used
+  in
+  let dgroups =
+    if groups_kept = [] then []
+    else Dgroup.build_all_ordered d groups_kept ~cx:qp.Qp.cx ~cy:qp.Qp.cy
+  in
+  let pins = Pins.build d in
+  let hpwl_init = Hpwl.total pins ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  (* ----- global placement ----- *)
+  (* groups small enough to snap become rigid macros (primary mode);
+     oversized ones and every group in the soft-ablation mode take the
+     alignment-penalty path instead *)
+  let snap_fraction = 0.25 in
+  let die_area = Dpp_geom.Rect.area d.Design.die in
+  let rigid_dgs, soft_dgs =
+    match cfg.Config.mode, cfg.Config.structure with
+    | Config.Baseline, _ -> [], []
+    | Config.Structure_aware, Config.Soft_alignment -> [], dgroups
+    | Config.Structure_aware, Config.Rigid_macros ->
+      List.partition
+        (fun dg ->
+          dg.Dgroup.width *. dg.Dgroup.height <= snap_fraction *. die_area)
+        dgroups
+  in
+  (* movable multi-row macros ride the rigid machinery in both modes *)
+  let macro_dgs = List.map (Dgroup.of_movable_macro d) (Dgroup.movable_macros d) in
+  let gp_cfg =
+    {
+      Gp.default_config with
+      Gp.model = cfg.Config.model;
+      target_density = cfg.Config.target_density;
+      rounds = cfg.Config.gp_rounds;
+      inner_iters = cfg.Config.gp_inner_iters;
+      overflow_target = cfg.Config.overflow_target;
+      beta =
+        (match cfg.Config.mode with
+        | Config.Baseline -> 0.0
+        | Config.Structure_aware -> cfg.Config.beta);
+      groups = soft_dgs;
+      rigid_groups = rigid_dgs @ macro_dgs;
+    }
+  in
+  let gp =
+    Timer.time timer "gp" (fun () -> Gp.run d gp_cfg ~cx:qp.Qp.cx ~cy:qp.Qp.cy)
+  in
+  let cx = gp.Gp.cx and cy = gp.Gp.cy in
+  (* ----- snapping: movable macros always; datapath groups in SA mode ----- *)
+  let obstacles, skip =
+    Timer.time timer "snap" (fun () ->
+        (* movable multi-row macros must become row-aligned obstacles in
+           every mode: the row legalizer cannot handle them *)
+        let placed_macros = Shaping.snap ~max_die_fraction:1.0 d macro_dgs ~cx ~cy in
+        let placed_groups =
+          match cfg.Config.mode with
+          | Config.Baseline -> []
+          | Config.Structure_aware ->
+            (* soft groups that fit also snap (they were pulled toward
+               arrays by the penalty); Shaping drops oversized ones *)
+            Shaping.snap ~max_die_fraction:snap_fraction
+              ~extra_obstacles:(Shaping.obstacles placed_macros) d dgroups ~cx ~cy
+        in
+        let placed = placed_macros @ placed_groups in
+        List.iter (fun p -> Shaping.apply p ~cx ~cy) placed;
+        let members = Hashtbl.create 1024 in
+        List.iter
+          (fun p ->
+            Array.iter (fun c -> Hashtbl.replace members c ()) p.Shaping.dgroup.Dgroup.cells)
+          placed;
+        Shaping.obstacles placed, fun i -> Hashtbl.mem members i)
+  in
+  (* ----- legalization ----- *)
+  let legal =
+    Timer.time timer "legal" (fun () ->
+        let l = Legal.run d ~extra_obstacles:obstacles ~skip ~cx ~cy () in
+        Abacus.run d ~extra_obstacles:obstacles ~skip ~target_cx:cx ~legal:l ();
+        l)
+  in
+  if legal.Legal.failed <> [] then
+    Log.err (fun m -> m "%d cells could not be legalized" (List.length legal.Legal.failed));
+  let hpwl_legal = Hpwl.total pins ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  (* ----- detailed placement ----- *)
+  let _stats =
+    Timer.time timer "detail" (fun () ->
+        Detail.run d ~max_passes:cfg.Config.detail_passes ~skip ~legal ())
+  in
+  let fx = legal.Legal.cx and fy = legal.Legal.cy in
+  (* orientation optimization: free HPWL, cannot affect legality *)
+  let _flip_stats = Timer.time timer "flip" (fun () -> Dpp_place.Flip.run d ~cx:fx ~cy:fy) in
+  (* pin offsets changed where cells flipped: rebuild the metric view *)
+  let pins = Pins.build d in
+  let hpwl_final = Hpwl.total pins ~cx:fx ~cy:fy in
+  let steiner_final, congestion, critical_delay =
+    Timer.time timer "metrics" (fun () ->
+        let st = Rsmt.total pins ~cx:fx ~cy:fy in
+        let rudy = Dpp_congest.Rudy.compute d ~cx:fx ~cy:fy in
+        let sta = Dpp_timing.Sta.build d in
+        let timing = Dpp_timing.Sta.analyze sta ~cx:fx ~cy:fy in
+        st, Dpp_congest.Rudy.stats rudy, timing.Dpp_timing.Sta.critical_delay)
+  in
+  let align_error_final =
+    if dgroups = [] then 0.0 else Alignment.total_error dgroups ~cx:fx ~cy:fy
+  in
+  Pins.apply_centers d fx fy;
+  {
+    design = d;
+    config = cfg;
+    hpwl_init;
+    hpwl_gp = gp.Gp.final_hpwl;
+    hpwl_legal;
+    hpwl_final;
+    steiner_final;
+    congestion;
+    critical_delay;
+    overflow_gp = gp.Gp.final_overflow;
+    align_error_final;
+    groups_used;
+    extraction;
+    trace = gp.Gp.trace;
+    times = Timer.stages timer;
+    total_time = Timer.total timer;
+  }
+
+let run_both input cfg =
+  let base = run input { cfg with Config.mode = Config.Baseline } in
+  let sa = run input { cfg with Config.mode = Config.Structure_aware } in
+  base, sa

@@ -1,0 +1,40 @@
+(** The end-to-end placement flow — the library's main entry point.
+
+    {v
+      validate -> [extract] -> QP init -> nonlinear GP (+ alignment)
+               -> [group snap] -> Tetris + Abacus -> detailed placement
+    v}
+
+    Bracketed stages run only in [Structure_aware] mode.  The input design
+    is never modified; the result carries a placed copy. *)
+
+exception Invalid_design of Dpp_netlist.Validate.issue list
+(** Raised when validation reports errors. *)
+
+type result = {
+  design : Dpp_netlist.Design.t;  (** placed copy of the input *)
+  config : Config.t;
+  hpwl_init : float;  (** after quadratic init *)
+  hpwl_gp : float;
+  hpwl_legal : float;
+  hpwl_final : float;  (** after detailed placement *)
+  steiner_final : float;
+  congestion : Dpp_congest.Rudy.stats;  (** RUDY demand statistics at the final placement *)
+  critical_delay : float;  (** lite-STA critical path delay at the final placement *)
+  overflow_gp : float;
+  align_error_final : float;  (** 0 when no groups are in play *)
+  groups_used : Dpp_netlist.Groups.t list;  (** groups that steered placement *)
+  extraction : (Dpp_extract.Slicer.result * Dpp_extract.Exmetrics.t) option;
+      (** present when extraction ran; metrics compare against the design's
+          ground-truth labels (empty truth yields trivial metrics) *)
+  trace : Dpp_place.Gp.round_info list;
+  times : (string * float) list;  (** stage name -> seconds, flow order *)
+  total_time : float;
+}
+
+val run : Dpp_netlist.Design.t -> Config.t -> result
+
+val run_both : Dpp_netlist.Design.t -> Config.t -> result * result
+(** Baseline and structure-aware on the same design with otherwise equal
+    settings — the Table 3 comparison.  The given config's [mode] is
+    ignored. *)

@@ -1,0 +1,1 @@
+lib/density/bell.ml: Array Dpp_geom Dpp_netlist Grid List

@@ -1,0 +1,1 @@
+lib/density/bell.mli: Dpp_netlist Grid

@@ -1,0 +1,1 @@
+lib/density/grid.ml: Array Dpp_geom Dpp_netlist Float List

@@ -1,0 +1,1 @@
+lib/density/grid.mli: Dpp_geom Dpp_netlist

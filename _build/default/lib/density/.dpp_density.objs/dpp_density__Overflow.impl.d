@@ -1,0 +1,1 @@
+lib/density/overflow.ml: Array Dpp_geom Dpp_netlist Grid

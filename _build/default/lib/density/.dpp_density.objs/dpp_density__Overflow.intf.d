@@ -1,0 +1,1 @@
+lib/density/overflow.mli: Dpp_netlist Grid

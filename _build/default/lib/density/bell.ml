@@ -1,0 +1,146 @@
+module Rect = Dpp_geom.Rect
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+type t = {
+  grid : Grid.t;
+  movable : int array;
+  cell_w : float array;  (** indexed by cell id *)
+  cell_h : float array;
+  radius_x : float array;
+  radius_y : float array;
+  normalizer : float array;
+  target : float array;  (** per bin *)
+  phi : float array;  (** scratch bin field *)
+}
+
+let theta ~r d =
+  let d = abs_float d in
+  if d >= r then 0.0
+  else if d <= r /. 2.0 then 1.0 -. (2.0 *. d *. d /. (r *. r))
+  else begin
+    let e = d -. r in
+    2.0 *. e *. e /. (r *. r)
+  end
+
+let theta_deriv ~r d =
+  let s = if d < 0.0 then -1.0 else 1.0 in
+  let d = abs_float d in
+  if d >= r then 0.0
+  else if d <= r /. 2.0 then s *. (-4.0 *. d /. (r *. r))
+  else s *. (4.0 *. (d -. r) /. (r *. r))
+
+(* Sum of theta over an infinite regular bin lattice, evaluated once per
+   distinct radius: positions the center on a bin center (the symmetric
+   worst case) — the sum is nearly shift-invariant, which is all the
+   normaliser needs. *)
+let lattice_sum ~r ~step =
+  let k = int_of_float (ceil (r /. step)) + 1 in
+  let acc = ref 0.0 in
+  for i = -k to k do
+    acc := !acc +. theta ~r (float_of_int i *. step)
+  done;
+  !acc
+
+let grid t = t.grid
+
+let create ?(frozen = fun _ -> false) (d : Design.t) ~grid ~target_density =
+  if target_density <= 0.0 then invalid_arg "Bell.create: non-positive target density";
+  let nc = Design.num_cells d in
+  let movable =
+    Array.of_list (List.filter (fun i -> not (frozen i)) (Array.to_list (Design.movable_ids d)))
+  in
+  let cell_w = Array.make nc 0.0 and cell_h = Array.make nc 0.0 in
+  let radius_x = Array.make nc 0.0 and radius_y = Array.make nc 0.0 in
+  let normalizer = Array.make nc 0.0 in
+  Array.iter
+    (fun i ->
+      let c = Design.cell d i in
+      cell_w.(i) <- c.Types.c_width;
+      cell_h.(i) <- c.Types.c_height;
+      radius_x.(i) <- (c.Types.c_width /. 2.0) +. grid.Grid.bin_w;
+      radius_y.(i) <- (c.Types.c_height /. 2.0) +. grid.Grid.bin_h;
+      let sx = lattice_sum ~r:radius_x.(i) ~step:grid.Grid.bin_w in
+      let sy = lattice_sum ~r:radius_y.(i) ~step:grid.Grid.bin_h in
+      let s = sx *. sy in
+      normalizer.(i) <-
+        (if s > 0.0 then c.Types.c_width *. c.Types.c_height /. s else 0.0))
+    movable;
+  let target = Array.map (fun cap -> target_density *. cap) grid.Grid.capacity in
+  {
+    grid;
+    movable;
+    cell_w;
+    cell_h;
+    radius_x;
+    radius_y;
+    normalizer;
+    target;
+    phi = Array.make (Array.length grid.Grid.capacity) 0.0;
+  }
+
+(* Iterate the bins within the influence window of cell [i] centered at
+   (x, y), calling [f ix iy tx ty] with the per-axis bump values. *)
+let iter_window t i x y f =
+  let g = t.grid in
+  let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
+  let ix0, ix1 =
+    Grid.range_of_interval ~lo:(x -. rx) ~hi:(x +. rx) ~origin:g.Grid.die.Rect.xl
+      ~step:g.Grid.bin_w ~n:g.Grid.nx
+  in
+  let iy0, iy1 =
+    Grid.range_of_interval ~lo:(y -. ry) ~hi:(y +. ry) ~origin:g.Grid.die.Rect.yl
+      ~step:g.Grid.bin_h ~n:g.Grid.ny
+  in
+  for iy = iy0 to iy1 do
+    let ty = theta ~r:ry (y -. Grid.bin_center_y g iy) in
+    if ty > 0.0 then
+      for ix = ix0 to ix1 do
+        let tx = theta ~r:rx (x -. Grid.bin_center_x g ix) in
+        if tx > 0.0 then f ix iy tx ty
+      done
+  done
+
+let fill_phi t ~cx ~cy =
+  Array.fill t.phi 0 (Array.length t.phi) 0.0;
+  Array.iter
+    (fun i ->
+      let cv = t.normalizer.(i) in
+      iter_window t i cx.(i) cy.(i) (fun ix iy tx ty ->
+          let b = Grid.index t.grid ix iy in
+          t.phi.(b) <- t.phi.(b) +. (cv *. tx *. ty)))
+    t.movable
+
+let penalty t =
+  let acc = ref 0.0 in
+  for b = 0 to Array.length t.phi - 1 do
+    let e = t.phi.(b) -. t.target.(b) in
+    acc := !acc +. (e *. e)
+  done;
+  !acc
+
+let value t ~cx ~cy =
+  fill_phi t ~cx ~cy;
+  penalty t
+
+let value_grad t ~cx ~cy ~gx ~gy =
+  fill_phi t ~cx ~cy;
+  let g = t.grid in
+  Array.iter
+    (fun i ->
+      let cv = t.normalizer.(i) in
+      let x = cx.(i) and y = cy.(i) in
+      let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
+      iter_window t i x y (fun ix iy tx ty ->
+          let b = Grid.index g ix iy in
+          let e = 2.0 *. (t.phi.(b) -. t.target.(b)) in
+          let dtx = theta_deriv ~r:rx (x -. Grid.bin_center_x g ix) in
+          let dty = theta_deriv ~r:ry (y -. Grid.bin_center_y g iy) in
+          gx.(i) <- gx.(i) +. (e *. cv *. dtx *. ty);
+          gy.(i) <- gy.(i) +. (e *. cv *. tx *. dty)))
+    t.movable;
+  penalty t
+
+let bin_potential t ~cx ~cy =
+  fill_phi t ~cx ~cy;
+  Array.copy t.phi

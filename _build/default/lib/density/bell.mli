@@ -1,0 +1,47 @@
+(** Bell-shaped smooth density potential (Kahng–Wang function, as used by
+    NTUplace3).  Each movable cell [v] spreads its area over nearby bins
+    through a C¹ bump
+
+    {v
+      theta(d) = 1 - 2 d^2 / R^2        for 0    <= d <= R/2
+               = 2 (d - R)^2 / R^2      for R/2  <= d <= R
+               = 0                      otherwise
+    v}
+
+    per axis, where [d] is the center distance to the bin center and
+    [R = cell_extent/2 + bin_extent] is the influence radius.  The per-cell
+    normaliser [C_v] makes the contributions sum to the cell area.  The
+    penalty is [sum_b (phi_b - target_b)^2] with
+    [target_b = target_density * capacity_b].
+
+    The quadratic penalty and its analytic gradient are what the global
+    placer adds as [lambda * D]. *)
+
+type t
+
+val create :
+  ?frozen:(int -> bool) ->
+  Dpp_netlist.Design.t ->
+  grid:Grid.t ->
+  target_density:float ->
+  t
+(** [frozen] excludes movable cells that a later flow phase treats as
+    obstacles (snapped group members); their area must then be subtracted
+    from the grid capacity by the caller. *)
+
+val grid : t -> Grid.t
+
+val value : t -> cx:float array -> cy:float array -> float
+
+val value_grad :
+  t -> cx:float array -> cy:float array -> gx:float array -> gy:float array -> float
+(** Gradients accumulate into [gx]/[gy]; fixed-cell slots stay untouched. *)
+
+val bin_potential : t -> cx:float array -> cy:float array -> float array
+(** The smoothed per-bin area field (fresh array), for inspection/tests. *)
+
+val theta : r:float -> float -> float
+(** The raw bump function, exposed for unit tests. *)
+
+val theta_deriv : r:float -> float -> float
+(** d(theta)/dd, exposed for gradient tests. *)

@@ -1,0 +1,56 @@
+module Rect = Dpp_geom.Rect
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+let bin_usage ?(frozen = fun _ -> false) (d : Design.t) (g : Grid.t) ~cx ~cy =
+  let usage = Array.make (g.Grid.nx * g.Grid.ny) 0.0 in
+  Array.iter
+    (fun i ->
+      if frozen i then ()
+      else
+      let c = Design.cell d i in
+      let w = c.Types.c_width and h = c.Types.c_height in
+      let xl = cx.(i) -. (w /. 2.0) and yl = cy.(i) -. (h /. 2.0) in
+      let r = Rect.make ~xl ~yl ~xh:(xl +. w) ~yh:(yl +. h) in
+      let ix0, ix1 =
+        Grid.range_of_interval ~lo:r.Rect.xl ~hi:r.Rect.xh ~origin:g.Grid.die.Rect.xl
+          ~step:g.Grid.bin_w ~n:g.Grid.nx
+      in
+      let iy0, iy1 =
+        Grid.range_of_interval ~lo:r.Rect.yl ~hi:r.Rect.yh ~origin:g.Grid.die.Rect.yl
+          ~step:g.Grid.bin_h ~n:g.Grid.ny
+      in
+      for iy = iy0 to iy1 do
+        for ix = ix0 to ix1 do
+          let ov = Rect.overlap_area r (Grid.bin_rect g ~ix ~iy) in
+          if ov > 0.0 then begin
+            let b = Grid.index g ix iy in
+            usage.(b) <- usage.(b) +. ov
+          end
+        done
+      done)
+    (Design.movable_ids d);
+  usage
+
+let total_overflow ?(frozen = fun _ -> false) d g ~target_density ~cx ~cy =
+  let usage = bin_usage ~frozen d g ~cx ~cy in
+  let total_area = Design.movable_area d in
+  if total_area <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for b = 0 to Array.length usage - 1 do
+      let cap = target_density *. g.Grid.capacity.(b) in
+      if usage.(b) > cap then acc := !acc +. (usage.(b) -. cap)
+    done;
+    !acc /. total_area
+  end
+
+let max_density d g ~cx ~cy =
+  let usage = bin_usage d g ~cx ~cy in
+  let m = ref 0.0 in
+  for b = 0 to Array.length usage - 1 do
+    let cap = g.Grid.capacity.(b) in
+    let ratio = if cap > 0.0 then usage.(b) /. cap else if usage.(b) > 0.0 then infinity else 0.0 in
+    if ratio > !m then m := ratio
+  done;
+  !m

@@ -1,0 +1,1 @@
+lib/extract/exmetrics.ml: Array Dpp_netlist Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/extract/exmetrics.mli: Dpp_netlist

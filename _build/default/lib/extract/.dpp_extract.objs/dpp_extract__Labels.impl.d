@@ -1,0 +1,1 @@
+lib/extract/labels.ml: Array Dpp_netlist Hashtbl Int64 List Netclass Option Signature

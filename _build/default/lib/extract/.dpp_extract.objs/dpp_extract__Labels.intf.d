@@ -1,0 +1,1 @@
+lib/extract/labels.mli: Dpp_netlist Netclass Signature

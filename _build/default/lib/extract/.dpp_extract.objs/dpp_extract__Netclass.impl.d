@@ -1,0 +1,1 @@
+lib/extract/netclass.ml: Array Dpp_netlist

@@ -1,0 +1,1 @@
+lib/extract/netclass.mli: Dpp_netlist

@@ -1,0 +1,1 @@
+lib/extract/signature.ml: Array Char Dpp_netlist Float Hashtbl Int64 List Netclass String

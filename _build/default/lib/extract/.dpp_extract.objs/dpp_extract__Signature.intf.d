@@ -1,0 +1,1 @@
+lib/extract/signature.mli: Dpp_netlist Netclass

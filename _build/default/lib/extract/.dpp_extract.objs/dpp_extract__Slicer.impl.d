@@ -1,0 +1,1 @@
+lib/extract/slicer.ml: Array Dpp_netlist Dpp_util Hashtbl Labels List Netclass Option Printf Queue Signature

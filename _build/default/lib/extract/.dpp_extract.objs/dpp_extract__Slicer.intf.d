@@ -1,0 +1,1 @@
+lib/extract/slicer.mli: Dpp_netlist

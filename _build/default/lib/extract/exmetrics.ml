@@ -1,0 +1,63 @@
+module Groups = Dpp_netlist.Groups
+
+type t = {
+  true_groups : int;
+  found_groups : int;
+  matched_groups : int;
+  true_cells : int;
+  found_cells : int;
+  correct_cells : int;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let cell_set groups =
+  let h = Hashtbl.create 1024 in
+  List.iter (fun g -> Array.iter (fun c -> Hashtbl.replace h c ()) (Groups.cell_ids g)) groups;
+  h
+
+let compare_to_truth ~truth ~found =
+  let true_set = cell_set truth in
+  let found_set = cell_set found in
+  let correct = ref 0 in
+  Hashtbl.iter (fun c () -> if Hashtbl.mem true_set c then incr correct) found_set;
+  let matched =
+    List.length
+      (List.filter
+         (fun fg -> List.exists (fun tg -> Groups.jaccard fg tg >= 0.5) truth)
+         found)
+  in
+  let nf = Hashtbl.length found_set and nt = Hashtbl.length true_set in
+  let precision = if nf = 0 then 1.0 else float_of_int !correct /. float_of_int nf in
+  let recall = if nt = 0 then 1.0 else float_of_int !correct /. float_of_int nt in
+  let f1 =
+    if precision +. recall <= 0.0 then 0.0 else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  {
+    true_groups = List.length truth;
+    found_groups = List.length found;
+    matched_groups = matched;
+    true_cells = nt;
+    found_cells = nf;
+    correct_cells = !correct;
+    precision;
+    recall;
+    f1;
+  }
+
+let header =
+  [ "design"; "#true-grp"; "#found-grp"; "#matched"; "#true-cells"; "#found-cells"; "prec"; "recall"; "F1" ]
+
+let to_row name t =
+  [
+    name;
+    string_of_int t.true_groups;
+    string_of_int t.found_groups;
+    string_of_int t.matched_groups;
+    string_of_int t.true_cells;
+    string_of_int t.found_cells;
+    Printf.sprintf "%.3f" t.precision;
+    Printf.sprintf "%.3f" t.recall;
+    Printf.sprintf "%.3f" t.f1;
+  ]

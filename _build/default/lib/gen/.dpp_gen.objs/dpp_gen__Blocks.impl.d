@@ -1,0 +1,1 @@
+lib/gen/blocks.ml: Array Dpp_netlist Kit List Option Printf Stdcells

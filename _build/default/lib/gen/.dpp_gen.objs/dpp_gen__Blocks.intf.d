@@ -1,0 +1,1 @@
+lib/gen/blocks.mli: Dpp_netlist Kit

@@ -1,0 +1,1 @@
+lib/gen/compose.ml: Array Blocks Dpp_geom Dpp_netlist Dpp_util Float Hashtbl Kit List Option Printf Randlogic Stdcells String

@@ -1,0 +1,1 @@
+lib/gen/compose.mli: Dpp_netlist

@@ -1,0 +1,1 @@
+lib/gen/kit.ml: Array Dpp_netlist Hashtbl Option Printf Stdcells String

@@ -1,0 +1,1 @@
+lib/gen/kit.mli: Dpp_netlist Stdcells

@@ -1,0 +1,1 @@
+lib/gen/noise.ml: Array Dpp_netlist Dpp_util Float List

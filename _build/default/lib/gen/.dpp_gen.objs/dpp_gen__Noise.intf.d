@@ -1,0 +1,1 @@
+lib/gen/noise.mli: Dpp_netlist Dpp_util

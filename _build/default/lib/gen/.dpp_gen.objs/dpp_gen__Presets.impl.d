@@ -1,0 +1,1 @@
+lib/gen/presets.ml: Compose List

@@ -1,0 +1,1 @@
+lib/gen/presets.mli: Compose

@@ -1,0 +1,1 @@
+lib/gen/randlogic.ml: Array Dpp_util Float Fun Kit List Option Printf Stdcells

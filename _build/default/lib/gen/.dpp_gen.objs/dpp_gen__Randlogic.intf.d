@@ -1,0 +1,1 @@
+lib/gen/randlogic.mli: Dpp_util Kit

@@ -1,0 +1,1 @@
+lib/gen/stdcells.ml: List

@@ -1,0 +1,74 @@
+(** Parameterized gate-level datapath block generators.
+
+    Each generator instantiates its cells and {e internal} nets through a
+    {!Kit.t} and returns its boundary as ports: an input port is a list of
+    sink pins waiting for a driver, an output port a driver pin waiting for
+    sinks — {!Compose} stitches both into the surrounding design.  Each
+    block also returns its exact ground-truth {!Dpp_netlist.Groups.t}
+    (slices x stages), which is what extraction precision/recall is
+    measured against.
+
+    All blocks are bit-sliced with full per-slice isomorphism, matching the
+    structures the DAC-2012 extractor targets: carry chains (adder,
+    comparator), slice-spanning control nets (ALU op-select, shifter shift
+    amount, register-bank clock/write-enable) and 2-D arrays
+    (multiplier). *)
+
+type block = {
+  blk_name : string;
+  in_ports : (string * int list) list;  (** logical input -> sink pins *)
+  out_ports : (string * int) list;  (** logical output -> driver pin *)
+  group : Dpp_netlist.Groups.t option;
+      (** ground truth; [None] for structures with no bit-sliced regularity
+          (RAM macros) *)
+  cell_ids : int list;
+}
+
+val ripple_adder : Kit.t -> name:string -> bits:int -> block
+(** Gate-level ripple-carry adder; 5 cells per bit (P/G/T cones), a carry
+    chain, and per-bit a/b/s ports.  Slices = bits, stages = 5. *)
+
+val alu : Kit.t -> name:string -> bits:int -> block
+(** Per bit: AND/OR/XOR lanes plus an adder cone and a 4:1 mux tree driven
+    by two op-select control nets spanning every bit.  Slices = bits,
+    stages = 11. *)
+
+val barrel_shifter : Kit.t -> name:string -> bits:int -> block
+(** Log-depth barrel rotator; per level a bit-spanning select control net.
+    Slices = bits, stages = ceil(log2 bits).  [bits] must be >= 2. *)
+
+val register_bank : Kit.t -> name:string -> bits:int -> block
+(** Per bit MUX2 (write-enable recirculation) -> DFF -> BUF, with clock and
+    write-enable control nets.  Slices = bits, stages = 3. *)
+
+val comparator : Kit.t -> name:string -> bits:int -> block
+(** Per bit XNOR with an equality AND chain.  Slices = bits, stages = 2. *)
+
+val multiplier : Kit.t -> name:string -> bits:int -> block
+(** Carry-save array multiplier on [bits x bits] partial products: AND +
+    FA/HA per array position.  Slices = bits (rows), stages = 2 * bits;
+    row 0 has adder holes. *)
+
+val carry_select_adder : Kit.t -> name:string -> bits:int -> block_size:int -> block
+(** Carry-select adder: per bit two ripple cones (assuming carry-in 0 and
+    1) plus a sum mux; at each [block_size] boundary a carry mux selects
+    the block's true carry, which also drives the block's sum-mux selects
+    (a block-spanning control net).  [bits] must be a multiple of
+    [block_size] >= 2.  Slices = bits, stages = 11. *)
+
+val priority_encoder : Kit.t -> name:string -> bits:int -> block
+(** Priority encoder / arbiter chain: grant_i = req_i AND NOT
+    any-higher-request, with an OR chain accumulating requests.  Slices =
+    bits, stages = 3 (INV / AND / OR). *)
+
+val ram : Kit.t -> name:string -> w_sites:int -> h_rows:int -> data_bits:int -> block
+(** A movable multi-row macro (embedded memory): one cell of
+    [w_sites x h_rows * row_height] with [data_bits] input and [data_bits]
+    output pins on its left/right edges plus clock/enable controls.  No
+    ground-truth group (nothing bit-sliced to extract); the flow places it
+    as a movable macro.  [h_rows] must be >= 2. *)
+
+val mux_tree : Kit.t -> name:string -> bits:int -> inputs:int -> block
+(** Per output bit a balanced MUX2 tree selecting among [inputs] words,
+    with level-select control nets spanning all bits.  [inputs] must be a
+    power of two >= 2.  Slices = bits, stages = inputs - 1. *)

@@ -1,0 +1,329 @@
+module Rng = Dpp_util.Rng
+module Rect = Dpp_geom.Rect
+module Builder = Dpp_netlist.Builder
+module Types = Dpp_netlist.Types
+
+type block_spec =
+  | Adder of int
+  | Alu of int
+  | Shifter of int
+  | Regbank of int
+  | Comparator of int
+  | Multiplier of int
+  | Muxtree of int * int
+  | Cselect of int * int
+  | Prienc of int
+  | Ram of int * int * int
+
+type spec = {
+  sp_name : string;
+  sp_seed : int;
+  sp_blocks : block_spec list;
+  sp_random_cells : int;
+  sp_utilization : float;
+}
+
+let block_spec_to_string = function
+  | Adder b -> Printf.sprintf "adder%d" b
+  | Alu b -> Printf.sprintf "alu%d" b
+  | Shifter b -> Printf.sprintf "shift%d" b
+  | Regbank b -> Printf.sprintf "reg%d" b
+  | Comparator b -> Printf.sprintf "cmp%d" b
+  | Multiplier b -> Printf.sprintf "mult%d" b
+  | Muxtree (b, k) -> Printf.sprintf "mux%dx%d" b k
+  | Cselect (b, k) -> Printf.sprintf "csel%d_%d" b k
+  | Prienc b -> Printf.sprintf "pri%d" b
+  | Ram (w, h, bits) -> Printf.sprintf "ram%dx%d_%d" w h bits
+
+(* ------------------------------------------------------------------ *)
+(* Port bookkeeping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type iport = { ip_owner : int; ip_stem : string; ip_bit : int; ip_sinks : int list }
+type oport = { op_owner : int; op_stem : string; op_bit : int; op_driver : int }
+
+(* "s12" -> ("s", 12); "w3_5" -> ("w3_", 5); "clk" -> ("clk", -1). *)
+let split_bit name =
+  let n = String.length name in
+  let rec first_digit i = if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then first_digit (i - 1) else i in
+  let d = first_digit n in
+  if d = n then name, -1
+  else String.sub name 0 d, int_of_string (String.sub name d (n - d))
+
+type bus = { bus_stem : string; bus_owner : int; bus_bits : int list (* port indices, bit order *) }
+
+(* Collect maximal runs of >= 4 consecutive bits of one (owner, stem) into
+   buses; everything else stays scalar.  [bit_of k] and [key_of k] abstract
+   over iport/oport arrays. *)
+let find_buses ~count ~key_of ~bit_of =
+  let tbl = Hashtbl.create 64 in
+  for k = 0 to count - 1 do
+    let key = key_of k in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (k :: prev)
+  done;
+  let buses = ref [] and scalars = ref [] in
+  Hashtbl.iter
+    (fun (owner, stem) ks ->
+      let ks = List.sort (fun a b -> compare (bit_of a) (bit_of b)) ks in
+      (* split into consecutive runs *)
+      let flush run =
+        match run with
+        | [] -> ()
+        | _ when List.length run >= 4 && bit_of (List.hd run) >= 0 ->
+          buses := { bus_stem = stem; bus_owner = owner; bus_bits = List.rev run } :: !buses
+        | _ -> scalars := List.rev_append run !scalars
+      in
+      let rec go run = function
+        | [] -> flush run
+        | k :: rest ->
+          (match run with
+          | prev :: _ when bit_of k = bit_of prev + 1 -> go (k :: run) rest
+          | [] -> go [ k ] rest
+          | _ ->
+            flush run;
+            go [ k ] rest)
+      in
+      go [] ks)
+    tbl;
+  (* Deterministic order: hash tables iterate in memory order, so sort. *)
+  let bus_cmp a b = compare (a.bus_owner, a.bus_stem) (b.bus_owner, b.bus_stem) in
+  List.sort bus_cmp !buses, List.sort compare !scalars
+
+(* ------------------------------------------------------------------ *)
+
+let die_for_area ~movable_area ~utilization =
+  let core_area = movable_area /. utilization in
+  let rh = Stdcells.row_height in
+  let side = sqrt core_area in
+  let rows = max 4 (int_of_float (ceil (side /. rh))) in
+  let height = float_of_int rows *. rh in
+  let width = Float.round (core_area /. height) in
+  let width = max width (4.0 *. Stdcells.site_width) in
+  Rect.make ~xl:0.0 ~yl:0.0 ~xh:width ~yh:height
+
+let build spec =
+  if spec.sp_blocks = [] && spec.sp_random_cells = 0 then
+    invalid_arg "Compose.build: empty specification";
+  if spec.sp_utilization <= 0.0 || spec.sp_utilization > 1.0 then
+    invalid_arg "Compose.build: utilization must be in (0, 1]";
+  let rng = Rng.create spec.sp_seed in
+  let provisional = Rect.make ~xl:0.0 ~yl:0.0 ~xh:100.0 ~yh:Stdcells.row_height in
+  let b =
+    Builder.create ~name:spec.sp_name ~die:provisional ~row_height:Stdcells.row_height
+      ~site_width:Stdcells.site_width ()
+  in
+  (* Instantiate blocks; owner ids 0.. for blocks, -1 for glue. *)
+  let iports = Dpp_util.Dyn.create () in
+  let oports = Dpp_util.Dyn.create () in
+  let add_iports owner ports =
+    List.iter
+      (fun (name, sinks) ->
+        let stem, bit = split_bit name in
+        Dpp_util.Dyn.push iports { ip_owner = owner; ip_stem = stem; ip_bit = bit; ip_sinks = sinks })
+      ports
+  in
+  let add_oports owner ports =
+    List.iter
+      (fun (name, driver) ->
+        let stem, bit = split_bit name in
+        Dpp_util.Dyn.push oports { op_owner = owner; op_stem = stem; op_bit = bit; op_driver = driver })
+      ports
+  in
+  List.iteri
+    (fun owner bs ->
+      let name = Printf.sprintf "%s_%d" (block_spec_to_string bs) owner in
+      let kit = Kit.create b ~prefix:name in
+      let blk =
+        match bs with
+        | Adder bits -> Blocks.ripple_adder kit ~name ~bits
+        | Alu bits -> Blocks.alu kit ~name ~bits
+        | Shifter bits -> Blocks.barrel_shifter kit ~name ~bits
+        | Regbank bits -> Blocks.register_bank kit ~name ~bits
+        | Comparator bits -> Blocks.comparator kit ~name ~bits
+        | Multiplier bits -> Blocks.multiplier kit ~name ~bits
+        | Muxtree (bits, inputs) -> Blocks.mux_tree kit ~name ~bits ~inputs
+        | Cselect (bits, block_size) -> Blocks.carry_select_adder kit ~name ~bits ~block_size
+        | Prienc bits -> Blocks.priority_encoder kit ~name ~bits
+        | Ram (w_sites, h_rows, data_bits) -> Blocks.ram kit ~name ~w_sites ~h_rows ~data_bits
+      in
+      (match blk.Blocks.group with Some g -> Builder.add_group b g | None -> ());
+      add_iports owner blk.Blocks.in_ports;
+      add_oports owner blk.Blocks.out_ports)
+    spec.sp_blocks;
+  if spec.sp_random_cells > 0 then begin
+    let kit = Kit.create b ~prefix:"glue" in
+    let cloud = Randlogic.cloud kit ~rng:(Rng.split rng) ~cells:spec.sp_random_cells in
+    add_iports (-1) cloud.Randlogic.rl_in_ports;
+    add_oports (-1) cloud.Randlogic.rl_out_ports
+  end;
+  (* Die sizing now that the area is known. *)
+  let die = die_for_area ~movable_area:(Builder.movable_area b) ~utilization:spec.sp_utilization in
+  Builder.set_die b die;
+  (* ---------------- stitching ---------------- *)
+  let ni = Dpp_util.Dyn.length iports and no = Dpp_util.Dyn.length oports in
+  let ip k = Dpp_util.Dyn.get iports k in
+  let op k = Dpp_util.Dyn.get oports k in
+  let in_buses, in_scalars =
+    find_buses ~count:ni ~key_of:(fun k -> (ip k).ip_owner, (ip k).ip_stem) ~bit_of:(fun k -> (ip k).ip_bit)
+  in
+  let out_buses, out_scalars =
+    find_buses ~count:no ~key_of:(fun k -> (op k).op_owner, (op k).op_stem) ~bit_of:(fun k -> (op k).op_bit)
+  in
+  let used_in = Array.make ni false and used_out = Array.make no false in
+  let pad_count = ref 0 in
+  let new_pad dir =
+    let kind_name = match dir with Types.Output -> "PAD_IN" | Types.Input | Types.Inout -> "PAD_OUT" in
+    let id =
+      Builder.add_cell b
+        ~name:(Printf.sprintf "pad_%d" !pad_count)
+        ~master:kind_name ~w:1.0 ~h:1.0 ~kind:Types.Pad
+    in
+    incr pad_count;
+    Builder.add_pin b ~cell:id ~dir ~dx:0.5 ~dy:0.5 ()
+  in
+  (* 1. Pair equal-width buses bit-by-bit (different owners preferred). *)
+  let out_bus_pool = ref out_buses in
+  let take_out_bus width owner =
+    let rec pick best acc = function
+      | [] -> best, List.rev acc
+      | bus :: rest ->
+        if List.length bus.bus_bits = width then
+          match best with
+          | None -> pick (Some bus) acc rest
+          | Some best_bus when best_bus.bus_owner = owner && bus.bus_owner <> owner ->
+            (* prefer a cross-block pairing: put the same-owner one back *)
+            pick (Some bus) (best_bus :: acc) rest
+          | Some _ -> pick best (bus :: acc) rest
+        else pick best (bus :: acc) rest
+    in
+    let best, rest = pick None [] !out_bus_pool in
+    (match best with Some _ -> out_bus_pool := rest | None -> ());
+    best
+  in
+  let leftover_in_scalars = ref (List.rev in_scalars) in
+  List.iter
+    (fun ib ->
+      let width = List.length ib.bus_bits in
+      match take_out_bus width ib.bus_owner with
+      | Some ob when Rng.bernoulli rng 0.9 ->
+        List.iter2
+          (fun ik ok ->
+            used_in.(ik) <- true;
+            used_out.(ok) <- true;
+            ignore (Builder.add_net b ((op ok).op_driver :: (ip ik).ip_sinks)))
+          ib.bus_bits ob.bus_bits
+      | Some ob ->
+        (* deliberately unpaired 10%: back into the pool as scalars *)
+        out_bus_pool := ob :: !out_bus_pool;
+        leftover_in_scalars := List.rev_append ib.bus_bits !leftover_in_scalars
+      | None -> leftover_in_scalars := List.rev_append ib.bus_bits !leftover_in_scalars)
+    in_buses;
+  (* 2. Unpaired buses connect to bus-ordered boundary pads: real designs
+     route bus I/O through adjacent pads, and consecutive pad creation
+     order lands them adjacently on the ring. *)
+  (* in-buses that found no partner: wire every bit to its own input pad,
+     in bit order *)
+  let still_unpaired =
+    List.filter (fun ik -> not used_in.(ik)) !leftover_in_scalars
+    |> List.sort (fun a b -> compare ((ip a).ip_owner, (ip a).ip_stem, (ip a).ip_bit)
+                      ((ip b).ip_owner, (ip b).ip_stem, (ip b).ip_bit))
+  in
+  (* count run lengths per (owner, stem): runs >= 4 get pad buses *)
+  let runs = Hashtbl.create 64 in
+  List.iter
+    (fun ik ->
+      let key = (ip ik).ip_owner, (ip ik).ip_stem in
+      Hashtbl.replace runs key (1 + Option.value ~default:0 (Hashtbl.find_opt runs key)))
+    still_unpaired;
+  List.iter
+    (fun ik ->
+      let key = (ip ik).ip_owner, (ip ik).ip_stem in
+      if (ip ik).ip_bit >= 0 && Option.value ~default:0 (Hashtbl.find_opt runs key) >= 4 then begin
+        used_in.(ik) <- true;
+        let pad = new_pad Types.Output in
+        ignore (Builder.add_net b (pad :: (ip ik).ip_sinks))
+      end)
+    still_unpaired;
+  (* unpaired out-buses: per-bit output pads, in bit order *)
+  List.iter
+    (fun bus ->
+      if List.length bus.bus_bits >= 4 then
+        List.iter
+          (fun ok ->
+            if not used_out.(ok) then begin
+              used_out.(ok) <- true;
+              let pad = new_pad Types.Input in
+              ignore (Builder.add_net b [ (op ok).op_driver; pad ])
+            end)
+          bus.bus_bits)
+    !out_bus_pool;
+  (* 3'. Remaining out ports (scalars) form the driver pool. *)
+  let driver_pool = Dpp_util.Dyn.create () in
+  List.iter (fun bus -> List.iter (fun ok -> Dpp_util.Dyn.push driver_pool ok) bus.bus_bits) !out_bus_pool;
+  List.iter (fun ok -> Dpp_util.Dyn.push driver_pool ok) out_scalars;
+  let drivers = Dpp_util.Dyn.to_array driver_pool in
+  Rng.shuffle rng drivers;
+  let driver_cursor = ref 0 in
+  let next_driver () =
+    let rec go () =
+      if !driver_cursor >= Array.length drivers then None
+      else begin
+        let ok = drivers.(!driver_cursor) in
+        incr driver_cursor;
+        if used_out.(ok) then go () else Some ok
+      end
+    in
+    go ()
+  in
+  (* 3. Every remaining in port gets a driver: a pad sometimes, a leftover
+     block/glue output otherwise. *)
+  let scalars = Array.of_list !leftover_in_scalars in
+  Rng.shuffle rng scalars;
+  Array.iter
+    (fun ik ->
+      if not used_in.(ik) then begin
+        used_in.(ik) <- true;
+        let driver =
+          if Rng.bernoulli rng 0.15 then new_pad Types.Output
+          else
+            match next_driver () with
+            | Some ok ->
+              used_out.(ok) <- true;
+              (op ok).op_driver
+            | None -> new_pad Types.Output
+        in
+        ignore (Builder.add_net b (driver :: (ip ik).ip_sinks))
+      end)
+    scalars;
+  (* 4. Every remaining out port drives an output pad. *)
+  for ok = 0 to no - 1 do
+    if not used_out.(ok) then begin
+      used_out.(ok) <- true;
+      let pad_pin = new_pad Types.Input in
+      ignore (Builder.add_net b [ (op ok).op_driver; pad_pin ])
+    end
+  done;
+  (* 5. Place the pads around the die boundary, uniformly by index. *)
+  let pads = ref [] in
+  for i = 0 to !pad_count - 1 do
+    match Builder.cell_id b (Printf.sprintf "pad_%d" i) with
+    | Some id -> pads := id :: !pads
+    | None -> ()
+  done;
+  let pads = Array.of_list (List.rev !pads) in
+  let perimeter = 2.0 *. (Rect.width die +. Rect.height die) in
+  Array.iteri
+    (fun i id ->
+      let s = (float_of_int i +. 0.5) /. float_of_int (max 1 (Array.length pads)) *. perimeter in
+      let w = Rect.width die and h = Rect.height die in
+      let x, y =
+        if s < w then s, 0.0
+        else if s < w +. h then w -. 1.0, s -. w
+        else if s < (2.0 *. w) +. h then w -. (s -. w -. h), h -. 1.0
+        else 0.0, h -. (s -. (2.0 *. w) -. h)
+      in
+      let x = max 0.0 (min (w -. 1.0) x) and y = max 0.0 (min (h -. 1.0) y) in
+      Builder.set_position b id ~x ~y)
+    pads;
+  Builder.finish b

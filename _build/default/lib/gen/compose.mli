@@ -1,0 +1,39 @@
+(** Whole-design assembly: datapath blocks + random glue + pads + die.
+
+    The paper's benchmarks are proprietary industrial datapath designs;
+    this module is the substitution — it builds designs with the same
+    structural signature (bit-sliced arrays wired by bit-parallel buses and
+    slice-spanning control nets, embedded in irregular logic) and, unlike
+    the originals, carries exact ground-truth group labels.
+
+    Stitching is bus-aware: output buses (e.g. an adder's [s0..s31]) are
+    connected bit-by-bit to equal-width input buses (e.g. a register bank's
+    [d0..d31]) so inter-block regularity survives, exactly the property the
+    extractor keys on; leftover scalar ports go to random drivers or pads. *)
+
+type block_spec =
+  | Adder of int  (** bits *)
+  | Alu of int
+  | Shifter of int
+  | Regbank of int
+  | Comparator of int
+  | Multiplier of int
+  | Muxtree of int * int  (** bits, inputs *)
+  | Cselect of int * int  (** bits, block size *)
+  | Prienc of int
+  | Ram of int * int * int  (** width in sites, height in rows, data bits *)
+
+type spec = {
+  sp_name : string;
+  sp_seed : int;
+  sp_blocks : block_spec list;
+  sp_random_cells : int;
+  sp_utilization : float;  (** target core utilization, e.g. 0.7 *)
+}
+
+val block_spec_to_string : block_spec -> string
+
+val build : spec -> Dpp_netlist.Design.t
+(** Deterministic in [sp_seed].  The result carries the ground-truth groups
+    of every instantiated block, passes {!Dpp_netlist.Validate} with no
+    errors, and has all pads placed on the die boundary. *)

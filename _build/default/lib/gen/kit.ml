@@ -1,0 +1,41 @@
+module Builder = Dpp_netlist.Builder
+module Types = Dpp_netlist.Types
+
+type t = {
+  b : Builder.t;
+  prefix : string;
+  counters : (string, int) Hashtbl.t;
+}
+
+type instance = { id : int; ins : int array; outs : int array }
+
+let create b ~prefix = { b; prefix; counters = Hashtbl.create 16 }
+
+let builder t = t.b
+
+let fresh_name t stem =
+  let k = Option.value ~default:0 (Hashtbl.find_opt t.counters stem) in
+  Hashtbl.replace t.counters stem (k + 1);
+  Printf.sprintf "%s/%s_%d" t.prefix stem k
+
+let named_cell t (m : Stdcells.master) stem =
+  let name = fresh_name t stem in
+  let id =
+    Builder.add_cell t.b ~name ~master:m.Stdcells.m_name ~w:m.Stdcells.m_width
+      ~h:Stdcells.row_height ~kind:Types.Movable
+  in
+  let pin k dir =
+    let dx, dy = Stdcells.pin_offset m ~index:k in
+    Builder.add_pin t.b ~cell:id ~dir ~dx ~dy ()
+  in
+  let ins = Array.init m.Stdcells.m_inputs (fun k -> pin k Types.Input) in
+  let outs =
+    Array.init m.Stdcells.m_outputs (fun k -> pin (m.Stdcells.m_inputs + k) Types.Output)
+  in
+  { id; ins; outs }
+
+let cell t m = named_cell t m (String.lowercase_ascii m.Stdcells.m_name)
+
+let net t ?name pins =
+  let name = match name with Some n -> Some (t.prefix ^ "/" ^ n) | None -> None in
+  Builder.add_net t.b ?name pins

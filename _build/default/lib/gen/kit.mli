@@ -1,0 +1,27 @@
+(** Instantiation helpers shared by the datapath block generators and the
+    random-logic cloud: wraps {!Dpp_netlist.Builder} with master-driven pin
+    creation and hierarchical naming. *)
+
+type t
+
+type instance = {
+  id : int;  (** cell id *)
+  ins : int array;  (** input pin ids, master order *)
+  outs : int array;  (** output pin ids *)
+}
+
+val create : Dpp_netlist.Builder.t -> prefix:string -> t
+
+val builder : t -> Dpp_netlist.Builder.t
+
+val fresh_name : t -> string -> string
+(** [fresh_name t stem] is ["<prefix>/<stem>_<k>"] with a per-stem counter. *)
+
+val cell : t -> Stdcells.master -> instance
+(** Instantiate a movable cell of the given master with all its pins. *)
+
+val named_cell : t -> Stdcells.master -> string -> instance
+(** Like {!cell} but with an explicit name stem. *)
+
+val net : t -> ?name:string -> int list -> int
+(** Create a net over the given pins. *)

@@ -1,0 +1,61 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Rng = Dpp_util.Rng
+
+(* The design's entity arrays are immutable in shape, so rewiring is a
+   functional update of the net pin arrays plus consistent p_net fields. *)
+let rewire ~rng ~fraction (d : Design.t) =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Noise.rewire: fraction out of range";
+  let nn = Design.num_nets d in
+  (* work on mutable copies of the pin lists *)
+  let net_pins = Array.init nn (fun n -> Array.copy (Design.net d n).Types.n_pins) in
+  let is_driver p = (Design.pin d p).Types.p_dir = Types.Output in
+  (* pick a random non-driver pin slot of net [n], if any *)
+  let sink_slot n =
+    let pins = net_pins.(n) in
+    let sinks = ref [] in
+    Array.iteri (fun k p -> if not (is_driver p) then sinks := k :: !sinks) pins;
+    match !sinks with
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let eligible n = Array.length net_pins.(n) >= 2 in
+  let swaps = int_of_float (Float.round (fraction *. float_of_int nn /. 2.0)) in
+  let attempts = ref 0 in
+  let done_swaps = ref 0 in
+  while !done_swaps < swaps && !attempts < 20 * (swaps + 1) do
+    incr attempts;
+    let a = Rng.int rng nn and b = Rng.int rng nn in
+    if a <> b && eligible a && eligible b then begin
+      match sink_slot a, sink_slot b with
+      | Some ka, Some kb ->
+        let pa = net_pins.(a).(ka) and pb = net_pins.(b).(kb) in
+        (* a pin may appear only once per net: skip degenerate swaps *)
+        if
+          (not (Array.exists (fun p -> p = pb) net_pins.(a)))
+          && not (Array.exists (fun p -> p = pa) net_pins.(b))
+        then begin
+          net_pins.(a).(ka) <- pb;
+          net_pins.(b).(kb) <- pa;
+          incr done_swaps
+        end
+      | _, _ -> ()
+    end
+  done;
+  (* rebuild consistent nets and pins *)
+  let owner = Array.make (Design.num_pins d) (-1) in
+  Array.iteri (fun n pins -> Array.iter (fun p -> owner.(p) <- n) pins) net_pins;
+  let nets =
+    Array.init nn (fun n -> { (Design.net d n) with Types.n_pins = net_pins.(n) })
+  in
+  let pins =
+    Array.init (Design.num_pins d) (fun p -> { (Design.pin d p) with Types.p_net = owner.(p) })
+  in
+  {
+    d with
+    Design.nets;
+    pins;
+    x = Array.copy d.Design.x;
+    y = Array.copy d.Design.y;
+    orient = Array.copy d.Design.orient;
+  }

@@ -1,0 +1,18 @@
+(** Netlist noise injection for extraction-robustness studies.
+
+    Real datapaths are never perfectly regular: synthesis restructures odd
+    bits, scan chains thread through slices, ECOs rewire nets.  [rewire]
+    models this by swapping sink pins between randomly chosen net pairs —
+    each swap preserves all pin and net counts but breaks the structural
+    isomorphism the extractor keys on at two places.  Figure 5 sweeps the
+    noise fraction against extraction recall. *)
+
+val rewire :
+  rng:Dpp_util.Rng.t -> fraction:float -> Dpp_netlist.Design.t -> Dpp_netlist.Design.t
+(** [rewire ~rng ~fraction d] returns a new design in which approximately
+    [fraction] of the nets had one sink pin exchanged with another net.
+    Only non-driver pins are swapped (every net keeps its driver), nets of
+    degree < 2 are left alone, and the ground-truth group annotations are
+    carried over unchanged (they still describe where the structure {e
+    was}).  [fraction] must be in [0, 1].  The input design is not
+    modified. *)

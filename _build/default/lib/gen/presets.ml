@@ -1,0 +1,77 @@
+type spec = Compose.spec
+
+let mk ?(utilization = 0.7) name seed blocks random_cells =
+  {
+    Compose.sp_name = name;
+    sp_seed = seed;
+    sp_blocks = blocks;
+    sp_random_cells = random_cells;
+    sp_utilization = utilization;
+  }
+
+(* Pipeline-structured block sets: register banks feed and drain every
+   functional unit, so nearly every W-wide bus finds a block-to-block
+   partner during composition — the signature of datapath-intensive
+   designs (operands rarely come from random logic). *)
+let adder_pipe w = [ Compose.Regbank w; Regbank w; Adder w; Regbank w ]
+let alu_pipe w = [ Compose.Regbank w; Regbank w; Alu w; Regbank w ]
+let shift_pipe w = [ Compose.Regbank w; Shifter w; Regbank w ]
+
+let suite : spec list =
+  [
+    (* datapath-heavy: ~55-70% of movable cells in labelled groups; sizes
+       chosen so legalization noise (a few percent on sub-1k designs) does
+       not swamp the comparison *)
+    mk "dp_add32" 101 (adder_pipe 32 @ adder_pipe 32 @ adder_pipe 32) 1100;
+    mk "dp_alu32" 102 (alu_pipe 32 @ alu_pipe 16 @ adder_pipe 32) 1400;
+    mk "dp_shift32" 103
+      (shift_pipe 32 @ shift_pipe 32 @ shift_pipe 32 @ [ Compose.Muxtree (32, 4); Regbank 32 ])
+      1300;
+    mk "dp_mult8" 104
+      [
+        Compose.Multiplier 8; Multiplier 8; Multiplier 8; Regbank 8; Regbank 8; Regbank 8;
+        Regbank 8; Regbank 8; Regbank 8; Adder 16; Regbank 16; Regbank 16;
+      ]
+      900;
+    mk "dp_mix_s" 105
+      (adder_pipe 32 @ alu_pipe 16 @ [ Compose.Comparator 16; Regbank 16 ])
+      800;
+    mk "dp_mix_l" 106
+      (alu_pipe 32 @ adder_pipe 32 @ adder_pipe 32 @ shift_pipe 32 @ adder_pipe 16
+      @ [
+          Compose.Multiplier 8; Muxtree (16, 4); Comparator 32; Regbank 16;
+          (* mixed-size: embedded memories ride the movable-macro path *)
+          Ram (40, 8, 16); Ram (32, 6, 16);
+        ])
+      2400;
+    (* control: almost no datapath, the regularity extractor should stand
+       down and the flows should tie *)
+    mk "rand_ctrl" 107 [ Compose.Adder 8 ] 3000;
+  ]
+
+let names = List.map (fun s -> s.Compose.sp_name) suite
+
+let by_name n = List.find_opt (fun s -> s.Compose.sp_name = n) suite
+
+(* Datapath "units" for parameterized sweeps: a large balanced pipeline
+   stage and a small one, combined greedily so the requested fraction is
+   approximated even on small designs. *)
+let unit_blocks = adder_pipe 32 @ [ Compose.Alu 16; Regbank 16 ]
+let unit_cells = (3 * (32 * 3)) + (32 * 5) + (16 * 11) + (16 * 3)
+let small_unit_blocks = adder_pipe 16
+let small_unit_cells = (3 * (16 * 3)) + (16 * 5)
+
+let scaled ~name ~seed ~cells ~dp_fraction =
+  if dp_fraction < 0.0 || dp_fraction > 0.95 then
+    invalid_arg "Presets.scaled: dp_fraction out of range";
+  if cells < 100 then invalid_arg "Presets.scaled: too few cells";
+  let dp_target = int_of_float (dp_fraction *. float_of_int cells) in
+  let units = dp_target / unit_cells in
+  let small_units = (dp_target - (units * unit_cells)) / small_unit_cells in
+  let blocks =
+    List.concat (List.init units (fun _ -> unit_blocks))
+    @ List.concat (List.init small_units (fun _ -> small_unit_blocks))
+  in
+  let dp_cells = (units * unit_cells) + (small_units * small_unit_cells) in
+  let random = max 50 (cells - dp_cells) in
+  mk name seed blocks random

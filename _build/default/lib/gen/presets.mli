@@ -1,0 +1,16 @@
+(** The benchmark suite (Table 1).  Names follow the paper's style:
+    datapath-intensive designs of increasing size plus a mostly-random
+    control, all deterministic in the given seed. *)
+
+val suite : Compose.spec list
+(** The seven Table-1..4 benchmarks: [dp_add16], [dp_alu16], [dp_shift32],
+    [dp_mult8], [dp_mix_s], [dp_mix_l], [rand_ctrl]. *)
+
+val by_name : string -> Compose.spec option
+
+val names : string list
+
+val scaled : name:string -> seed:int -> cells:int -> dp_fraction:float -> Compose.spec
+(** Parameterized benchmark for the sweeps: a mix of adders/ALUs/register
+    banks sized so datapath cells are roughly [dp_fraction] of the movable
+    cells and the total is roughly [cells].  [dp_fraction] in [0, 0.95]. *)

@@ -1,0 +1,119 @@
+module Rng = Dpp_util.Rng
+
+type t = {
+  rl_in_ports : (string * int list) list;
+  rl_out_ports : (string * int) list;
+  rl_cells : int list;
+}
+
+(* Master mix: mostly simple gates, some muxes/complex gates, ~9% DFFs. *)
+let master_table =
+  [
+    15, Stdcells.inv;
+    5, Stdcells.buf;
+    14, Stdcells.nand2;
+    9, Stdcells.nor2;
+    9, Stdcells.and2;
+    9, Stdcells.or2;
+    7, Stdcells.xor2;
+    4, Stdcells.xnor2;
+    7, Stdcells.mux2;
+    6, Stdcells.aoi21;
+    6, Stdcells.oai21;
+    9, Stdcells.dff;
+  ]
+
+let total_weight = List.fold_left (fun acc (w, _) -> acc + w) 0 master_table
+
+let pick_master rng =
+  let r = Rng.int rng total_weight in
+  let rec go acc = function
+    | [] -> Stdcells.inv
+    | (w, m) :: rest -> if r < acc + w then m else go (acc + w) rest
+  in
+  go 0 master_table
+
+let cloud kit ~rng ~cells =
+  if cells < 1 then invalid_arg "Randlogic.cloud: cells < 1";
+  let clk_sinks = ref [] in
+  (* Instantiate; a DFF's clock pin (input 1) goes to the shared clock
+     bundle, every other input pin enters the free pool for wiring. *)
+  let insts = Array.make cells None in
+  let free_inputs = Array.make cells [] in
+  for j = 0 to cells - 1 do
+    let m = pick_master rng in
+    let inst = Kit.cell kit m in
+    insts.(j) <- Some inst;
+    if m == Stdcells.dff then begin
+      clk_sinks := inst.Kit.ins.(1) :: !clk_sinks;
+      free_inputs.(j) <- [ inst.Kit.ins.(0) ]
+    end
+    else free_inputs.(j) <- Array.to_list inst.Kit.ins
+  done;
+  let inst j = Option.get insts.(j) in
+  let window = max 8 (cells / 20) in
+  (* Draw a free sink pin near index [j]: locality window via a Gaussian,
+     a few retries, then give up (caller handles the empty case). *)
+  let draw_sink j =
+    let attempt () =
+      let k =
+        int_of_float
+          (Float.round (Rng.gaussian rng ~mean:(float_of_int j) ~stddev:(float_of_int window)))
+      in
+      let k = max 0 (min (cells - 1) k) in
+      match free_inputs.(k) with
+      | pin :: rest ->
+        free_inputs.(k) <- rest;
+        Some pin
+      | [] -> None
+    in
+    let rec retry t =
+      if t = 0 then None else match attempt () with Some p -> Some p | None -> retry (t - 1)
+    in
+    retry 6
+  in
+  let out_ports = ref [] in
+  let port_idx = ref 0 in
+  let export pin =
+    out_ports := (Printf.sprintf "z%d" !port_idx, pin) :: !out_ports;
+    incr port_idx
+  in
+  for j = 0 to cells - 1 do
+    Array.iter
+      (fun out_pin ->
+        if Rng.bernoulli rng 0.08 then export out_pin
+        else begin
+          let fanout = 1 + Rng.int rng 5 in
+          let sinks = List.filter_map (fun _ -> draw_sink j) (List.init fanout Fun.id) in
+          match sinks with
+          | [] -> export out_pin
+          | _ -> ignore (Kit.net kit (out_pin :: sinks))
+        end)
+      (inst j).Kit.outs
+  done;
+  (* Remaining free inputs become in-port bundles of 1-4 pins. *)
+  let leftovers = Array.to_list free_inputs |> List.concat in
+  let in_ports = ref [] in
+  let rec bundle idx pins =
+    match pins with
+    | [] -> ()
+    | _ ->
+      let k = 1 + Rng.int rng 4 in
+      let rec take n acc rest =
+        match n, rest with
+        | 0, _ | _, [] -> List.rev acc, rest
+        | n, p :: tl -> take (n - 1) (p :: acc) tl
+      in
+      let chunk, rest = take k [] pins in
+      in_ports := (Printf.sprintf "i%d" idx, chunk) :: !in_ports;
+      bundle (idx + 1) rest
+  in
+  bundle 0 leftovers;
+  let in_ports =
+    match !clk_sinks with [] -> List.rev !in_ports | clk -> ("clk", clk) :: List.rev !in_ports
+  in
+  {
+    rl_in_ports = in_ports;
+    rl_out_ports = List.rev !out_ports;
+    rl_cells = List.init cells (fun j -> (inst j).Kit.id);
+  }

@@ -1,0 +1,16 @@
+(** Rent-style random glue logic: the irregular sea of gates the datapath
+    blocks are embedded in.  Nets are wired with an index-locality window so
+    the cloud has realistic short/long net mix rather than uniform spaghetti,
+    and flip-flops contribute a shared clock control net. *)
+
+type t = {
+  rl_in_ports : (string * int list) list;  (** unconnected sink bundles *)
+  rl_out_ports : (string * int) list;  (** unconnected driver pins *)
+  rl_cells : int list;
+}
+
+val cloud : Kit.t -> rng:Dpp_util.Rng.t -> cells:int -> t
+(** Generates [cells] cells.  Roughly 90% of outputs are wired internally
+    (fanout 1–6, window-local), the rest exported as out ports; leftover
+    input pins are exported in small bundles as in ports.  DFF clock pins
+    are collected into a single ["clk"] in port. *)

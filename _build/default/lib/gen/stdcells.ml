@@ -1,0 +1,39 @@
+type master = { m_name : string; m_width : float; m_inputs : int; m_outputs : int }
+
+let row_height = 10.0
+let site_width = 1.0
+
+let mk name width inputs outputs =
+  { m_name = name; m_width = float_of_int width *. site_width; m_inputs = inputs; m_outputs = outputs }
+
+let inv = mk "INV" 2 1 1
+let buf = mk "BUF" 2 1 1
+let nand2 = mk "NAND2" 3 2 1
+let nor2 = mk "NOR2" 3 2 1
+let and2 = mk "AND2" 3 2 1
+let or2 = mk "OR2" 3 2 1
+let xor2 = mk "XOR2" 4 2 1
+let xnor2 = mk "XNOR2" 4 2 1
+let mux2 = mk "MUX2" 5 3 1
+let aoi21 = mk "AOI21" 4 3 1
+let oai21 = mk "OAI21" 4 3 1
+let ha = mk "HA" 5 2 2
+let fa = mk "FA" 7 3 2
+let dff = mk "DFF" 6 2 1
+let dffr = mk "DFFR" 7 3 1
+
+let all =
+  [ inv; buf; nand2; nor2; and2; or2; xor2; xnor2; mux2; aoi21; oai21; ha; fa; dff; dffr ]
+
+let find name = List.find_opt (fun m -> m.m_name = name) all
+
+let pin_offset m ~index =
+  let total = m.m_inputs + m.m_outputs in
+  if index < 0 || index >= total then invalid_arg "Stdcells.pin_offset: bad index";
+  let frac = (float_of_int index +. 1.0) /. (float_of_int total +. 1.0) in
+  frac *. m.m_width, row_height /. 2.0
+
+let area m = m.m_width *. row_height
+
+let combinational =
+  [ inv; buf; nand2; nor2; and2; or2; xor2; xnor2; mux2; aoi21; oai21; ha; fa ]

@@ -1,0 +1,47 @@
+(** The synthetic standard-cell library.
+
+    Dimensions are in database units with [site_width = 1.0] and
+    [row_height = 10.0]; widths follow rough industrial proportions (an
+    inverter is 2 sites, a full-adder cone 7).  Pins are placed on a
+    uniform horizontal strip at mid-height so Bookshelf round trips are
+    exact. *)
+
+type master = {
+  m_name : string;
+  m_width : float;
+  m_inputs : int;
+  m_outputs : int;
+}
+
+val row_height : float
+val site_width : float
+
+val inv : master
+val buf : master
+val nand2 : master
+val nor2 : master
+val and2 : master
+val or2 : master
+val xor2 : master
+val xnor2 : master
+val mux2 : master
+val aoi21 : master
+val oai21 : master
+val ha : master
+val fa : master
+val dff : master
+val dffr : master
+
+val all : master list
+
+val find : string -> master option
+(** Lookup by [m_name]. *)
+
+val pin_offset : master -> index:int -> float * float
+(** Offset of the [index]-th pin (inputs first, then outputs) from the
+    cell's lower-left corner. *)
+
+val area : master -> float
+
+val combinational : master list
+(** Masters without state, used by the random-logic cloud. *)

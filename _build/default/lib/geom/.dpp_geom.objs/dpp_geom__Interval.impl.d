@@ -1,0 +1,1 @@
+lib/geom/interval.ml: Format

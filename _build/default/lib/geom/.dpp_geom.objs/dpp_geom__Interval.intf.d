@@ -1,0 +1,1 @@
+lib/geom/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/geom/orient.ml: Format

@@ -1,0 +1,1 @@
+lib/geom/rect.ml: Format Interval Point

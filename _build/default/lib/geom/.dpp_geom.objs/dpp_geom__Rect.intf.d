@@ -1,0 +1,1 @@
+lib/geom/rect.mli: Format Interval Point

@@ -1,0 +1,22 @@
+type t = { lo : float; hi : float }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let length t = t.hi -. t.lo
+let contains t x = t.lo <= x && x <= t.hi
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+
+let intersection a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let overlap_length a b = max 0.0 (min a.hi b.hi -. max a.lo b.lo)
+
+let clamp t x = if x < t.lo then t.lo else if x > t.hi then t.hi else x
+
+let shift t d = { lo = t.lo +. d; hi = t.hi +. d }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi

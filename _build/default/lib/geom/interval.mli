@@ -1,0 +1,24 @@
+(** Closed 1-D intervals, used for row occupancy bookkeeping in the
+    legalizers and for bin ranges in the density grid. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** Normalises so that [lo <= hi]. *)
+
+val length : t -> float
+val contains : t -> float -> bool
+val overlaps : t -> t -> bool
+(** Positive-measure overlap (touching endpoints do not overlap). *)
+
+val intersection : t -> t -> t option
+val hull : t -> t -> t
+val overlap_length : t -> t -> float
+(** Length of the intersection, 0 when disjoint. *)
+
+val clamp : t -> float -> float
+(** Nearest point of the interval. *)
+
+val shift : t -> float -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

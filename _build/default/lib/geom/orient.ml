@@ -1,0 +1,76 @@
+type t = N | S | E | W | FN | FS | FE | FW
+
+let all = [ N; S; E; W; FN; FS; FE; FW ]
+
+let to_string = function
+  | N -> "N"
+  | S -> "S"
+  | E -> "E"
+  | W -> "W"
+  | FN -> "FN"
+  | FS -> "FS"
+  | FE -> "FE"
+  | FW -> "FW"
+
+let of_string = function
+  | "N" -> Some N
+  | "S" -> Some S
+  | "E" -> Some E
+  | "W" -> Some W
+  | "FN" -> Some FN
+  | "FS" -> Some FS
+  | "FE" -> Some FE
+  | "FW" -> Some FW
+  | _ -> None
+
+let flip_x = function
+  | N -> FN
+  | FN -> N
+  | S -> FS
+  | FS -> S
+  | E -> FE
+  | FE -> E
+  | W -> FW
+  | FW -> W
+
+let flip_y = function
+  | N -> FS
+  | FS -> N
+  | S -> FN
+  | FN -> S
+  | E -> FW
+  | FW -> E
+  | W -> FE
+  | FE -> W
+
+let rotate90 = function
+  | N -> W
+  | W -> S
+  | S -> E
+  | E -> N
+  | FN -> FW
+  | FW -> FS
+  | FS -> FE
+  | FE -> FN
+
+let swaps_dimensions = function
+  | E | W | FE | FW -> true
+  | N | S | FN | FS -> false
+
+let apply o ~w ~h = if swaps_dimensions o then h, w else w, h
+
+let apply_offset o ~w ~h (dx, dy) =
+  (* Offsets are measured from the lower-left corner of the oriented box. *)
+  match o with
+  | N -> dx, dy
+  | FN -> w -. dx, dy
+  | S -> w -. dx, h -. dy
+  | FS -> dx, h -. dy
+  | E -> dy, w -. dx
+  | FE -> dy, dx
+  | W -> h -. dy, dx
+  | FW -> h -. dy, w -. dx
+
+let equal (a : t) b = a = b
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)

@@ -1,0 +1,30 @@
+(** Cell orientations, LEF/DEF style.  Standard cells in this flow only use
+    [N] and [FN] (row flipping for rail alignment), but the full set is
+    modelled so mixed-size extensions stay honest. *)
+
+type t = N | S | E | W | FN | FS | FE | FW
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val flip_x : t -> t
+(** Mirror about the y axis. *)
+
+val flip_y : t -> t
+(** Mirror about the x axis. *)
+
+val rotate90 : t -> t
+(** Counter-clockwise quarter turn. *)
+
+val swaps_dimensions : t -> bool
+(** Whether width/height exchange under this orientation. *)
+
+val apply : t -> w:float -> h:float -> float * float
+(** Oriented bounding-box dimensions. *)
+
+val apply_offset : t -> w:float -> h:float -> float * float -> float * float
+(** Transform a pin offset given relative to the [N]-oriented cell origin
+    into the oriented cell's frame. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.0; y = 0.0 }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k p = { x = k *. p.x; y = k *. p.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let norm p = sqrt (dot p p)
+let dist a b = norm (sub a b)
+let manhattan a b = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y)
+let midpoint a b = { x = (a.x +. b.x) /. 2.0; y = (a.y +. b.y) /. 2.0 }
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let pp ppf p = Format.fprintf ppf "(%g, %g)" p.x p.y

@@ -1,0 +1,26 @@
+(** 2-D points in placement coordinates (floats; the database unit is
+    arbitrary, the generator uses 1.0 = one site width). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm : t -> float
+(** Euclidean norm. *)
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val manhattan : t -> t -> float
+(** L1 distance — the wirelength metric of record in placement. *)
+
+val midpoint : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic by x then y. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netlist/bookshelf.ml: Array Builder Design Dpp_geom Dpp_util Filename Float Fun Groups Hashtbl In_channel List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/netlist/bookshelf.mli: Design

@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Design Dpp_geom Dpp_util Float Groups Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/netlist/builder.mli: Design Dpp_geom Groups Types

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Dpp_geom Groups Types

@@ -1,0 +1,1 @@
+lib/netlist/design.mli: Dpp_geom Groups Types

@@ -1,0 +1,1 @@
+lib/netlist/groups.ml: Array Format Hashtbl

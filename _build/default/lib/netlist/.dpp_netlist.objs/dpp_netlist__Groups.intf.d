@@ -1,0 +1,1 @@
+lib/netlist/groups.mli: Format Hashtbl

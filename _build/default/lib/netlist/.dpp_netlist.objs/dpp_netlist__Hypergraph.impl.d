@@ -1,0 +1,1 @@
+lib/netlist/hypergraph.ml: Array Design Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/netlist/hypergraph.mli: Design

@@ -1,0 +1,1 @@
+lib/netlist/nstats.ml: Array Design Format Groups Hashtbl List Printf Types

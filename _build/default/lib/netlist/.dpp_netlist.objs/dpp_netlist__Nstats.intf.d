@@ -1,0 +1,1 @@
+lib/netlist/nstats.mli: Design Format

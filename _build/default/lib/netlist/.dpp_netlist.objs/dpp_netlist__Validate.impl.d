@@ -1,0 +1,1 @@
+lib/netlist/validate.ml: Array Design Dpp_geom Float Format Groups Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/netlist/validate.mli: Design Format

@@ -1,0 +1,451 @@
+module Rect = Dpp_geom.Rect
+module Orient = Dpp_geom.Orient
+
+exception Parse_error of string
+
+let parse_error file line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" file line msg))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_nodes (d : Design.t) path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "UCLA nodes 1.0\n\n";
+      let terminals =
+        Array.fold_left
+          (fun n (c : Types.cell) -> if Types.is_fixed_kind c.c_kind then n + 1 else n)
+          0 d.Design.cells
+      in
+      Printf.fprintf oc "NumNodes : %d\n" (Design.num_cells d);
+      Printf.fprintf oc "NumTerminals : %d\n" terminals;
+      Array.iter
+        (fun (c : Types.cell) ->
+          let term = if Types.is_fixed_kind c.c_kind then " terminal" else "" in
+          Printf.fprintf oc "  %s %.4f %.4f%s\n" c.c_name c.c_width c.c_height term)
+        d.Design.cells)
+
+let write_nets (d : Design.t) path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "UCLA nets 1.0\n\n";
+      Printf.fprintf oc "NumNets : %d\n" (Design.num_nets d);
+      Printf.fprintf oc "NumPins : %d\n" (Design.num_pins d);
+      Array.iter
+        (fun (n : Types.net) ->
+          Printf.fprintf oc "NetDegree : %d  %s\n" (Array.length n.n_pins) n.n_name;
+          Array.iter
+            (fun pid ->
+              let p = Design.pin d pid in
+              let c = Design.cell d p.p_cell in
+              (* Bookshelf offsets are from the cell center. *)
+              let dx = p.p_dx -. (c.c_width /. 2.0) in
+              let dy = p.p_dy -. (c.c_height /. 2.0) in
+              Printf.fprintf oc "  %s %s : %.4f %.4f\n" c.c_name
+                (Types.direction_to_string p.p_dir)
+                dx dy)
+            n.n_pins)
+        d.Design.nets)
+
+let write_pl (d : Design.t) path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "UCLA pl 1.0\n\n";
+      Array.iter
+        (fun (c : Types.cell) ->
+          let i = c.Types.c_id in
+          let fixed = if Types.is_fixed_kind c.c_kind then " /FIXED" else "" in
+          Printf.fprintf oc "%s %.4f %.4f : %s%s\n" c.c_name d.Design.x.(i) d.Design.y.(i)
+            (Orient.to_string d.Design.orient.(i))
+            fixed)
+        d.Design.cells)
+
+let write_scl (d : Design.t) path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "UCLA scl 1.0\n\n";
+      Printf.fprintf oc "NumRows : %d\n\n" d.Design.num_rows;
+      let die = d.Design.die in
+      let sites =
+        int_of_float (Float.round (Rect.width die /. d.Design.site_width))
+      in
+      for r = 0 to d.Design.num_rows - 1 do
+        Printf.fprintf oc "CoreRow Horizontal\n";
+        Printf.fprintf oc "  Coordinate : %.4f\n" (Design.row_y d r);
+        Printf.fprintf oc "  Height : %.4f\n" d.Design.row_height;
+        Printf.fprintf oc "  Sitewidth : %.4f\n" d.Design.site_width;
+        Printf.fprintf oc "  Sitespacing : %.4f\n" d.Design.site_width;
+        Printf.fprintf oc "  Siteorient : 1\n";
+        Printf.fprintf oc "  Sitesymmetry : 1\n";
+        Printf.fprintf oc "  SubrowOrigin : %.4f  NumSites : %d\n" die.Rect.xl sites;
+        Printf.fprintf oc "End\n"
+      done)
+
+let write_masters (d : Design.t) path =
+  with_out path (fun oc ->
+      Array.iter
+        (fun (c : Types.cell) -> Printf.fprintf oc "%s %s\n" c.c_name c.c_master)
+        d.Design.cells)
+
+let write_groups (d : Design.t) path =
+  with_out path (fun oc ->
+      List.iter
+        (fun g ->
+          Printf.fprintf oc "Group %s %d %d\n" g.Groups.g_name (Groups.num_slices g)
+            (Groups.num_stages g);
+          Array.iter
+            (fun row ->
+              let names =
+                Array.map
+                  (fun c -> if c < 0 then "-" else (Design.cell d c).Types.c_name)
+                  row
+              in
+              Printf.fprintf oc "  %s\n" (String.concat " " (Array.to_list names)))
+            g.Groups.g_rows)
+        d.Design.groups)
+
+let write (d : Design.t) ~basename =
+  let b = Filename.basename basename in
+  write_nodes d (basename ^ ".nodes");
+  write_nets d (basename ^ ".nets");
+  write_pl d (basename ^ ".pl");
+  write_scl d (basename ^ ".scl");
+  write_masters d (basename ^ ".masters");
+  if d.Design.groups <> [] then write_groups d (basename ^ ".groups");
+  with_out (basename ^ ".aux") (fun oc ->
+      let groups_file = if d.Design.groups <> [] then " " ^ b ^ ".groups" else "" in
+      Printf.fprintf oc "RowBasedPlacement : %s.nodes %s.nets %s.pl %s.scl %s.masters%s\n" b b b
+        b b groups_file)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type line_reader = { lr_file : string; mutable lr_num : int; lr_ic : in_channel }
+
+let open_reader path = { lr_file = path; lr_num = 0; lr_ic = open_in path }
+
+let next_line lr =
+  match In_channel.input_line lr.lr_ic with
+  | None -> None
+  | Some l ->
+    lr.lr_num <- lr.lr_num + 1;
+    Some l
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let is_comment s =
+  let s = String.trim s in
+  String.length s >= 1 && s.[0] = '#'
+
+(* Next meaningful line, tokenized on whitespace (':' split out). *)
+let rec next_tokens lr =
+  match next_line lr with
+  | None -> None
+  | Some l when is_blank l || is_comment l -> next_tokens lr
+  | Some l when lr.lr_num = 1 && String.length l >= 4 && String.sub l 0 4 = "UCLA" ->
+    next_tokens lr
+  | Some l ->
+    let l = String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) l in
+    let l =
+      String.concat " : " (String.split_on_char ':' l)
+    in
+    let toks = List.filter (fun s -> s <> "") (String.split_on_char ' ' l) in
+    if toks = [] then next_tokens lr else Some toks
+
+let float_tok lr s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> parse_error lr.lr_file lr.lr_num "expected a number, got %S" s
+
+let int_tok lr s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> parse_error lr.lr_file lr.lr_num "expected an integer, got %S" s
+
+let with_reader path f =
+  let lr = open_reader path in
+  Fun.protect ~finally:(fun () -> close_in lr.lr_ic) (fun () -> f lr)
+
+type raw_node = { rn_name : string; rn_w : float; rn_h : float; rn_terminal : bool }
+
+let read_nodes path =
+  with_reader path (fun lr ->
+      let nodes = Dpp_util.Dyn.create () in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some [ "NumNodes"; ":"; _ ] | Some [ "NumTerminals"; ":"; _ ] -> loop ()
+        | Some (name :: w :: h :: rest) ->
+          let terminal = List.mem "terminal" rest in
+          Dpp_util.Dyn.push nodes
+            { rn_name = name; rn_w = float_tok lr w; rn_h = float_tok lr h; rn_terminal = terminal };
+          loop ()
+        | Some toks ->
+          parse_error lr.lr_file lr.lr_num "bad node line: %s" (String.concat " " toks)
+      in
+      loop ();
+      Dpp_util.Dyn.to_array nodes)
+
+type raw_pin = { rp_cell : string; rp_dir : Types.direction; rp_dx : float; rp_dy : float }
+
+type raw_net = { rnet_name : string; rnet_pins : raw_pin list }
+
+let read_nets path =
+  with_reader path (fun lr ->
+      let nets = Dpp_util.Dyn.create () in
+      let current_name = ref "" in
+      let current_pins = ref [] in
+      let current_left = ref 0 in
+      let flush () =
+        if !current_name <> "" then begin
+          if !current_left <> 0 then
+            parse_error lr.lr_file lr.lr_num "net %s: wrong pin count" !current_name;
+          Dpp_util.Dyn.push nets { rnet_name = !current_name; rnet_pins = List.rev !current_pins };
+          current_name := "";
+          current_pins := []
+        end
+      in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> flush ()
+        | Some [ "NumNets"; ":"; _ ] | Some [ "NumPins"; ":"; _ ] -> loop ()
+        | Some [ "NetDegree"; ":"; k; name ] ->
+          flush ();
+          current_name := name;
+          current_left := int_tok lr k;
+          loop ()
+        | Some [ "NetDegree"; ":"; k ] ->
+          flush ();
+          current_name := Printf.sprintf "n%d" (Dpp_util.Dyn.length nets);
+          current_left := int_tok lr k;
+          loop ()
+        | Some [ cell; dir; ":"; dx; dy ] when !current_name <> "" ->
+          let d =
+            match Types.direction_of_string dir with
+            | Some d -> d
+            | None -> parse_error lr.lr_file lr.lr_num "bad pin direction %S" dir
+          in
+          current_pins :=
+            { rp_cell = cell; rp_dir = d; rp_dx = float_tok lr dx; rp_dy = float_tok lr dy }
+            :: !current_pins;
+          decr current_left;
+          loop ()
+        | Some toks ->
+          parse_error lr.lr_file lr.lr_num "bad nets line: %s" (String.concat " " toks)
+      in
+      loop ();
+      Dpp_util.Dyn.to_array nets)
+
+type raw_place = { rpl_x : float; rpl_y : float; rpl_orient : Orient.t; rpl_fixed : bool }
+
+let read_pl path =
+  with_reader path (fun lr ->
+      let tbl = Hashtbl.create 1024 in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some (name :: x :: y :: ":" :: o :: rest) ->
+          let orient =
+            match Orient.of_string o with
+            | Some o -> o
+            | None -> parse_error lr.lr_file lr.lr_num "bad orientation %S" o
+          in
+          let fixed = List.mem "/FIXED" rest in
+          Hashtbl.replace tbl name
+            { rpl_x = float_tok lr x; rpl_y = float_tok lr y; rpl_orient = orient; rpl_fixed = fixed };
+          loop ()
+        | Some toks -> parse_error lr.lr_file lr.lr_num "bad pl line: %s" (String.concat " " toks)
+      in
+      loop ();
+      tbl)
+
+type raw_rows = {
+  rr_count : int;
+  rr_y0 : float;
+  rr_height : float;
+  rr_site_width : float;
+  rr_x0 : float;
+  rr_sites : int;
+}
+
+let read_scl path =
+  with_reader path (fun lr ->
+      let count = ref 0 in
+      let y0 = ref infinity in
+      let height = ref 0.0 in
+      let site_width = ref 1.0 in
+      let x0 = ref 0.0 in
+      let sites = ref 0 in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some [ "NumRows"; ":"; _ ] -> loop ()
+        | Some [ "CoreRow"; "Horizontal" ] ->
+          incr count;
+          loop ()
+        | Some [ "Coordinate"; ":"; y ] ->
+          y0 := min !y0 (float_tok lr y);
+          loop ()
+        | Some [ "Height"; ":"; h ] ->
+          height := float_tok lr h;
+          loop ()
+        | Some [ "Sitewidth"; ":"; w ] ->
+          site_width := float_tok lr w;
+          loop ()
+        | Some [ "SubrowOrigin"; ":"; x; "NumSites"; ":"; n ] ->
+          x0 := float_tok lr x;
+          sites := max !sites (int_tok lr n);
+          loop ()
+        | Some _ -> loop ()
+      in
+      loop ();
+      if !count = 0 || !height <= 0.0 then
+        parse_error lr.lr_file lr.lr_num "scl file defines no usable rows";
+      {
+        rr_count = !count;
+        rr_y0 = !y0;
+        rr_height = !height;
+        rr_site_width = !site_width;
+        rr_x0 = !x0;
+        rr_sites = !sites;
+      })
+
+let read_masters path =
+  with_reader path (fun lr ->
+      let tbl = Hashtbl.create 1024 in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some [ name; master ] ->
+          Hashtbl.replace tbl name master;
+          loop ()
+        | Some toks ->
+          parse_error lr.lr_file lr.lr_num "bad masters line: %s" (String.concat " " toks)
+      in
+      loop ();
+      tbl)
+
+let read_groups path =
+  with_reader path (fun lr ->
+      let groups = ref [] in
+      let rec read_rows n acc =
+        if n = 0 then List.rev acc
+        else
+          match next_tokens lr with
+          | None -> parse_error lr.lr_file lr.lr_num "truncated group"
+          | Some toks -> read_rows (n - 1) (Array.of_list toks :: acc)
+      in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some [ "Group"; name; slices; stages ] ->
+          let slices = int_tok lr slices and stages = int_tok lr stages in
+          let rows = read_rows slices [] in
+          List.iter
+            (fun r ->
+              if Array.length r <> stages then
+                parse_error lr.lr_file lr.lr_num "group %s: bad row width" name)
+            rows;
+          groups := (name, Array.of_list rows) :: !groups;
+          loop ()
+        | Some toks ->
+          parse_error lr.lr_file lr.lr_num "bad groups line: %s" (String.concat " " toks)
+      in
+      loop ();
+      List.rev !groups)
+
+let read ~basename =
+  let dir = Filename.dirname basename in
+  let aux_path = basename ^ ".aux" in
+  let files =
+    with_reader aux_path (fun lr ->
+        match next_tokens lr with
+        | Some (_ :: ":" :: files) -> files
+        | _ -> parse_error lr.lr_file lr.lr_num "bad aux file")
+  in
+  let find_ext ext =
+    List.find_opt (fun f -> Filename.check_suffix f ext) files
+    |> Option.map (fun f -> Filename.concat dir f)
+  in
+  let require ext =
+    match find_ext ext with
+    | Some f -> f
+    | None -> raise (Parse_error (Printf.sprintf "%s: missing %s entry" aux_path ext))
+  in
+  let nodes = read_nodes (require ".nodes") in
+  let nets = read_nets (require ".nets") in
+  let pl = read_pl (require ".pl") in
+  let rows = read_scl (require ".scl") in
+  let masters =
+    match find_ext ".masters" with Some f -> read_masters f | None -> Hashtbl.create 0
+  in
+  let raw_groups = match find_ext ".groups" with Some f -> read_groups f | None -> [] in
+  let die_w =
+    if rows.rr_sites > 0 then float_of_int rows.rr_sites *. rows.rr_site_width
+    else
+      (* Fall back to the extent of the placement. *)
+      Array.fold_left (fun m rn -> max m rn.rn_w) 0.0 nodes *. 4.0
+  in
+  let die =
+    Rect.make ~xl:rows.rr_x0 ~yl:rows.rr_y0 ~xh:(rows.rr_x0 +. die_w)
+      ~yh:(rows.rr_y0 +. (float_of_int rows.rr_count *. rows.rr_height))
+  in
+  let b =
+    Builder.create ~name:(Filename.basename basename) ~die ~row_height:rows.rr_height
+      ~site_width:rows.rr_site_width ()
+  in
+  Array.iter
+    (fun rn ->
+      let place = Hashtbl.find_opt pl rn.rn_name in
+      let fixed_in_pl = match place with Some p -> p.rpl_fixed | None -> false in
+      let kind =
+        if rn.rn_terminal || fixed_in_pl then
+          if rn.rn_w *. rn.rn_h <= 1e-9 then Types.Pad else Types.Fixed
+        else Types.Movable
+      in
+      let master =
+        match Hashtbl.find_opt masters rn.rn_name with Some m -> m | None -> "UNKNOWN"
+      in
+      let id = Builder.add_cell b ~name:rn.rn_name ~master ~w:rn.rn_w ~h:rn.rn_h ~kind in
+      match place with
+      | Some p ->
+        Builder.set_position b id ~x:p.rpl_x ~y:p.rpl_y;
+        Builder.set_orient b id p.rpl_orient
+      | None -> ())
+    nodes;
+  Array.iter
+    (fun rnet ->
+      let pins =
+        List.map
+          (fun rp ->
+            match Builder.cell_id b rp.rp_cell with
+            | None -> raise (Parse_error (Printf.sprintf "net %s: unknown cell %s" rnet.rnet_name rp.rp_cell))
+            | Some cid ->
+              let rn = nodes.(cid) in
+              (* center-relative -> lower-left-relative *)
+              let dx = rp.rp_dx +. (rn.rn_w /. 2.0) in
+              let dy = rp.rp_dy +. (rn.rn_h /. 2.0) in
+              Builder.add_pin b ~cell:cid ~dir:rp.rp_dir ~dx ~dy ())
+          rnet.rnet_pins
+      in
+      ignore (Builder.add_net b ~name:rnet.rnet_name pins))
+    nets;
+  List.iter
+    (fun (name, rows) ->
+      let id_rows =
+        Array.map
+          (Array.map (fun cname ->
+               if cname = "-" then -1
+               else
+                 match Builder.cell_id b cname with
+                 | Some id -> id
+                 | None ->
+                   raise (Parse_error (Printf.sprintf "group %s: unknown cell %s" name cname))))
+          rows
+      in
+      Builder.add_group b (Groups.make name id_rows))
+    raw_groups;
+  Builder.finish b

@@ -1,0 +1,30 @@
+(** Bookshelf-format I/O (UCLA placement benchmark format: .aux, .nodes,
+    .nets, .pl, .scl), plus two extensions this project needs and the
+    vanilla format cannot carry:
+
+    - [.masters]: one "cellname master" line per cell, so the extractor's
+      signature refinement survives a round trip;
+    - [.groups]: ground-truth datapath groups, one header line
+      "Group name slices stages" followed by slice rows of cell names with
+      "-" for holes.
+
+    Pin offsets follow Bookshelf convention (relative to the cell {e
+    center}); the in-memory model uses lower-left offsets, converted on the
+    way in and out.  Pin directions map to Bookshelf's [I]/[O]/[B].
+
+    Files are written alongside a common base path: [write d ~basename:"foo"]
+    produces [foo.aux], [foo.nodes], ...
+
+    Known format limitation: pins exist only as net members in Bookshelf,
+    so {e unconnected} pins are not representable and disappear on a round
+    trip (cells, nets, placements and groups survive exactly). *)
+
+exception Parse_error of string
+(** Raised with a "file:line: message" payload on malformed input. *)
+
+val write : Design.t -> basename:string -> unit
+
+val read : basename:string -> Design.t
+(** Reads [basename.aux] and every file it references.
+    @raise Parse_error on malformed input
+    @raise Sys_error if a file is missing *)

@@ -1,0 +1,219 @@
+module Rect = Dpp_geom.Rect
+module Orient = Dpp_geom.Orient
+module Dyn = Dpp_util.Dyn
+
+(* Mutable staging records; frozen into Types.cell/net/pin at [finish]. *)
+type staged_cell = {
+  sc_name : string;
+  sc_master : string;
+  sc_w : float;
+  sc_h : float;
+  sc_kind : Types.cell_kind;
+  mutable sc_x : float;
+  mutable sc_y : float;
+  mutable sc_orient : Orient.t;
+  sc_pins : int Dyn.t;
+}
+
+type staged_pin = {
+  sp_cell : int;
+  sp_dir : Types.direction;
+  sp_dx : float;
+  sp_dy : float;
+  mutable sp_net : int;
+}
+
+type staged_net = { sn_name : string; sn_weight : float; sn_pins : int array }
+
+type t = {
+  b_name : string;
+  mutable b_die : Rect.t;
+  b_row_height : float;
+  b_site_width : float;
+  mutable b_num_rows : int;
+  b_cells : staged_cell Dyn.t;
+  b_pins : staged_pin Dyn.t;
+  b_nets : staged_net Dyn.t;
+  b_cell_names : (string, int) Hashtbl.t;
+  b_groups : Groups.t Dyn.t;
+  mutable b_finished : bool;
+}
+
+let rows_of_die ~die ~row_height =
+  let h = Rect.height die in
+  let rows = h /. row_height in
+  let num_rows = int_of_float (Float.round rows) in
+  if num_rows <= 0 || abs_float (rows -. float_of_int num_rows) > 1e-6 then
+    invalid_arg "Builder: die height must be a positive multiple of row height";
+  num_rows
+
+let create ?(name = "design") ~die ~row_height ~site_width () =
+  if row_height <= 0.0 || site_width <= 0.0 then
+    invalid_arg "Builder.create: non-positive row height or site width";
+  let num_rows = rows_of_die ~die ~row_height in
+  {
+    b_name = name;
+    b_die = die;
+    b_row_height = row_height;
+    b_site_width = site_width;
+    b_num_rows = num_rows;
+    b_cells = Dyn.create ();
+    b_pins = Dyn.create ();
+    b_nets = Dyn.create ();
+    b_cell_names = Hashtbl.create 1024;
+    b_groups = Dyn.create ();
+    b_finished = false;
+  }
+
+let check_alive t = if t.b_finished then invalid_arg "Builder: already finished"
+
+let set_die t die =
+  check_alive t;
+  t.b_num_rows <- rows_of_die ~die ~row_height:t.b_row_height;
+  t.b_die <- die
+
+let add_cell t ~name ~master ~w ~h ~kind =
+  check_alive t;
+  if Hashtbl.mem t.b_cell_names name then
+    invalid_arg (Printf.sprintf "Builder.add_cell: duplicate cell name %S" name);
+  (match kind with
+  | Types.Movable when w <= 0.0 || h <= 0.0 ->
+    invalid_arg "Builder.add_cell: movable cell must have positive dimensions"
+  | Types.Movable | Types.Fixed | Types.Pad -> ());
+  let id = Dyn.length t.b_cells in
+  Dyn.push t.b_cells
+    {
+      sc_name = name;
+      sc_master = master;
+      sc_w = w;
+      sc_h = h;
+      sc_kind = kind;
+      sc_x = 0.0;
+      sc_y = 0.0;
+      sc_orient = Orient.N;
+      sc_pins = Dyn.create ();
+    };
+  Hashtbl.add t.b_cell_names name id;
+  id
+
+let add_pin t ~cell ~dir ?dx ?dy () =
+  check_alive t;
+  if cell < 0 || cell >= Dyn.length t.b_cells then invalid_arg "Builder.add_pin: bad cell id";
+  let c = Dyn.get t.b_cells cell in
+  let dx = Option.value dx ~default:(c.sc_w /. 2.0) in
+  let dy = Option.value dy ~default:(c.sc_h /. 2.0) in
+  let id = Dyn.length t.b_pins in
+  Dyn.push t.b_pins { sp_cell = cell; sp_dir = dir; sp_dx = dx; sp_dy = dy; sp_net = -1 };
+  Dyn.push c.sc_pins id;
+  id
+
+let add_net t ?name ?(weight = 1.0) pins =
+  check_alive t;
+  if pins = [] then invalid_arg "Builder.add_net: empty pin list";
+  let id = Dyn.length t.b_nets in
+  let name = Option.value name ~default:(Printf.sprintf "net_%d" id) in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= Dyn.length t.b_pins then invalid_arg "Builder.add_net: bad pin id";
+      let sp = Dyn.get t.b_pins p in
+      if sp.sp_net >= 0 then
+        invalid_arg (Printf.sprintf "Builder.add_net: pin %d already connected" p);
+      sp.sp_net <- id)
+    pins;
+  Dyn.push t.b_nets { sn_name = name; sn_weight = weight; sn_pins = Array.of_list pins };
+  id
+
+let set_position t i ~x ~y =
+  check_alive t;
+  let c = Dyn.get t.b_cells i in
+  c.sc_x <- x;
+  c.sc_y <- y
+
+let set_orient t i o =
+  check_alive t;
+  (Dyn.get t.b_cells i).sc_orient <- o
+
+let add_group t g =
+  check_alive t;
+  Dyn.push t.b_groups g
+
+let cell_id t name = Hashtbl.find_opt t.b_cell_names name
+
+let num_cells t = Dyn.length t.b_cells
+
+let movable_area t =
+  let acc = ref 0.0 in
+  Dyn.iter
+    (fun sc ->
+      match sc.sc_kind with
+      | Types.Movable -> acc := !acc +. (sc.sc_w *. sc.sc_h)
+      | Types.Fixed | Types.Pad -> ())
+    t.b_cells;
+  !acc
+let num_nets t = Dyn.length t.b_nets
+
+let finish t =
+  check_alive t;
+  t.b_finished <- true;
+  let nc = Dyn.length t.b_cells in
+  let cells =
+    Array.init nc (fun i ->
+        let sc = Dyn.get t.b_cells i in
+        {
+          Types.c_id = i;
+          c_name = sc.sc_name;
+          c_master = sc.sc_master;
+          c_width = sc.sc_w;
+          c_height = sc.sc_h;
+          c_kind = sc.sc_kind;
+          c_pins = Dyn.to_array sc.sc_pins;
+        })
+  in
+  let pins =
+    Array.init (Dyn.length t.b_pins) (fun i ->
+        let sp = Dyn.get t.b_pins i in
+        {
+          Types.p_id = i;
+          p_cell = sp.sp_cell;
+          p_net = sp.sp_net;
+          p_dir = sp.sp_dir;
+          p_dx = sp.sp_dx;
+          p_dy = sp.sp_dy;
+        })
+  in
+  let nets =
+    Array.init (Dyn.length t.b_nets) (fun i ->
+        let sn = Dyn.get t.b_nets i in
+        { Types.n_id = i; n_name = sn.sn_name; n_weight = sn.sn_weight; n_pins = sn.sn_pins })
+  in
+  let x = Array.init nc (fun i -> (Dyn.get t.b_cells i).sc_x) in
+  let y = Array.init nc (fun i -> (Dyn.get t.b_cells i).sc_y) in
+  let orient = Array.init nc (fun i -> (Dyn.get t.b_cells i).sc_orient) in
+  let groups = Array.to_list (Dyn.to_array t.b_groups) in
+  List.iter
+    (fun g ->
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun c ->
+              if c >= nc then
+                invalid_arg
+                  (Printf.sprintf "Builder.finish: group %s references unknown cell %d"
+                     g.Groups.g_name c))
+            row)
+        g.Groups.g_rows)
+    groups;
+  {
+    Design.name = t.b_name;
+    die = t.b_die;
+    row_height = t.b_row_height;
+    site_width = t.b_site_width;
+    num_rows = t.b_num_rows;
+    cells;
+    nets;
+    pins;
+    x;
+    y;
+    orient;
+    groups;
+  }

@@ -1,0 +1,73 @@
+type t = { g_name : string; g_rows : int array array }
+
+let make name rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Groups.make: no slices";
+  let stages = Array.length rows.(0) in
+  if stages = 0 then invalid_arg "Groups.make: empty slices";
+  Array.iter
+    (fun r -> if Array.length r <> stages then invalid_arg "Groups.make: ragged rows")
+    rows;
+  { g_name = name; g_rows = rows }
+
+let num_slices t = Array.length t.g_rows
+let num_stages t = Array.length t.g_rows.(0)
+
+let cell_ids t =
+  let acc = ref [] in
+  for s = num_slices t - 1 downto 0 do
+    for k = num_stages t - 1 downto 0 do
+      let c = t.g_rows.(s).(k) in
+      if c >= 0 then acc := c :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let cell_count t =
+  let n = ref 0 in
+  Array.iter (fun row -> Array.iter (fun c -> if c >= 0 then incr n) row) t.g_rows;
+  !n
+
+let mem t id =
+  if id < 0 then false
+  else begin
+    let found = ref false in
+    Array.iter (fun row -> Array.iter (fun c -> if c = id then found := true) row) t.g_rows;
+    !found
+  end
+
+let member_set t =
+  let h = Hashtbl.create (cell_count t) in
+  Array.iter (fun row -> Array.iter (fun c -> if c >= 0 then Hashtbl.replace h c ()) row) t.g_rows;
+  h
+
+let slice_of_cell t id =
+  let result = ref None in
+  Array.iteri
+    (fun s row -> Array.iter (fun c -> if c = id && !result = None then result := Some s) row)
+    t.g_rows;
+  !result
+
+let stage_of_cell t id =
+  let result = ref None in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun k c -> if c = id && !result = None then result := Some k) row)
+    t.g_rows;
+  !result
+
+let transpose t =
+  let slices = num_slices t and stages = num_stages t in
+  let rows = Array.init stages (fun k -> Array.init slices (fun s -> t.g_rows.(s).(k))) in
+  { g_name = t.g_name; g_rows = rows }
+
+let jaccard a b =
+  let sa = member_set a and sb = member_set b in
+  let inter = ref 0 in
+  Hashtbl.iter (fun c () -> if Hashtbl.mem sb c then incr inter) sa;
+  let union = Hashtbl.length sa + Hashtbl.length sb - !inter in
+  if union = 0 then 0.0 else float_of_int !inter /. float_of_int union
+
+let pp ppf t =
+  Format.fprintf ppf "group %s: %d slices x %d stages (%d cells)" t.g_name (num_slices t)
+    (num_stages t) (cell_count t)

@@ -1,0 +1,85 @@
+type t = {
+  cell_net_off : int array;
+  cell_nets : int array;
+  net_cell_off : int array;
+  net_cells : int array;
+}
+
+(* Deduplicate a sorted int list segment in place inside [dst], returning the
+   new length.  Avoids per-net hash tables on million-pin designs. *)
+let dedup_sorted (a : int array) lo hi =
+  if hi <= lo then lo
+  else begin
+    let w = ref (lo + 1) in
+    for r = lo + 1 to hi - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    !w
+  end
+
+let build (d : Design.t) =
+  let nc = Design.num_cells d and nn = Design.num_nets d in
+  (* net -> cells, deduplicated *)
+  let net_cell_off = Array.make (nn + 1) 0 in
+  let chunks = Array.make nn [||] in
+  for n = 0 to nn - 1 do
+    let pins = (Design.net d n).Types.n_pins in
+    let cs = Array.map (fun p -> (Design.pin d p).Types.p_cell) pins in
+    Array.sort compare cs;
+    let len = dedup_sorted cs 0 (Array.length cs) in
+    chunks.(n) <- Array.sub cs 0 len
+  done;
+  for n = 0 to nn - 1 do
+    net_cell_off.(n + 1) <- net_cell_off.(n) + Array.length chunks.(n)
+  done;
+  let net_cells = Array.make net_cell_off.(nn) 0 in
+  for n = 0 to nn - 1 do
+    Array.blit chunks.(n) 0 net_cells net_cell_off.(n) (Array.length chunks.(n))
+  done;
+  (* cell -> nets, via counting pass over the net_cells arrays *)
+  let counts = Array.make nc 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) net_cells;
+  let cell_net_off = Array.make (nc + 1) 0 in
+  for i = 0 to nc - 1 do
+    cell_net_off.(i + 1) <- cell_net_off.(i) + counts.(i)
+  done;
+  let cell_nets = Array.make cell_net_off.(nc) 0 in
+  let cursor = Array.copy cell_net_off in
+  for n = 0 to nn - 1 do
+    for k = net_cell_off.(n) to net_cell_off.(n + 1) - 1 do
+      let c = net_cells.(k) in
+      cell_nets.(cursor.(c)) <- n;
+      cursor.(c) <- cursor.(c) + 1
+    done
+  done;
+  { cell_net_off; cell_nets; net_cell_off; net_cells }
+
+let nets_of_cell t i =
+  Array.sub t.cell_nets t.cell_net_off.(i) (t.cell_net_off.(i + 1) - t.cell_net_off.(i))
+
+let cells_of_net t n =
+  Array.sub t.net_cells t.net_cell_off.(n) (t.net_cell_off.(n + 1) - t.net_cell_off.(n))
+
+let iter_nets_of_cell t i f =
+  for k = t.cell_net_off.(i) to t.cell_net_off.(i + 1) - 1 do
+    f t.cell_nets.(k)
+  done
+
+let iter_cells_of_net t n f =
+  for k = t.net_cell_off.(n) to t.net_cell_off.(n + 1) - 1 do
+    f t.net_cells.(k)
+  done
+
+let net_degree t n = t.net_cell_off.(n + 1) - t.net_cell_off.(n)
+
+let cell_degree t i = t.cell_net_off.(i + 1) - t.cell_net_off.(i)
+
+let neighbors_of_cell t i ~max_net_degree =
+  let seen = Hashtbl.create 16 in
+  iter_nets_of_cell t i (fun n ->
+      if net_degree t n <= max_net_degree then
+        iter_cells_of_net t n (fun c -> if c <> i then Hashtbl.replace seen c ()));
+  Hashtbl.fold (fun c () acc -> c :: acc) seen [] |> List.sort compare

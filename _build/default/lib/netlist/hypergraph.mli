@@ -1,0 +1,32 @@
+(** Compressed adjacency views over a design, built once and shared by the
+    quadratic placer and the extractor.  All arrays are CSR-style:
+    [off.(i) .. off.(i+1)-1] index into the payload array. *)
+
+type t = {
+  cell_net_off : int array;  (** length [num_cells + 1] *)
+  cell_nets : int array;  (** nets incident to each cell (deduplicated) *)
+  net_cell_off : int array;  (** length [num_nets + 1] *)
+  net_cells : int array;  (** cells on each net (deduplicated, ascending) *)
+}
+
+val build : Design.t -> t
+
+val nets_of_cell : t -> int -> int array
+(** Fresh sub-array of the nets touching a cell. *)
+
+val cells_of_net : t -> int -> int array
+
+val iter_nets_of_cell : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration. *)
+
+val iter_cells_of_net : t -> int -> (int -> unit) -> unit
+
+val net_degree : t -> int -> int
+(** Number of distinct cells on the net. *)
+
+val cell_degree : t -> int -> int
+
+val neighbors_of_cell : t -> int -> max_net_degree:int -> int list
+(** Distinct cells sharing a net with the given cell, nets wider than
+    [max_net_degree] skipped (they are control/clock-like and would make the
+    neighborhood quadratic).  Excludes the cell itself. *)

@@ -1,0 +1,81 @@
+type t = {
+  s_name : string;
+  s_cells : int;
+  s_movable : int;
+  s_fixed : int;
+  s_pads : int;
+  s_nets : int;
+  s_pins : int;
+  s_avg_net_degree : float;
+  s_max_net_degree : int;
+  s_datapath_cells : int;
+  s_datapath_fraction : float;
+  s_num_groups : int;
+  s_utilization : float;
+  s_rows : int;
+}
+
+let compute (d : Design.t) =
+  let movable = ref 0 and fixed = ref 0 and pads = ref 0 in
+  Array.iter
+    (fun (c : Types.cell) ->
+      match c.c_kind with
+      | Types.Movable -> incr movable
+      | Types.Fixed -> incr fixed
+      | Types.Pad -> incr pads)
+    d.Design.cells;
+  let max_deg =
+    Array.fold_left (fun m (n : Types.net) -> max m (Array.length n.n_pins)) 0 d.Design.nets
+  in
+  let dp_cells =
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun g -> Array.iter (fun c -> Hashtbl.replace seen c ()) (Groups.cell_ids g))
+      d.Design.groups;
+    Hashtbl.length seen
+  in
+  {
+    s_name = d.Design.name;
+    s_cells = Design.num_cells d;
+    s_movable = !movable;
+    s_fixed = !fixed;
+    s_pads = !pads;
+    s_nets = Design.num_nets d;
+    s_pins = Design.num_pins d;
+    s_avg_net_degree = Design.average_net_degree d;
+    s_max_net_degree = max_deg;
+    s_datapath_cells = dp_cells;
+    s_datapath_fraction =
+      (if !movable = 0 then 0.0 else float_of_int dp_cells /. float_of_int !movable);
+    s_num_groups = List.length d.Design.groups;
+    s_utilization = Design.utilization d;
+    s_rows = d.Design.num_rows;
+  }
+
+let header =
+  [
+    "design"; "#cells"; "#movable"; "#fixed"; "#pads"; "#nets"; "#pins"; "avg-deg"; "max-deg";
+    "#dp-cells"; "dp-frac"; "#groups"; "util"; "#rows";
+  ]
+
+let to_row s =
+  [
+    s.s_name;
+    string_of_int s.s_cells;
+    string_of_int s.s_movable;
+    string_of_int s.s_fixed;
+    string_of_int s.s_pads;
+    string_of_int s.s_nets;
+    string_of_int s.s_pins;
+    Printf.sprintf "%.2f" s.s_avg_net_degree;
+    string_of_int s.s_max_net_degree;
+    string_of_int s.s_datapath_cells;
+    Printf.sprintf "%.2f" s.s_datapath_fraction;
+    string_of_int s.s_num_groups;
+    Printf.sprintf "%.3f" s.s_utilization;
+    string_of_int s.s_rows;
+  ]
+
+let pp ppf s =
+  Format.fprintf ppf "%s: %d cells (%d movable), %d nets, %d pins, dp-frac %.2f, util %.3f"
+    s.s_name s.s_cells s.s_movable s.s_nets s.s_pins s.s_datapath_fraction s.s_utilization

@@ -1,0 +1,27 @@
+(** Design statistics for Table 1 and the logs. *)
+
+type t = {
+  s_name : string;
+  s_cells : int;
+  s_movable : int;
+  s_fixed : int;
+  s_pads : int;
+  s_nets : int;
+  s_pins : int;
+  s_avg_net_degree : float;
+  s_max_net_degree : int;
+  s_datapath_cells : int;  (** cells covered by ground-truth groups *)
+  s_datapath_fraction : float;  (** datapath cells / movable cells *)
+  s_num_groups : int;
+  s_utilization : float;
+  s_rows : int;
+}
+
+val compute : Design.t -> t
+
+val header : string list
+(** Column names matching {!to_row}. *)
+
+val to_row : t -> string list
+
+val pp : Format.formatter -> t -> unit

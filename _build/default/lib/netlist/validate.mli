@@ -1,0 +1,25 @@
+(** Structural sanity checks.  The flow refuses to place a design with
+    [Error]-severity issues; [Warning]s are logged and tolerated. *)
+
+type severity = Warning | Error
+
+type issue = { severity : severity; message : string }
+
+val check : Design.t -> issue list
+(** Runs every check:
+    - pin/net/cell cross-references are in range and mutually consistent
+    - net degrees: degree-0 nets are errors, degree-1 nets warnings
+    - duplicate cell names are errors
+    - fixed cells and pads outside the die are warnings
+    - movable cells wider/taller than the die, or whose height is not a
+      whole number of rows (multi-row movable macros are allowed), are
+      errors
+    - utilization above 1.0 is an error, above 0.95 a warning
+    - group annotations referencing fixed cells or out-of-range ids are
+      errors; a cell in two groups is an error *)
+
+val errors : issue list -> issue list
+val is_clean : issue list -> bool
+(** No [Error]-severity issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

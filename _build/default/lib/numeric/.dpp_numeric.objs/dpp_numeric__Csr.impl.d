@@ -1,0 +1,1 @@
+lib/numeric/csr.ml: Array Dpp_util

@@ -1,0 +1,1 @@
+lib/numeric/csr.mli:

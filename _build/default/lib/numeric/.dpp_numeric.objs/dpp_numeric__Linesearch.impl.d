@@ -1,0 +1,1 @@
+lib/numeric/linesearch.ml: Array Float Vec

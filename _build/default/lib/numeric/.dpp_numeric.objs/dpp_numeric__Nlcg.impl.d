@@ -1,0 +1,1 @@
+lib/numeric/nlcg.ml: Array Linesearch Vec

@@ -1,0 +1,1 @@
+lib/numeric/pcg.ml: Array Csr Option Vec

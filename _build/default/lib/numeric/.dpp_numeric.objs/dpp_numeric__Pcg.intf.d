@@ -1,0 +1,1 @@
+lib/numeric/pcg.mli: Csr

@@ -1,0 +1,1 @@
+lib/numeric/vec.ml: Array

@@ -1,0 +1,142 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_off : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+module Triplets = struct
+  type builder = {
+    rows : int;
+    cols : int;
+    ri : int Dpp_util.Dyn.t;
+    ci : int Dpp_util.Dyn.t;
+    v : float Dpp_util.Dyn.t;
+  }
+
+  let create ~rows ~cols =
+    {
+      rows;
+      cols;
+      ri = Dpp_util.Dyn.create ();
+      ci = Dpp_util.Dyn.create ();
+      v = Dpp_util.Dyn.create ();
+    }
+
+  let add b i j v =
+    if i < 0 || i >= b.rows || j < 0 || j >= b.cols then
+      invalid_arg "Csr.Triplets.add: index out of range";
+    Dpp_util.Dyn.push b.ri i;
+    Dpp_util.Dyn.push b.ci j;
+    Dpp_util.Dyn.push b.v v
+
+  let to_csr b =
+    let n = Dpp_util.Dyn.length b.v in
+    let ri = Dpp_util.Dyn.to_array b.ri in
+    let ci = Dpp_util.Dyn.to_array b.ci in
+    let v = Dpp_util.Dyn.to_array b.v in
+    (* Counting sort by row, then sort each row segment by column and merge. *)
+    let counts = Array.make (b.rows + 1) 0 in
+    for k = 0 to n - 1 do
+      counts.(ri.(k) + 1) <- counts.(ri.(k) + 1) + 1
+    done;
+    for i = 0 to b.rows - 1 do
+      counts.(i + 1) <- counts.(i + 1) + counts.(i)
+    done;
+    let perm = Array.make n 0 in
+    let cursor = Array.copy counts in
+    for k = 0 to n - 1 do
+      perm.(cursor.(ri.(k))) <- k;
+      cursor.(ri.(k)) <- cursor.(ri.(k)) + 1
+    done;
+    let row_off = Array.make (b.rows + 1) 0 in
+    let col_acc = Dpp_util.Dyn.create () in
+    let val_acc = Dpp_util.Dyn.create () in
+    for i = 0 to b.rows - 1 do
+      let lo = counts.(i) and hi = counts.(i + 1) in
+      let seg = Array.sub perm lo (hi - lo) in
+      Array.sort (fun a bk -> compare ci.(a) ci.(bk)) seg;
+      let k = ref 0 in
+      let m = Array.length seg in
+      while !k < m do
+        let j = ci.(seg.(!k)) in
+        let acc = ref 0.0 in
+        while !k < m && ci.(seg.(!k)) = j do
+          acc := !acc +. v.(seg.(!k));
+          incr k
+        done;
+        if !acc <> 0.0 then begin
+          Dpp_util.Dyn.push col_acc j;
+          Dpp_util.Dyn.push val_acc !acc
+        end
+      done;
+      row_off.(i + 1) <- Dpp_util.Dyn.length val_acc
+    done;
+    {
+      n_rows = b.rows;
+      n_cols = b.cols;
+      row_off;
+      col_idx = Dpp_util.Dyn.to_array col_acc;
+      values = Dpp_util.Dyn.to_array val_acc;
+    }
+end
+
+let mul a x y =
+  if Array.length x <> a.n_cols || Array.length y <> a.n_rows then
+    invalid_arg "Csr.mul: dimension mismatch";
+  for i = 0 to a.n_rows - 1 do
+    let acc = ref 0.0 in
+    for k = a.row_off.(i) to a.row_off.(i + 1) - 1 do
+      acc := !acc +. (a.values.(k) *. x.(a.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let diagonal a =
+  let d = Array.make (min a.n_rows a.n_cols) 0.0 in
+  for i = 0 to Array.length d - 1 do
+    for k = a.row_off.(i) to a.row_off.(i + 1) - 1 do
+      if a.col_idx.(k) = i then d.(i) <- a.values.(k)
+    done
+  done;
+  d
+
+let nnz a = Array.length a.values
+
+let get a i j =
+  let lo = ref a.row_off.(i) and hi = ref (a.row_off.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = a.col_idx.(mid) in
+    if c = j then begin
+      result := a.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let transpose a =
+  let b = Triplets.create ~rows:a.n_cols ~cols:a.n_rows in
+  for i = 0 to a.n_rows - 1 do
+    for k = a.row_off.(i) to a.row_off.(i + 1) - 1 do
+      Triplets.add b a.col_idx.(k) i a.values.(k)
+    done
+  done;
+  Triplets.to_csr b
+
+let is_symmetric ?(tol = 1e-9) a =
+  if a.n_rows <> a.n_cols then false
+  else begin
+    let ok = ref true in
+    for i = 0 to a.n_rows - 1 do
+      for k = a.row_off.(i) to a.row_off.(i + 1) - 1 do
+        let j = a.col_idx.(k) in
+        if abs_float (a.values.(k) -. get a j i) > tol then ok := false
+      done
+    done;
+    !ok
+  end

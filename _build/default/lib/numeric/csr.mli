@@ -1,0 +1,38 @@
+(** Compressed sparse row matrices, built from coordinate triplets.
+    Duplicate entries are summed, which is exactly what assembling a
+    placement Laplacian needs (each two-pin connection contributes to four
+    entries). *)
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_off : int array;  (** length [n_rows + 1] *)
+  col_idx : int array;
+  values : float array;
+}
+
+module Triplets : sig
+  type builder
+
+  val create : rows:int -> cols:int -> builder
+  val add : builder -> int -> int -> float -> unit
+  (** [add b i j v] accumulates [v] at [(i, j)].
+      @raise Invalid_argument on out-of-range indices. *)
+
+  val to_csr : builder -> t
+  (** Sorts, merges duplicates, drops explicit zeros. *)
+end
+
+val mul : t -> float array -> float array -> unit
+(** [mul a x y] sets [y := A x].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val diagonal : t -> float array
+(** Main diagonal (zeros where absent). *)
+
+val nnz : t -> int
+val get : t -> int -> int -> float
+(** Entry lookup (binary search within the row). *)
+
+val is_symmetric : ?tol:float -> t -> bool
+val transpose : t -> t

@@ -1,0 +1,143 @@
+type problem = {
+  n : int;
+  eval : float array -> float;
+  grad : float array -> float array -> unit;
+}
+
+type options = {
+  max_iter : int;
+  grad_tol : float;
+  f_tol : float;
+  initial_step : float;
+  project : (float array -> unit) option;
+  on_iterate : (int -> float -> float -> unit) option;
+}
+
+let default_options =
+  {
+    max_iter = 100;
+    grad_tol = 1e-6;
+    f_tol = 1e-9;
+    initial_step = 1.0;
+    project = None;
+    on_iterate = None;
+  }
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  grad_norm : float;
+  converged : bool;
+  f_evals : int;
+}
+
+let minimize ?(options = default_options) p x0 =
+  if Array.length x0 <> p.n then invalid_arg "Nlcg.minimize: x0 size mismatch";
+  let x = Array.copy x0 in
+  (match options.project with Some proj -> proj x | None -> ());
+  let g = Array.make p.n 0.0 in
+  let g_prev = Array.make p.n 0.0 in
+  let d = Array.make p.n 0.0 in
+  let scratch = Array.make p.n 0.0 in
+  let f_evals = ref 0 in
+  let eval x =
+    incr f_evals;
+    p.eval x
+  in
+  let f = ref (eval x) in
+  p.grad x g;
+  for i = 0 to p.n - 1 do
+    d.(i) <- -.g.(i)
+  done;
+  let gnorm = ref (Vec.nrm_inf g) in
+  let step_hint = ref options.initial_step in
+  let iter = ref 0 in
+  let converged = ref (!gnorm <= options.grad_tol) in
+  let stalled = ref false in
+  while (not !converged) && (not !stalled) && !iter < options.max_iter do
+    let slope = Vec.dot g d in
+    (* If CG produced an ascent direction, restart on steepest descent. *)
+    let slope =
+      if slope >= 0.0 then begin
+        for i = 0 to p.n - 1 do
+          d.(i) <- -.g.(i)
+        done;
+        Vec.dot g d
+      end
+      else slope
+    in
+    if slope >= 0.0 then stalled := true (* zero gradient, nothing to do *)
+    else begin
+      let ls =
+        Linesearch.armijo ~f:eval ~x ~d ~f0:!f ~slope ~step0:!step_hint ~scratch ()
+      in
+      if not ls.Linesearch.ok then begin
+        (* Retry once from steepest descent with a unit-scaled step. *)
+        for i = 0 to p.n - 1 do
+          d.(i) <- -.g.(i)
+        done;
+        let slope = Vec.dot g d in
+        let ls2 =
+          Linesearch.armijo ~f:eval ~x ~d ~f0:!f ~slope
+            ~step0:(1.0 /. max 1.0 (Vec.nrm_inf g))
+            ~scratch ()
+        in
+        if not ls2.Linesearch.ok then stalled := true
+        else begin
+          Vec.copy_into scratch x;
+          (match options.project with Some proj -> proj x | None -> ());
+          let f_old = !f in
+          f := eval x;
+          Vec.copy_into g g_prev;
+          p.grad x g;
+          for i = 0 to p.n - 1 do
+            d.(i) <- -.g.(i)
+          done;
+          step_hint := max 1e-12 (2.0 *. ls2.Linesearch.step);
+          gnorm := Vec.nrm_inf g;
+          incr iter;
+          (match options.on_iterate with Some cb -> cb !iter !f !gnorm | None -> ());
+          if !gnorm <= options.grad_tol then converged := true
+          else if
+            abs_float (f_old -. !f) <= options.f_tol *. (abs_float f_old +. 1e-30)
+          then converged := true
+        end
+      end
+      else begin
+        Vec.copy_into scratch x;
+        (match options.project with Some proj -> proj x | None -> ());
+        let f_old = !f in
+        (* Projection may have moved the point; recompute f there only if a
+           projection exists, otherwise reuse the line-search value. *)
+        (match options.project with
+        | Some _ -> f := eval x
+        | None -> f := ls.Linesearch.f_new);
+        Vec.copy_into g g_prev;
+        p.grad x g;
+        (* Polak–Ribière+ beta. *)
+        let gg_prev = Vec.dot g_prev g_prev in
+        let beta =
+          if gg_prev <= 0.0 then 0.0
+          else begin
+            let num = ref 0.0 in
+            for i = 0 to p.n - 1 do
+              num := !num +. (g.(i) *. (g.(i) -. g_prev.(i)))
+            done;
+            max 0.0 (!num /. gg_prev)
+          end
+        in
+        for i = 0 to p.n - 1 do
+          d.(i) <- -.g.(i) +. (beta *. d.(i))
+        done;
+        step_hint := max 1e-12 (2.0 *. ls.Linesearch.step);
+        gnorm := Vec.nrm_inf g;
+        incr iter;
+        (match options.on_iterate with Some cb -> cb !iter !f !gnorm | None -> ());
+        if !gnorm <= options.grad_tol then converged := true
+        else if abs_float (f_old -. !f) <= options.f_tol *. (abs_float f_old +. 1e-30) then
+          converged := true
+      end
+    end
+  done;
+  { x; f = !f; iterations = !iter; grad_norm = !gnorm; converged = !converged; f_evals = !f_evals }

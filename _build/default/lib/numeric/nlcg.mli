@@ -1,0 +1,36 @@
+(** Nonlinear conjugate gradient (Polak–Ribière+ with automatic restarts)
+    over a smooth unconstrained objective — the engine under global
+    placement.  An optional projection hook keeps iterates inside the die. *)
+
+type problem = {
+  n : int;  (** number of variables *)
+  eval : float array -> float;  (** objective value *)
+  grad : float array -> float array -> unit;  (** [grad x g] fills [g] *)
+}
+
+type options = {
+  max_iter : int;
+  grad_tol : float;  (** stop when [||g||_inf <= grad_tol] *)
+  f_tol : float;  (** stop when the relative decrease over an iteration falls below this *)
+  initial_step : float;  (** first trial step of the very first line search *)
+  project : (float array -> unit) option;
+      (** in-place feasibility projection applied after every accepted step *)
+  on_iterate : (int -> float -> float -> unit) option;
+      (** [on_iterate k f gnorm] callback for convergence traces *)
+}
+
+val default_options : options
+(** 100 iterations, [grad_tol 1e-6], [f_tol 1e-9], [initial_step 1.0],
+    no projection, no callback. *)
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  grad_norm : float;
+  converged : bool;  (** a tolerance fired (as opposed to hitting max_iter or stalling) *)
+  f_evals : int;
+}
+
+val minimize : ?options:options -> problem -> float array -> result
+(** [minimize p x0] starts from a copy of [x0]. *)

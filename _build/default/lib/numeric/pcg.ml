@@ -1,0 +1,59 @@
+type stats = { iterations : int; residual : float; converged : bool }
+
+let solve_operator ?max_iter ?(tol = 1e-8) ?x0 ~n ~mul ~diag b =
+  if Array.length b <> n || Array.length diag <> n then
+    invalid_arg "Pcg.solve_operator: size mismatch";
+  let max_iter = Option.value max_iter ~default:(2 * n) in
+  let inv_diag = Array.map (fun d -> if d > 0.0 then 1.0 /. d else 1.0) diag in
+  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
+  let r = Array.make n 0.0 in
+  let z = Array.make n 0.0 in
+  let p = Array.make n 0.0 in
+  let ap = Array.make n 0.0 in
+  (* r = b - A x *)
+  mul x r;
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. r.(i)
+  done;
+  let norm_b = Vec.nrm2 b in
+  let threshold = if norm_b > 0.0 then tol *. norm_b else tol in
+  let apply_precond () =
+    for i = 0 to n - 1 do
+      z.(i) <- inv_diag.(i) *. r.(i)
+    done
+  in
+  apply_precond ();
+  Vec.copy_into z p;
+  let rz = ref (Vec.dot r z) in
+  let iter = ref 0 in
+  let res = ref (Vec.nrm2 r) in
+  while !res > threshold && !iter < max_iter do
+    mul p ap;
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then begin
+      (* Not SPD along p (numerical breakdown): stop with current iterate. *)
+      iter := max_iter
+    end
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) ap r;
+      apply_precond ();
+      let rz' = Vec.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      res := Vec.nrm2 r;
+      incr iter
+    end
+  done;
+  x, { iterations = !iter; residual = !res; converged = !res <= threshold }
+
+let solve ?max_iter ?tol ?x0 (a : Csr.t) b =
+  if a.Csr.n_rows <> a.Csr.n_cols then invalid_arg "Pcg.solve: matrix not square";
+  if Array.length b <> a.Csr.n_rows then invalid_arg "Pcg.solve: rhs size mismatch";
+  solve_operator ?max_iter ?tol ?x0 ~n:a.Csr.n_rows
+    ~mul:(fun x y -> Csr.mul a x y)
+    ~diag:(Csr.diagonal a) b

@@ -1,0 +1,31 @@
+(** Jacobi-preconditioned conjugate gradient for symmetric positive-definite
+    systems — the initial quadratic placement solver. *)
+
+type stats = { iterations : int; residual : float; converged : bool }
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?x0:float array ->
+  Csr.t ->
+  float array ->
+  float array * stats
+(** [solve a b] returns an approximate solution of [A x = b].
+
+    [tol] is relative: iteration stops when [||r|| <= tol * ||b||]
+    (default [1e-8]).  [max_iter] defaults to [2 * n].  [x0] seeds the
+    iterate (default zero) and is not modified.
+
+    @raise Invalid_argument if [a] is not square or sizes mismatch. *)
+
+val solve_operator :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?x0:float array ->
+  n:int ->
+  mul:(float array -> float array -> unit) ->
+  diag:float array ->
+  float array ->
+  float array * stats
+(** Matrix-free variant: [mul x y] must set [y := A x]; [diag] is the
+    preconditioner diagonal (entries [<= 0] are treated as 1). *)

@@ -1,0 +1,55 @@
+let check_len a b name = if Array.length a <> Array.length b then invalid_arg name
+
+let dot x y =
+  check_len x y "Vec.dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let nrm2 x = sqrt (dot x x)
+
+let nrm_inf x =
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let a = abs_float x.(i) in
+    if a > !m then m := a
+  done;
+  !m
+
+let axpy a x y =
+  check_len x y "Vec.axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let copy_into src dst =
+  check_len src dst "Vec.copy_into";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let add_into x y =
+  check_len x y "Vec.add_into";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. x.(i)
+  done
+
+let sub x y =
+  check_len x y "Vec.sub";
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let max_abs_diff x y =
+  check_len x y "Vec.max_abs_diff";
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = abs_float (x.(i) -. y.(i)) in
+    if d > !m then m := d
+  done;
+  !m

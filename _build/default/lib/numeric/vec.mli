@@ -1,0 +1,23 @@
+(** Dense float-array vector kernels for the placement optimizers.  All
+    operations are in-place where a destination is given; nothing allocates
+    inside the solver loops. *)
+
+val dot : float array -> float array -> float
+val nrm2 : float array -> float
+val nrm_inf : float array -> float
+
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] sets [y := a*x + y]. *)
+
+val scale : float -> float array -> unit
+val copy_into : float array -> float array -> unit
+(** [copy_into src dst]. *)
+
+val fill : float array -> float -> unit
+val add_into : float array -> float array -> unit
+(** [add_into x y] sets [y := y + x]. *)
+
+val sub : float array -> float array -> float array
+(** Fresh [x - y]. *)
+
+val max_abs_diff : float array -> float array -> float

@@ -1,0 +1,1 @@
+lib/place/abacus.ml: Array Dpp_geom Dpp_netlist Float Legal List

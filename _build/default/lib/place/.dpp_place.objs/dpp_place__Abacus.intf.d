@@ -1,0 +1,1 @@
+lib/place/abacus.mli: Dpp_geom Dpp_netlist Legal

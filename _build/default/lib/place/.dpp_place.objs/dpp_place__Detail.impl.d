@@ -1,0 +1,1 @@
+lib/place/detail.ml: Array Dpp_geom Dpp_netlist Dpp_wirelen Float Hashtbl Legal List Option

@@ -1,0 +1,1 @@
+lib/place/detail.mli: Dpp_netlist Legal

@@ -1,0 +1,1 @@
+lib/place/flip.ml: Array Dpp_geom Dpp_netlist Dpp_wirelen

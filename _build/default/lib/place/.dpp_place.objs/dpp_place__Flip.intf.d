@@ -1,0 +1,1 @@
+lib/place/flip.mli: Dpp_netlist

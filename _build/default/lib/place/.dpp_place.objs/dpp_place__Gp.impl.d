@@ -1,0 +1,1 @@
+lib/place/gp.ml: Array Dpp_density Dpp_geom Dpp_netlist Dpp_numeric Dpp_structure Dpp_wirelen List

@@ -1,0 +1,1 @@
+lib/place/gp.mli: Dpp_geom Dpp_netlist Dpp_structure Dpp_wirelen

@@ -1,0 +1,1 @@
+lib/place/legal.ml: Array Dpp_geom Dpp_netlist List Logs

@@ -1,0 +1,1 @@
+lib/place/legal.mli: Dpp_geom Dpp_netlist

@@ -1,0 +1,1 @@
+lib/place/legality.ml: Array Dpp_geom Dpp_netlist Float Format Hashtbl List Option

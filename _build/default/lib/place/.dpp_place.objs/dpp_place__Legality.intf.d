@@ -1,0 +1,1 @@
+lib/place/legality.mli: Dpp_netlist Format

@@ -1,0 +1,1 @@
+lib/place/qp.ml: Array Dpp_geom Dpp_netlist Dpp_numeric Dpp_util

@@ -1,0 +1,1 @@
+lib/place/qp.mli: Dpp_netlist

@@ -1,0 +1,285 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Hypergraph = Dpp_netlist.Hypergraph
+
+type stats = { passes : int; reorder_gain : float; swap_gain : float; moves : int }
+
+(* HPWL over the union of nets touching the given cells. *)
+let local_hpwl pins h ~cx ~cy cells =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Hypergraph.iter_nets_of_cell h c (fun n -> Hashtbl.replace seen n ()))
+    cells;
+  Hashtbl.fold (fun n () acc -> acc +. Hpwl.net pins ~cx ~cy n) seen 0.0
+
+let permutations3 = [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] ]
+
+let reorder_pass (d : Design.t) pins h skip (legal : Legal.t) =
+  let cx = legal.Legal.cx and cy = legal.Legal.cy in
+  let gain = ref 0.0 and moves = ref 0 in
+  (* rows -> cells sorted by x *)
+  let per_row = Array.make d.Design.num_rows [] in
+  for i = Design.num_cells d - 1 downto 0 do
+    let r = legal.Legal.assignment.(i) in
+    if r >= 0 && not (skip i) then per_row.(r) <- i :: per_row.(r)
+  done;
+  Array.iter
+    (fun cells ->
+      let cells =
+        List.sort (fun a b -> Float.compare cx.(a) cx.(b)) cells |> Array.of_list
+      in
+      let n = Array.length cells in
+      let idx = ref 0 in
+      while !idx + 2 < n do
+        let w3 = [| cells.(!idx); cells.(!idx + 1); cells.(!idx + 2) |] in
+        (* contiguity check: reordering across a gap/obstacle would move
+           cells into occupied space.  Span bounds are computed fresh from
+           the live coordinates (an earlier accepted window may have
+           permuted cells, so the sorted-array order can be stale). *)
+        let widths = Array.map (fun i -> (Design.cell d i).Types.c_width) w3 in
+        let left =
+          Array.fold_left min infinity
+            (Array.mapi (fun k i -> cx.(i) -. (widths.(k) /. 2.0)) w3)
+        in
+        let total = widths.(0) +. widths.(1) +. widths.(2) in
+        let right =
+          Array.fold_left max neg_infinity
+            (Array.mapi (fun k i -> cx.(i) +. (widths.(k) /. 2.0)) w3)
+        in
+        if right -. left <= total +. 1e-6 then begin
+          let saved = Array.map (fun i -> cx.(i)) w3 in
+          let before = local_hpwl pins h ~cx ~cy (Array.to_list w3) in
+          let best = ref (before, None) in
+          List.iter
+            (fun perm ->
+              (* repack in permuted order from the left edge *)
+              let cursor = ref left in
+              List.iter
+                (fun k ->
+                  let i = w3.(k) in
+                  let w = widths.(k) in
+                  cx.(i) <- !cursor +. (w /. 2.0);
+                  cursor := !cursor +. w)
+                perm;
+              let after = local_hpwl pins h ~cx ~cy (Array.to_list w3) in
+              (match !best with
+              | b, _ when after < b -. 1e-9 -> best := after, Some (Array.map (fun i -> cx.(i)) w3)
+              | _ -> ());
+              (* restore *)
+              Array.iteri (fun k i -> cx.(i) <- saved.(k)) w3)
+            permutations3;
+          match !best with
+          | after, Some positions ->
+            Array.iteri (fun k i -> cx.(i) <- positions.(k)) w3;
+            gain := !gain +. (before -. after);
+            incr moves;
+            (* skip past the permuted cells: the sorted order within the
+               window is now stale *)
+            idx := !idx + 2
+          | _, None -> ()
+        end;
+        incr idx
+      done)
+    per_row;
+  !gain, !moves
+
+let swap_pass (d : Design.t) pins h skip (legal : Legal.t) =
+  let cx = legal.Legal.cx and cy = legal.Legal.cy in
+  let gain = ref 0.0 and moves = ref 0 in
+  (* bucket by width, then by x order: candidates are the nearest few in
+     the same bucket *)
+  let buckets = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      if legal.Legal.assignment.(i) >= 0 && not (skip i) then begin
+        let w = (Design.cell d i).Types.c_width in
+        let key = int_of_float (Float.round (w *. 16.0)) in
+        Hashtbl.replace buckets key (i :: Option.value ~default:[] (Hashtbl.find_opt buckets key))
+      end)
+    (Design.movable_ids d);
+  Hashtbl.iter
+    (fun _ cells ->
+      let arr = Array.of_list cells in
+      Array.sort (fun a b -> Float.compare cx.(a) cx.(b)) arr;
+      let n = Array.length arr in
+      for k = 0 to n - 2 do
+        (* try swapping with the next few cells in x order that sit on a
+           different row *)
+        let i = arr.(k) in
+        let j_end = min (n - 1) (k + 4) in
+        for kj = k + 1 to j_end do
+          let j = arr.(kj) in
+          if legal.Legal.assignment.(i) <> legal.Legal.assignment.(j) then begin
+            let before = local_hpwl pins h ~cx ~cy [ i; j ] in
+            let xi = cx.(i) and yi = cy.(i) and xj = cx.(j) and yj = cy.(j) in
+            cx.(i) <- xj;
+            cy.(i) <- yj;
+            cx.(j) <- xi;
+            cy.(j) <- yi;
+            let after = local_hpwl pins h ~cx ~cy [ i; j ] in
+            if after < before -. 1e-9 then begin
+              let ri = legal.Legal.assignment.(i) in
+              legal.Legal.assignment.(i) <- legal.Legal.assignment.(j);
+              legal.Legal.assignment.(j) <- ri;
+              gain := !gain +. (before -. after);
+              incr moves
+            end
+            else begin
+              cx.(i) <- xi;
+              cy.(i) <- yi;
+              cx.(j) <- xj;
+              cy.(j) <- yj
+            end
+          end
+        done
+      done)
+    buckets;
+  !gain, !moves
+
+
+(* FastDP-style global move: each cell has an "optimal region" -- the
+   median interval of its incident nets' bounding boxes computed without
+   the cell itself.  A cell outside its region is moved into a free gap
+   near the region if that lowers the HPWL of its nets. *)
+let move_pass (d : Design.t) pins h skip (legal : Legal.t) =
+  let cx = legal.Legal.cx and cy = legal.Legal.cy in
+  let gain = ref 0.0 and moves = ref 0 in
+  (* occupancy: per row, sorted (xl, xh, cell) of placed movables; fixed
+     cells and snapped groups appear as pseudo-entries so gaps are real *)
+  let rows = Array.make d.Design.num_rows [] in
+  for i = Design.num_cells d - 1 downto 0 do
+    let c = Design.cell d i in
+    match c.Types.c_kind with
+    | Types.Movable ->
+      let r0 = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0) +. 1e-9) in
+      let r1 = Design.row_of_y d (cy.(i) +. (c.Types.c_height /. 2.0) -. 1e-9) in
+      for r = max 0 r0 to min (d.Design.num_rows - 1) r1 do
+        rows.(r) <-
+          (cx.(i) -. (c.Types.c_width /. 2.0), cx.(i) +. (c.Types.c_width /. 2.0), i)
+          :: rows.(r)
+      done
+    | Types.Fixed ->
+      let rect = Design.cell_rect d i in
+      let r0 = Design.row_of_y d (rect.Dpp_geom.Rect.yl +. 1e-9) in
+      let r1 = Design.row_of_y d (rect.Dpp_geom.Rect.yh -. 1e-9) in
+      for r = r0 to r1 do
+        rows.(r) <- (rect.Dpp_geom.Rect.xl, rect.Dpp_geom.Rect.xh, -1) :: rows.(r)
+      done
+    | Types.Pad -> ()
+  done;
+  Array.iteri (fun r l -> rows.(r) <- List.sort compare l) rows;
+  let die = d.Design.die in
+  (* median interval of incident-net spans along one axis, cell excluded *)
+  let optimal_region i axis_pos =
+    let los = ref [] and his = ref [] in
+    Hypergraph.iter_nets_of_cell h i (fun n ->
+        let lo = ref infinity and hi = ref neg_infinity in
+        Hypergraph.iter_cells_of_net h n (fun c ->
+            if c <> i then begin
+              let v = axis_pos c in
+              if v < !lo then lo := v;
+              if v > !hi then hi := v
+            end);
+        if !lo <= !hi then begin
+          los := !lo :: !los;
+          his := !hi :: !his
+        end);
+    match !los with
+    | [] -> None
+    | _ ->
+      let med l =
+        let a = Array.of_list l in
+        Array.sort Float.compare a;
+        a.(Array.length a / 2)
+      in
+      let lo = med !los and hi = med !his in
+      Some (min lo hi, max lo hi)
+  in
+  let site = d.Design.site_width in
+  let align_up v = die.Dpp_geom.Rect.xl +. (ceil (((v -. die.Dpp_geom.Rect.xl) /. site) -. 1e-9) *. site) in
+  let try_cell i =
+    if (not (skip i)) && legal.Legal.assignment.(i) >= 0 then begin
+      let c = Design.cell d i in
+      let w = c.Types.c_width in
+      match optimal_region i (fun c -> cx.(c)), optimal_region i (fun c -> cy.(c)) with
+      | Some (xlo, xhi), Some (ylo, yhi) ->
+        let tx = min (max cx.(i) xlo) xhi and ty = min (max cy.(i) ylo) yhi in
+        let already_there = abs_float (tx -. cx.(i)) < 1.0 && abs_float (ty -. cy.(i)) < d.Design.row_height in
+        if not already_there then begin
+          let target_row = Design.row_of_y d (ty -. (c.Types.c_height /. 2.0)) in
+          (* search free gaps in rows near the target *)
+          let best = ref None in
+          for dr = -1 to 1 do
+            let r = target_row + dr in
+            if r >= 0 && r < d.Design.num_rows then begin
+              let row_cy = Design.row_y d r +. (d.Design.row_height /. 2.0) in
+              (* walk the sorted occupancy of row r for gaps >= w *)
+              let cursor = ref die.Dpp_geom.Rect.xl in
+              let consider_gap lo hi =
+                if hi -. lo >= w then begin
+                  let xl = align_up (min (max (tx -. (w /. 2.0)) lo) (hi -. w)) in
+                  if xl >= lo -. 1e-9 && xl +. w <= hi +. 1e-9 then begin
+                    let cand_cx = xl +. (w /. 2.0) in
+                    let cost = abs_float (cand_cx -. tx) +. abs_float (row_cy -. ty) in
+                    match !best with
+                    | Some (bc, _, _) when bc <= cost -> ()
+                    | Some _ | None -> best := Some (cost, r, cand_cx)
+                  end
+                end
+              in
+              List.iter
+                (fun (lo, hi, _) ->
+                  if lo > !cursor then consider_gap !cursor lo;
+                  cursor := max !cursor hi)
+                rows.(r);
+              if die.Dpp_geom.Rect.xh > !cursor then consider_gap !cursor die.Dpp_geom.Rect.xh
+            end
+          done;
+          match !best with
+          | Some (_, r, cand_cx) ->
+            let before = local_hpwl pins h ~cx ~cy [ i ] in
+            let ox = cx.(i) and oy = cy.(i) and orow = legal.Legal.assignment.(i) in
+            cx.(i) <- cand_cx;
+            cy.(i) <- Design.row_y d r +. (d.Design.row_height /. 2.0);
+            let after = local_hpwl pins h ~cx ~cy [ i ] in
+            if after < before -. 1e-9 then begin
+              legal.Legal.assignment.(i) <- r;
+              gain := !gain +. (before -. after);
+              incr moves;
+              (* update occupancy: remove from the old row, insert into the
+                 new one *)
+              rows.(orow) <- List.filter (fun (_, _, c) -> c <> i) rows.(orow);
+              rows.(r) <-
+                List.sort compare ((cand_cx -. (w /. 2.0), cand_cx +. (w /. 2.0), i) :: rows.(r))
+            end
+            else begin
+              cx.(i) <- ox;
+              cy.(i) <- oy
+            end
+          | None -> ()
+        end
+      | _, _ -> ()
+    end
+  in
+  Array.iter try_cell (Design.movable_ids d);
+  !gain, !moves
+
+let run (d : Design.t) ?(max_passes = 3) ?(skip = fun _ -> false) ~legal () =
+  let pins = Pins.build d in
+  let h = Hypergraph.build d in
+  let reorder_gain = ref 0.0 and swap_gain = ref 0.0 and moves = ref 0 in
+  let pass = ref 0 in
+  let improved = ref true in
+  while !improved && !pass < max_passes do
+    incr pass;
+    let g1, m1 = reorder_pass d pins h skip legal in
+    let g2, m2 = swap_pass d pins h skip legal in
+    let g3, m3 = move_pass d pins h skip legal in
+    reorder_gain := !reorder_gain +. g1;
+    swap_gain := !swap_gain +. g2 +. g3;
+    moves := !moves + m1 + m2 + m3;
+    improved := g1 +. g2 +. g3 > 1e-6
+  done;
+  { passes = !pass; reorder_gain = !reorder_gain; swap_gain = !swap_gain; moves = !moves }

@@ -1,0 +1,29 @@
+(** Detailed placement: HPWL-greedy local refinement on a legal placement.
+
+    Two move types, alternated for a bounded number of passes:
+
+    - {b window reorder}: every window of three consecutive cells in a row
+      is tried in all six orders (repacked at the window's left edge, which
+      preserves legality because the total width is invariant);
+    - {b global swap}: cells of equal width exchange positions across rows
+      when that lowers the HPWL of their incident nets.
+
+    Cells matched by [skip] (snapped datapath group members in the
+    structure-aware flow) are never moved. *)
+
+type stats = {
+  passes : int;
+  reorder_gain : float;  (** HPWL improvement from window reorders *)
+  swap_gain : float;
+  moves : int;
+}
+
+val run :
+  Dpp_netlist.Design.t ->
+  ?max_passes:int ->
+  ?skip:(int -> bool) ->
+  legal:Legal.t ->
+  unit ->
+  stats
+(** Mutates [legal.cx]/[legal.cy] in place.  Default [max_passes] is 3;
+    a pass that improves nothing stops the loop early. *)

@@ -1,0 +1,15 @@
+(** Cell orientation optimization: mirror a standard cell about its
+    vertical axis ([N] <-> [FN]) when that shortens the HPWL of its
+    incident nets.  Flipping keeps the cell's footprint and center, so it
+    can never break legality, and it preserves datapath-array geometry —
+    every cell is a candidate, group members included.
+
+    A cheap, classical post-pass: typical gains are a fraction of a
+    percent of HPWL, concentrated on asymmetric-pin cells. *)
+
+type stats = { flips : int; gain : float }
+
+val run : Dpp_netlist.Design.t -> cx:float array -> cy:float array -> stats
+(** Greedy single pass over all movable cells at the given placement;
+    mutates [design.orient] for accepted flips.  Multi-row macros (RAMs)
+    are skipped — their pin symmetry assumptions do not hold. *)

@@ -1,0 +1,325 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Rect = Dpp_geom.Rect
+module Pins = Dpp_wirelen.Pins
+module Model = Dpp_wirelen.Model
+module Hpwl = Dpp_wirelen.Hpwl
+module Grid = Dpp_density.Grid
+module Bell = Dpp_density.Bell
+module Overflow = Dpp_density.Overflow
+module Nlcg = Dpp_numeric.Nlcg
+module Dgroup = Dpp_structure.Dgroup
+module Alignment = Dpp_structure.Alignment
+
+type config = {
+  model : Model.kind;
+  target_density : float;
+  gamma_frac : float;
+  gamma_shrink : float;
+  lambda_mult : float;
+  rounds : int;
+  inner_iters : int;
+  overflow_target : float;
+  grid : (int * int) option;
+  beta : float;
+  groups : Dgroup.t list;  (** soft groups: alignment penalty *)
+  rigid_groups : Dgroup.t list;  (** rigid groups: one macro variable each *)
+}
+
+let default_config =
+  {
+    model = Model.Lse;
+    target_density = 0.9;
+    gamma_frac = 0.5;
+    gamma_shrink = 0.8;
+    lambda_mult = 2.0;
+    rounds = 30;
+    inner_iters = 60;
+    overflow_target = 0.08;
+    grid = None;
+    beta = 0.0;
+    groups = [];
+    rigid_groups = [];
+  }
+
+type round_info = {
+  round : int;
+  hpwl : float;
+  overflow : float;
+  gamma : float;
+  lambda : float;
+  objective : float;
+  align_error : float;
+}
+
+type result = {
+  cx : float array;
+  cy : float array;
+  trace : round_info list;
+  final_overflow : float;
+  final_hpwl : float;
+}
+
+let grad_l1 g = Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 g
+
+let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design.t) cfg ~cx ~cy =
+  let nc = Design.num_cells d in
+  (* rigid-group membership *)
+  let rigid = Array.of_list cfg.rigid_groups in
+  let ng = Array.length rigid in
+  let member_of = Array.make nc (-1) in
+  Array.iteri
+    (fun j (dg : Dgroup.t) -> Array.iter (fun c -> member_of.(c) <- j) dg.Dgroup.cells)
+    rigid;
+  (* free movables: not frozen, not in a rigid group *)
+  let movable_free =
+    Array.of_list
+      (List.filter
+         (fun i -> (not (frozen i)) && member_of.(i) < 0)
+         (Array.to_list (Design.movable_ids d)))
+  in
+  let m = Array.length movable_free in
+  let nvar = m + ng in
+  let pins = Pins.build d in
+  let nx, ny = match cfg.grid with Some (nx, ny) -> nx, ny | None -> Grid.default_dims d in
+  let grid = Grid.build ~extra_obstacles d ~nx ~ny in
+  (* An unreachable density target makes lambda escalate until wirelength
+     is destroyed: clamp the target to the actual utilization plus slack.
+     Rigid-group members still spread (they move with their macro), so
+     they count toward the load. *)
+  let total_cap = Grid.total_capacity grid in
+  let load_area =
+    Array.fold_left
+      (fun acc i ->
+        if frozen i then acc
+        else begin
+          let c = Design.cell d i in
+          acc +. (c.Types.c_width *. c.Types.c_height)
+        end)
+      0.0 (Design.movable_ids d)
+  in
+  let util_eff = if total_cap > 0.0 then load_area /. total_cap else 1.0 in
+  let target_density = min 1.0 (max cfg.target_density (util_eff +. 0.05)) in
+  let bell = Bell.create ~frozen d ~grid ~target_density in
+  (* working copies of the full center arrays; fixed/frozen entries never
+     change *)
+  let wx = Array.copy cx and wy = Array.copy cy in
+  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+  let gxd = Array.make nc 0.0 and gyd = Array.make nc 0.0 in
+  let gxa = Array.make nc 0.0 and gya = Array.make nc 0.0 in
+  (* variable packing: [x of free cells, x of group origins,
+                        y of free cells, y of group origins] *)
+  let scatter v =
+    for k = 0 to m - 1 do
+      wx.(movable_free.(k)) <- v.(k);
+      wy.(movable_free.(k)) <- v.(nvar + k)
+    done;
+    for j = 0 to ng - 1 do
+      let dg = rigid.(j) in
+      let ox = v.(m + j) and oy = v.(nvar + m + j) in
+      Array.iteri
+        (fun i c ->
+          wx.(c) <- ox +. dg.Dgroup.off_x.(i);
+          wy.(c) <- oy +. dg.Dgroup.off_y.(i))
+        dg.Dgroup.cells
+    done
+  in
+  let die = d.Design.die in
+  let half_w = Array.map (fun i -> (Design.cell d i).Types.c_width /. 2.0) movable_free in
+  let half_h = Array.map (fun i -> (Design.cell d i).Types.c_height /. 2.0) movable_free in
+  let project v =
+    for k = 0 to m - 1 do
+      let hw = half_w.(k) and hh = half_h.(k) in
+      let lo_x = die.Rect.xl +. hw and hi_x = die.Rect.xh -. hw in
+      let lo_y = die.Rect.yl +. hh and hi_y = die.Rect.yh -. hh in
+      if v.(k) < lo_x then v.(k) <- lo_x else if v.(k) > hi_x then v.(k) <- hi_x;
+      if v.(nvar + k) < lo_y then v.(nvar + k) <- lo_y
+      else if v.(nvar + k) > hi_y then v.(nvar + k) <- hi_y
+    done;
+    for j = 0 to ng - 1 do
+      let dg = rigid.(j) in
+      let hi_x = max die.Rect.xl (die.Rect.xh -. dg.Dgroup.width) in
+      let hi_y = max die.Rect.yl (die.Rect.yh -. dg.Dgroup.height) in
+      if v.(m + j) < die.Rect.xl then v.(m + j) <- die.Rect.xl
+      else if v.(m + j) > hi_x then v.(m + j) <- hi_x;
+      if v.(nvar + m + j) < die.Rect.yl then v.(nvar + m + j) <- die.Rect.yl
+      else if v.(nvar + m + j) > hi_y then v.(nvar + m + j) <- hi_y
+    done
+  in
+  let gamma0 = cfg.gamma_frac *. max grid.Grid.bin_w grid.Grid.bin_h in
+  let gamma = ref gamma0 in
+  let lambda = ref 0.0 in
+  let beta = ref 0.0 in
+  let soft = cfg.groups in
+  let eval v =
+    scatter v;
+    let w = Model.value cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy in
+    let dv = if !lambda > 0.0 then Bell.value bell ~cx:wx ~cy:wy else 0.0 in
+    let av = if !beta > 0.0 && soft <> [] then Alignment.value soft ~cx:wx ~cy:wy else 0.0 in
+    w +. (!lambda *. dv) +. (!beta *. av)
+  in
+  let gather g =
+    for k = 0 to m - 1 do
+      let i = movable_free.(k) in
+      g.(k) <- gx.(i) +. (!lambda *. gxd.(i)) +. (!beta *. gxa.(i));
+      g.(nvar + k) <- gy.(i) +. (!lambda *. gyd.(i)) +. (!beta *. gya.(i))
+    done;
+    for j = 0 to ng - 1 do
+      let sx = ref 0.0 and sy = ref 0.0 in
+      Array.iter
+        (fun c ->
+          sx := !sx +. gx.(c) +. (!lambda *. gxd.(c)) +. (!beta *. gxa.(c));
+          sy := !sy +. gy.(c) +. (!lambda *. gyd.(c)) +. (!beta *. gya.(c)))
+        rigid.(j).Dgroup.cells;
+      g.(m + j) <- !sx;
+      g.(nvar + m + j) <- !sy
+    done
+  in
+  let fill_gradients () =
+    Array.fill gx 0 nc 0.0;
+    Array.fill gy 0 nc 0.0;
+    ignore (Model.value_grad cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+    Array.fill gxd 0 nc 0.0;
+    Array.fill gyd 0 nc 0.0;
+    if !lambda > 0.0 then ignore (Bell.value_grad bell ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
+    Array.fill gxa 0 nc 0.0;
+    Array.fill gya 0 nc 0.0;
+    if !beta > 0.0 && soft <> [] then
+      ignore (Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya)
+  in
+  let grad v g =
+    scatter v;
+    fill_gradients ();
+    gather g
+  in
+  (* initial variable vector *)
+  let v0 = Array.make (2 * nvar) 0.0 in
+  for k = 0 to m - 1 do
+    v0.(k) <- cx.(movable_free.(k));
+    v0.(nvar + k) <- cy.(movable_free.(k))
+  done;
+  for j = 0 to ng - 1 do
+    let ox, oy = Dgroup.origin_of_positions rigid.(j) ~cx ~cy in
+    v0.(m + j) <- ox;
+    v0.(nvar + m + j) <- oy
+  done;
+  project v0;
+  scatter v0;
+  (* lambda / beta normalisation at the start point *)
+  Array.fill gx 0 nc 0.0;
+  Array.fill gy 0 nc 0.0;
+  ignore (Model.value_grad cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+  let wl_grad_norm = grad_l1 gx +. grad_l1 gy in
+  Array.fill gxd 0 nc 0.0;
+  Array.fill gyd 0 nc 0.0;
+  ignore (Bell.value_grad bell ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
+  let dens_grad_norm = grad_l1 gxd +. grad_l1 gyd in
+  lambda := if dens_grad_norm > 0.0 then wl_grad_norm /. dens_grad_norm else 1.0;
+  if cfg.beta > 0.0 && soft <> [] then begin
+    Array.fill gxa 0 nc 0.0;
+    Array.fill gya 0 nc 0.0;
+    ignore (Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya);
+    let a_norm = grad_l1 gxa +. grad_l1 gya in
+    beta := if a_norm > 0.0 then cfg.beta *. wl_grad_norm /. a_norm else 0.0
+  end;
+  let problem = { Nlcg.n = 2 * nvar; eval; grad } in
+  let v = ref v0 in
+  let trace = ref [] in
+  let stop = ref false in
+  let round = ref 0 in
+  let final_overflow = ref infinity in
+  (* Best-seen tracking with a scalarized score: the legalizer can absorb
+     residual overflow at a wirelength cost roughly proportional to it, so
+     solutions compete on [hpwl * (1 + k * excess_overflow)] rather than on
+     a hard feasible/infeasible split (which lets lambda escalation
+     over-spread designs that reach the target late).  The loop also stops
+     once overflow stagnates, instead of letting lambda erase the
+     wirelength term entirely. *)
+  let best_x = Array.copy wx and best_y = Array.copy wy in
+  let best_score = ref infinity and best_ovf = ref infinity in
+  let score ~overflow ~hpwl =
+    hpwl *. (1.0 +. (3.0 *. max 0.0 (overflow -. cfg.overflow_target)))
+  in
+  let stagnant = ref 0 in
+  let consider ~overflow ~hpwl =
+    let sc = score ~overflow ~hpwl in
+    if sc < !best_score then begin
+      Array.blit wx 0 best_x 0 (Array.length wx);
+      Array.blit wy 0 best_y 0 (Array.length wy);
+      best_score := sc;
+      best_ovf := overflow
+    end;
+    if overflow > cfg.overflow_target && overflow > 0.98 *. !final_overflow then incr stagnant
+    else stagnant := 0
+  in
+  while (not !stop) && !round < cfg.rounds do
+    incr round;
+    let options =
+      {
+        Nlcg.default_options with
+        Nlcg.max_iter = cfg.inner_iters;
+        grad_tol = 1e-9;
+        f_tol = 1e-7;
+        initial_step = max grid.Grid.bin_w grid.Grid.bin_h;
+        project = Some project;
+      }
+    in
+    let r = Nlcg.minimize ~options problem !v in
+    v := r.Nlcg.x;
+    scatter !v;
+    (* Overflow is measured on the free cells only: rigid arrays are ~100%
+       dense by construction, so counting them would eat most of the
+       overflow budget and stop the loop while the glue is still clumped.
+       Their current footprints become obstacles for the measurement. *)
+    let overflow =
+      if ng = 0 then Overflow.total_overflow ~frozen d grid ~target_density ~cx:wx ~cy:wy
+      else begin
+        let array_rects =
+          Array.to_list
+            (Array.mapi
+               (fun j (dg : Dgroup.t) ->
+                 let ox = !v.(m + j) and oy = !v.(nvar + m + j) in
+                 Rect.make ~xl:ox ~yl:oy ~xh:(ox +. dg.Dgroup.width)
+                   ~yh:(oy +. dg.Dgroup.height))
+               rigid)
+        in
+        let grid_eval = Grid.build ~extra_obstacles:(extra_obstacles @ array_rects) d ~nx ~ny in
+        let frozen_eval i = frozen i || member_of.(i) >= 0 in
+        Overflow.total_overflow ~frozen:frozen_eval d grid_eval ~target_density ~cx:wx ~cy:wy
+      end
+    in
+    let hpwl = Hpwl.total pins ~cx:wx ~cy:wy in
+    let align_error = if soft <> [] then Alignment.total_error soft ~cx:wx ~cy:wy else 0.0 in
+    let info =
+      {
+        round = !round;
+        hpwl;
+        overflow;
+        gamma = !gamma;
+        lambda = !lambda;
+        objective = r.Nlcg.f;
+        align_error;
+      }
+    in
+    trace := info :: !trace;
+    (match on_round with Some f -> f info | None -> ());
+    consider ~overflow ~hpwl;
+    final_overflow := overflow;
+    if overflow <= cfg.overflow_target || !stagnant >= 4 then stop := true
+    else begin
+      lambda := !lambda *. cfg.lambda_mult;
+      gamma := max (!gamma *. cfg.gamma_shrink) (0.02 *. gamma0);
+      (* the soft alignment force tightens along with the density force *)
+      if !beta > 0.0 then beta := !beta *. sqrt cfg.lambda_mult
+    end
+  done;
+  (* return the best solution seen, not necessarily the last iterate *)
+  Array.blit best_x 0 wx 0 (Array.length wx);
+  Array.blit best_y 0 wy 0 (Array.length wy);
+  {
+    cx = best_x;
+    cy = best_y;
+    trace = List.rev !trace;
+    final_overflow = (if !best_score = infinity then !final_overflow else !best_ovf);
+    final_hpwl = Hpwl.total pins ~cx:wx ~cy:wy;
+  }

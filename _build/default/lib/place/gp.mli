@@ -1,0 +1,68 @@
+(** Nonlinear analytical global placement (NTUplace3-style).
+
+    Minimises [W_model(x, y; gamma) + lambda * D(x, y) + beta * A(x, y)]
+    over movable-cell centers with nonlinear CG, where [W] is the smooth
+    wirelength ({!Dpp_wirelen.Lse} or {!Dpp_wirelen.Wa}), [D] the
+    bell-shaped density potential and [A] the datapath alignment potential
+    ([beta = 0] recovers the structure-oblivious baseline).
+
+    Outer loop: [lambda] starts at the gradient-norm ratio
+    [|grad W| / |grad D|] (so wirelength and spreading forces start
+    balanced), multiplies by [lambda_mult] each round while [gamma]
+    shrinks; stops when the exact bin overflow falls below
+    [overflow_target] or after [rounds].  [beta] is likewise normalised by
+    [|grad W| / |grad A|] at the start, so the configuration value is a
+    dimensionless knob (1.0 = alignment force comparable to wirelength
+    force; the F3 ablation sweeps it). *)
+
+type config = {
+  model : Dpp_wirelen.Model.kind;
+  target_density : float;
+  gamma_frac : float;  (** initial gamma = gamma_frac * bin extent; default 0.5 *)
+  gamma_shrink : float;  (** default 0.8 *)
+  lambda_mult : float;  (** default 2.0 *)
+  rounds : int;  (** default 30 *)
+  inner_iters : int;  (** NLCG iterations per round; default 60 *)
+  overflow_target : float;  (** default 0.08 *)
+  grid : (int * int) option;  (** density bins; default {!Dpp_density.Grid.default_dims} *)
+  beta : float;  (** soft-alignment knob; 0 disables *)
+  groups : Dpp_structure.Dgroup.t list;  (** soft groups (alignment penalty) *)
+  rigid_groups : Dpp_structure.Dgroup.t list;
+      (** rigid groups: each becomes a single macro variable — its members
+          sit at exact array offsets from one movable origin, wirelength
+          and density gradients summing onto that origin.  The primary
+          structure-aware mode; [groups]+[beta] is the soft ablation. *)
+}
+
+val default_config : config
+(** LSE model, target density 0.9, no alignment. *)
+
+type round_info = {
+  round : int;
+  hpwl : float;
+  overflow : float;
+  gamma : float;
+  lambda : float;
+  objective : float;
+  align_error : float;
+}
+
+type result = {
+  cx : float array;
+  cy : float array;
+  trace : round_info list;  (** chronological *)
+  final_overflow : float;
+  final_hpwl : float;
+}
+
+val run :
+  ?on_round:(round_info -> unit) ->
+  ?frozen:(int -> bool) ->
+  ?extra_obstacles:Dpp_geom.Rect.t list ->
+  Dpp_netlist.Design.t ->
+  config ->
+  cx:float array ->
+  cy:float array ->
+  result
+(** [cx]/[cy] provide the start (typically {!Qp.run} output); they are not
+    modified. *)

@@ -1,0 +1,154 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Rect = Dpp_geom.Rect
+
+type segment = { seg_lo : float; seg_hi : float; mutable cursor : float }
+
+type t = {
+  assignment : int array;
+  cx : float array;
+  cy : float array;
+  failed : int list;
+}
+
+let src = Logs.Src.create "dpp.legal" ~doc:"legalization"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Free segments of row [r]: the die span minus obstacle x-intervals. *)
+let row_segments (d : Design.t) obstacles r =
+  let die = d.Design.die in
+  let y_lo = Design.row_y d r and y_hi = Design.row_y d r +. d.Design.row_height in
+  let blocked =
+    List.filter_map
+      (fun (ob : Rect.t) ->
+        if ob.Rect.yl < y_hi -. 1e-9 && ob.Rect.yh > y_lo +. 1e-9 then
+          Some (max die.Rect.xl ob.Rect.xl, min die.Rect.xh ob.Rect.xh)
+        else None)
+      obstacles
+    |> List.sort compare
+  in
+  let segments = ref [] in
+  let cursor = ref die.Rect.xl in
+  List.iter
+    (fun (lo, hi) ->
+      if lo > !cursor then
+        segments := { seg_lo = !cursor; seg_hi = lo; cursor = !cursor } :: !segments;
+      cursor := max !cursor hi)
+    blocked;
+  if !cursor < die.Rect.xh then
+    segments := { seg_lo = !cursor; seg_hi = die.Rect.xh; cursor = !cursor } :: !segments;
+  List.rev !segments
+
+let row_segments_for_test d obstacles r =
+  List.map (fun s -> s.seg_lo, s.seg_hi) (row_segments d obstacles r)
+
+(* Greedy free-list legalization: rows hold mutable free-interval lists;
+   each cell (in ascending target-x order) takes the least-cost feasible
+   interval position, splitting the interval.  Unlike cursor-based Tetris
+   this never strands capacity behind a cursor, so it only fails when the
+   die is genuinely overfull.  The row scan expands outward from the
+   target row and stops once the vertical displacement alone exceeds the
+   best cost found (the usual pruning). *)
+let run (d : Design.t) ?(extra_obstacles = []) ?(skip = fun _ -> false) ~cx ~cy () =
+  let nc = Design.num_cells d in
+  let obstacles =
+    extra_obstacles
+    @ (Array.to_list (Design.fixed_ids d)
+      |> List.filter_map (fun i ->
+             match (Design.cell d i).Types.c_kind with
+             | Types.Fixed -> Rect.intersection (Design.cell_rect d i) d.Design.die
+             | Types.Pad | Types.Movable -> None))
+  in
+  (* free intervals per row, as (lo, hi) lists sorted by lo *)
+  let free =
+    Array.init d.Design.num_rows (fun r ->
+        ref (List.map (fun s -> s.seg_lo, s.seg_hi) (row_segments d obstacles r)))
+  in
+  let out_cx = Array.copy cx and out_cy = Array.copy cy in
+  let assignment = Array.make nc (-1) in
+  let todo =
+    Array.to_list (Design.movable_ids d)
+    |> List.filter (fun i -> not (skip i))
+    |> List.map (fun i ->
+           let w = (Design.cell d i).Types.c_width in
+           cx.(i) -. (w /. 2.0), i)
+    |> List.sort compare
+  in
+  let failed = ref [] in
+  let place_in_row r w target_xl =
+    (* best interval of row [r]: minimal |xl - target| with xl feasible *)
+    let best = ref None in
+    List.iter
+      (fun (lo, hi) ->
+        if hi -. lo >= w -. 1e-9 then begin
+          let xl = min (max target_xl lo) (hi -. w) in
+          let cost = abs_float (xl -. target_xl) in
+          match !best with
+          | Some (bc, _, _, _) when bc <= cost -> ()
+          | Some _ | None -> best := Some (cost, lo, hi, xl)
+        end)
+      !(free.(r));
+    !best
+  in
+  List.iter
+    (fun (target_xl, i) ->
+      let c = Design.cell d i in
+      let w = c.Types.c_width in
+      let target_row = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0)) in
+      let rh = d.Design.row_height in
+      let best = ref None in
+      let consider r =
+        match place_in_row r w target_xl with
+        | None -> ()
+        | Some (dx, lo, hi, xl) ->
+          let dy = abs_float (float_of_int (r - target_row)) *. rh in
+          let cost = (dx *. dx) +. (dy *. dy) in
+          (match !best with
+          | Some (bc, _, _, _, _, _) when bc <= cost -> ()
+          | Some _ | None -> best := Some (cost, r, lo, hi, xl, dy))
+      in
+      let dr = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let lo_row = target_row - !dr and hi_row = target_row + !dr in
+        let any_valid = ref false in
+        if lo_row >= 0 then begin
+          any_valid := true;
+          consider lo_row
+        end;
+        if !dr > 0 && hi_row < d.Design.num_rows then begin
+          any_valid := true;
+          consider hi_row
+        end;
+        (* prune: further rows cost at least (dr * rh)^2 *)
+        let vert = float_of_int !dr *. rh in
+        (match !best with
+        | Some (bc, _, _, _, _, _) when vert *. vert > bc -> continue := false
+        | Some _ | None -> ());
+        if not !any_valid then continue := false;
+        incr dr
+      done;
+      match !best with
+      | Some (_, r, lo, hi, xl, _) ->
+        (* split the interval *)
+        let rest =
+          List.concat_map
+            (fun (l, h) ->
+              if l = lo && h = hi then begin
+                let left = if xl -. l > 1e-9 then [ l, xl ] else [] in
+                let right = if h -. (xl +. w) > 1e-9 then [ xl +. w, h ] else [] in
+                left @ right
+              end
+              else [ l, h ])
+            !(free.(r))
+        in
+        free.(r) := rest;
+        assignment.(i) <- r;
+        out_cx.(i) <- xl +. (w /. 2.0);
+        out_cy.(i) <- Design.row_y d r +. (d.Design.row_height /. 2.0)
+      | None ->
+        Log.err (fun m -> m "no row fits cell %s (w=%.1f)" c.Types.c_name w);
+        failed := i :: !failed)
+    todo;
+  { assignment; cx = out_cx; cy = out_cy; failed = List.rev !failed }

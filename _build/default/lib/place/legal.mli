@@ -1,0 +1,30 @@
+(** Tetris legalization: row assignment with left-to-right packing around
+    fixed obstacles (and, in the structure-aware flow, around snapped
+    datapath groups).
+
+    Cells are processed in ascending target-x order; each is offered every
+    row's free segments and takes the least-displacement feasible slot
+    (squared Euclidean displacement of the cell center).  Site-grid
+    snapping is applied by {!Abacus} afterwards. *)
+
+type t = {
+  assignment : int array;  (** cell -> row index (-1 for skipped/fixed cells) *)
+  cx : float array;  (** legalized centers *)
+  cy : float array;
+  failed : int list;  (** cells that fit in no row (die overfull) *)
+}
+
+val run :
+  Dpp_netlist.Design.t ->
+  ?extra_obstacles:Dpp_geom.Rect.t list ->
+  ?skip:(int -> bool) ->
+  cx:float array ->
+  cy:float array ->
+  unit ->
+  t
+(** [skip] marks cells to leave untouched (snapped group members).  Input
+    arrays are not modified. *)
+
+val row_segments_for_test : Dpp_netlist.Design.t -> Dpp_geom.Rect.t list -> int -> (float * float) list
+(** The free x-spans of a row given obstacle rectangles — shared with
+    {!Abacus} and the tests. *)

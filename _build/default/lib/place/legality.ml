@@ -1,0 +1,94 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Rect = Dpp_geom.Rect
+
+type violation =
+  | Outside of int
+  | Off_row of int
+  | Off_site of int
+  | Overlap of int * int
+  | Overlaps_fixed of int * int
+
+let cell_rect_at (d : Design.t) i ~cx ~cy =
+  let c = Design.cell d i in
+  let w = c.Types.c_width and h = c.Types.c_height in
+  Rect.make
+    ~xl:(cx.(i) -. (w /. 2.0))
+    ~yl:(cy.(i) -. (h /. 2.0))
+    ~xh:(cx.(i) +. (w /. 2.0))
+    ~yh:(cy.(i) +. (h /. 2.0))
+
+let on_grid ~step ~origin ~tolerance v =
+  let q = (v -. origin) /. step in
+  abs_float (q -. Float.round q) <= tolerance /. step
+
+let check ?(tolerance = 1e-6) (d : Design.t) ~cx ~cy =
+  let movable = Design.movable_ids d in
+  let die = d.Design.die in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  Array.iter
+    (fun i ->
+      let r = cell_rect_at d i ~cx ~cy in
+      if not (Rect.contains_rect (Rect.expand die tolerance) r) then add (Outside i);
+      if not (on_grid ~step:d.Design.row_height ~origin:die.Rect.yl ~tolerance r.Rect.yl) then
+        add (Off_row i);
+      if not (on_grid ~step:d.Design.site_width ~origin:die.Rect.xl ~tolerance r.Rect.xl) then
+        add (Off_site i))
+    movable;
+  (* overlap sweep: cells join every row they span (multi-row macros span
+     several), then neighbours within a row are compared *)
+  let rows = Hashtbl.create 64 in
+  Array.iter
+    (fun i ->
+      let h = (Design.cell d i).Types.c_height in
+      let r0 = Design.row_of_y d (cy.(i) -. (h /. 2.0) +. 1e-9) in
+      let r1 = Design.row_of_y d (cy.(i) +. (h /. 2.0) -. 1e-9) in
+      for r = r0 to r1 do
+        Hashtbl.replace rows r (i :: Option.value ~default:[] (Hashtbl.find_opt rows r))
+      done)
+    movable;
+  Hashtbl.iter
+    (fun _ cells ->
+      let arr = Array.of_list cells in
+      Array.sort
+        (fun a b ->
+          Float.compare
+            (cx.(a) -. ((Design.cell d a).Types.c_width /. 2.0))
+            (cx.(b) -. ((Design.cell d b).Types.c_width /. 2.0)))
+        arr;
+      for k = 0 to Array.length arr - 2 do
+        let a = arr.(k) and b = arr.(k + 1) in
+        let ra = cell_rect_at d a ~cx ~cy and rb = cell_rect_at d b ~cx ~cy in
+        if ra.Rect.xh > rb.Rect.xl +. tolerance then
+          add (Overlap (min a b, max a b))
+      done)
+    rows;
+  (* fixed-cell overlaps *)
+  let fixed_rects =
+    Array.to_list (Design.fixed_ids d)
+    |> List.filter_map (fun i ->
+           match (Design.cell d i).Types.c_kind with
+           | Types.Fixed -> Some (i, Design.cell_rect d i)
+           | Types.Pad | Types.Movable -> None)
+  in
+  Array.iter
+    (fun i ->
+      let r = cell_rect_at d i ~cx ~cy in
+      List.iter
+        (fun (j, rf) ->
+          if Rect.overlap_area r rf > tolerance then add (Overlaps_fixed (i, j)))
+        fixed_rects)
+    movable;
+  List.rev !violations
+
+let is_legal d ~cx ~cy = check d ~cx ~cy = []
+
+let pp_violation (d : Design.t) ppf v =
+  let name i = (Design.cell d i).Types.c_name in
+  match v with
+  | Outside i -> Format.fprintf ppf "cell %s outside the die" (name i)
+  | Off_row i -> Format.fprintf ppf "cell %s not on a row boundary" (name i)
+  | Off_site i -> Format.fprintf ppf "cell %s off the site grid" (name i)
+  | Overlap (a, b) -> Format.fprintf ppf "cells %s and %s overlap" (name a) (name b)
+  | Overlaps_fixed (a, b) -> Format.fprintf ppf "cell %s overlaps fixed %s" (name a) (name b)

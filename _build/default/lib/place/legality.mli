@@ -1,0 +1,29 @@
+(** Placement legality audit: the invariant the legalizer must establish
+    and detailed placement must preserve.  Used by the test suite as an
+    oracle and available to users for debugging.
+
+    A placement is legal when every movable cell
+    - lies fully inside the die,
+    - sits exactly on a row (its bottom edge on a row boundary),
+    - is aligned to the site grid,
+    - overlaps no other movable cell and no fixed cell. *)
+
+type violation =
+  | Outside of int  (** cell id *)
+  | Off_row of int
+  | Off_site of int
+  | Overlap of int * int  (** cell ids, first < second *)
+  | Overlaps_fixed of int * int  (** movable, fixed *)
+
+val check :
+  ?tolerance:float ->
+  Dpp_netlist.Design.t ->
+  cx:float array ->
+  cy:float array ->
+  violation list
+(** [tolerance] (default 1e-6) absorbs floating-point dust.  Coordinates
+    are cell centers, as everywhere in the placer. *)
+
+val is_legal : Dpp_netlist.Design.t -> cx:float array -> cy:float array -> bool
+
+val pp_violation : Dpp_netlist.Design.t -> Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/report/series.ml: Array Dpp_util Float List Printf String Table

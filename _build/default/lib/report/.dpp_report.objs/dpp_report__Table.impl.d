@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Buffer Dpp_util List Option Printf String

@@ -1,0 +1,53 @@
+type t = {
+  fig_title : string;
+  x_label : string;
+  y_labels : string list;
+  points : (float * float list) list;
+}
+
+let make ~title ~x_label ~y_labels points =
+  let arity = List.length y_labels in
+  List.iter
+    (fun (_, ys) ->
+      if List.length ys <> arity then invalid_arg "Series.make: point arity mismatch")
+    points;
+  { fig_title = title; x_label; y_labels; points }
+
+let print ?(out = stdout) t =
+  let header = t.x_label :: t.y_labels in
+  let rows =
+    List.map
+      (fun (x, ys) -> Printf.sprintf "%.6g" x :: List.map (Printf.sprintf "%.6g") ys)
+      t.points
+  in
+  Table.print ~out ~title:t.fig_title ~header rows
+
+let to_csv t ~path =
+  let header = t.x_label :: t.y_labels in
+  let rows =
+    List.map
+      (fun (x, ys) ->
+        Dpp_util.Csvout.float_cell x :: List.map Dpp_util.Csvout.float_cell ys)
+      t.points
+  in
+  Dpp_util.Csvout.write path (header :: rows)
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let arr = Array.of_list values in
+    let lo = Array.fold_left min infinity arr in
+    let hi = Array.fold_left max neg_infinity arr in
+    let range = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let idx =
+             if range <= 0.0 then 4
+             else int_of_float (Float.round ((v -. lo) /. range *. 8.0))
+           in
+           blocks.(max 0 (min 8 idx)))
+         values)

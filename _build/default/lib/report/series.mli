@@ -1,0 +1,21 @@
+(** Figure data rendering: each figure in the evaluation is a set of named
+    series over a common x axis, printed as aligned columns (directly
+    plottable) plus an optional CSV dump for offline tooling. *)
+
+type t = {
+  fig_title : string;
+  x_label : string;
+  y_labels : string list;
+  points : (float * float list) list;  (** x, one y per series *)
+}
+
+val make : title:string -> x_label:string -> y_labels:string list -> (float * float list) list -> t
+(** @raise Invalid_argument if a point's arity disagrees with [y_labels]. *)
+
+val print : ?out:out_channel -> t -> unit
+
+val to_csv : t -> path:string -> unit
+
+val sparkline : float list -> string
+(** Unicode block-character mini-plot of one series (for quick log
+    inspection); empty list yields the empty string. *)

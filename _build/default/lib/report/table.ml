@@ -1,0 +1,71 @@
+let is_numeric s = s <> "" && Option.is_some (float_of_string_opt s)
+
+let pad width right s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    if right then fill ^ s else s ^ fill
+  end
+
+let render ~title ~header rows =
+  let ncols = List.length header in
+  let rows =
+    List.map
+      (fun r ->
+        let n = List.length r in
+        if n >= ncols then r else r @ List.init (ncols - n) (fun _ -> ""))
+      rows
+  in
+  let all = header :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let render_row row ~numeric_align =
+    let cells =
+      List.mapi
+        (fun c cell ->
+          let right = numeric_align && is_numeric cell in
+          pad (List.nth widths c) right cell)
+        row
+    in
+    Buffer.add_string buf (String.concat " | " cells);
+    Buffer.add_char buf '\n'
+  in
+  render_row header ~numeric_align:false;
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter (fun r -> render_row r ~numeric_align:true) rows;
+  Buffer.contents buf
+
+let print ?(out = stdout) ~title ~header rows =
+  output_string out (render ~title ~header rows);
+  flush out
+
+let geomean_row ~label ?(skip = 1) rows =
+  match rows with
+  | [] -> [ label ]
+  | first :: _ ->
+    let ncols = List.length first in
+    List.init ncols (fun c ->
+        if c = 0 then label
+        else if c < skip then ""
+        else begin
+          let values =
+            List.filter_map
+              (fun row ->
+                match float_of_string_opt (List.nth row c) with
+                | Some v when v > 0.0 -> Some v
+                | Some _ | None -> None)
+              rows
+          in
+          if List.length values <> List.length rows then "-"
+          else Printf.sprintf "%.4g" (Dpp_util.Statx.geomean (Array.of_list values))
+        end)

@@ -1,0 +1,16 @@
+(** ASCII table rendering for the benchmark harness — every table the
+    paper reports is printed through this module so the output is uniform
+    and machine-greppable. *)
+
+val print :
+  ?out:out_channel -> title:string -> header:string list -> string list list -> unit
+(** Column widths auto-size; cells that parse as numbers right-align.
+    Rows shorter than the header are padded with empty cells. *)
+
+val render : title:string -> header:string list -> string list list -> string
+(** The same output as a string (used by tests). *)
+
+val geomean_row : label:string -> ?skip:int -> string list list -> string list
+(** Geometric mean over the numeric columns of the given rows: the first
+    [skip] columns (default 1, the design-name column) get [label] and
+    empty padding; non-numeric or non-positive entries yield ["-"]. *)

@@ -1,0 +1,1 @@
+lib/steiner/mst.ml: Array List

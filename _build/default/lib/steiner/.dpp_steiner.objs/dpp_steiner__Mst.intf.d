@@ -1,0 +1,1 @@
+lib/steiner/mst.mli:

@@ -1,0 +1,1 @@
+lib/steiner/rsmt.ml: Array Dpp_netlist Dpp_wirelen Mst

@@ -1,0 +1,1 @@
+lib/steiner/rsmt.mli: Dpp_netlist Dpp_wirelen

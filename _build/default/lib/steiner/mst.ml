@@ -1,0 +1,43 @@
+let manhattan (x1, y1) (x2, y2) = abs_float (x1 -. x2) +. abs_float (y1 -. y2)
+
+(* Dense Prim keyed on nearest in-tree point. *)
+let build points =
+  let k = Array.length points in
+  if k < 2 then []
+  else begin
+    let in_tree = Array.make k false in
+    let dist = Array.make k infinity in
+    let parent = Array.make k (-1) in
+    in_tree.(0) <- true;
+    for j = 1 to k - 1 do
+      dist.(j) <- manhattan points.(0) points.(j);
+      parent.(j) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to k - 1 do
+      let best = ref (-1) in
+      for j = 0 to k - 1 do
+        if (not in_tree.(j)) && (!best < 0 || dist.(j) < dist.(!best)) then best := j
+      done;
+      let b = !best in
+      in_tree.(b) <- true;
+      edges := (parent.(b), b) :: !edges;
+      for j = 0 to k - 1 do
+        if not in_tree.(j) then begin
+          let d = manhattan points.(b) points.(j) in
+          if d < dist.(j) then begin
+            dist.(j) <- d;
+            parent.(j) <- b
+          end
+        end
+      done
+    done;
+    List.rev !edges
+  end
+
+let edges points = build points
+
+let length points =
+  List.fold_left
+    (fun acc (a, b) -> acc +. manhattan points.(a) points.(b))
+    0.0 (build points)

@@ -1,0 +1,11 @@
+(** Rectilinear minimum spanning tree (Prim, dense O(k^2)) over a net's pin
+    points.  The RMST is a guaranteed 1.5-approximation upper bound of the
+    rectilinear Steiner minimal tree, and nets in placement benchmarks are
+    small, so the dense variant is the right tool. *)
+
+val length : (float * float) array -> float
+(** Total Manhattan edge length of an RMST over the points; 0 for fewer
+    than two points. *)
+
+val edges : (float * float) array -> (int * int) list
+(** The tree edges as index pairs (parent, child); empty for < 2 points. *)

@@ -1,0 +1,81 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Pins = Dpp_wirelen.Pins
+
+let manhattan (x1, y1) (x2, y2) = abs_float (x1 -. x2) +. abs_float (y1 -. y2)
+
+let hpwl3 points =
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let fmax = Array.fold_left max neg_infinity and fmin = Array.fold_left min infinity in
+  fmax xs -. fmin xs +. fmax ys -. fmin ys
+
+let max_iterated_degree = 10
+
+(* Iterated 1-Steiner: repeatedly add the Hanan-grid point that shrinks the
+   MST the most.  Terminals stay; added Steiner points of degree <= 2 would
+   be redundant but the MST length is what we report, so we skip cleanup. *)
+let iterated_one_steiner points =
+  let base = Mst.length points in
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let current = ref (Array.to_list points) in
+  let best_len = ref base in
+  let k = Array.length points in
+  let max_added = max 1 (k - 2) in
+  let added = ref 0 in
+  let improved = ref true in
+  while !improved && !added < max_added do
+    improved := false;
+    let cur_arr = Array.of_list !current in
+    let best_gain = ref 1e-9 in
+    let best_point = ref None in
+    Array.iter
+      (fun hx ->
+        Array.iter
+          (fun hy ->
+            let cand = (hx, hy) in
+            if not (Array.exists (fun p -> p = cand) cur_arr) then begin
+              let len = Mst.length (Array.append cur_arr [| cand |]) in
+              let gain = !best_len -. len in
+              if gain > !best_gain then begin
+                best_gain := gain;
+                best_point := Some (cand, len)
+              end
+            end)
+          ys)
+      xs;
+    match !best_point with
+    | Some (p, len) ->
+      current := p :: !current;
+      best_len := len;
+      incr added;
+      improved := true
+    | None -> ()
+  done;
+  !best_len
+
+let length points =
+  match Array.length points with
+  | 0 | 1 -> 0.0
+  | 2 -> manhattan points.(0) points.(1)
+  | 3 -> hpwl3 points
+  | k when k <= max_iterated_degree -> iterated_one_steiner points
+  | _ -> Mst.length points
+
+let net_length t ~cx ~cy n =
+  let k = Pins.load_net t ~cx ~cy n in
+  let points = Array.init k (fun i -> t.Pins.scratch_x.(i), t.Pins.scratch_y.(i)) in
+  length points
+
+let total t ~cx ~cy =
+  let acc = ref 0.0 in
+  let d = t.Pins.design in
+  for n = 0 to Design.num_nets d - 1 do
+    let w = (Design.net d n).Types.n_weight in
+    acc := !acc +. (w *. net_length t ~cx ~cy n)
+  done;
+  !acc
+
+let total_of_design d =
+  let t = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  total t ~cx ~cy

@@ -1,0 +1,21 @@
+(** Rectilinear Steiner minimal tree heuristic used as the routed-wirelength
+    proxy in the evaluation tables.
+
+    - degree 2: exact (Manhattan distance);
+    - degree 3: exact (median-point star, a classical identity: the RSMT of
+      three terminals equals their half-perimeter);
+    - degree 4..10: iterated 1-Steiner over the Hanan grid (Kahng–Robins),
+      within ~1% of optimal at these degrees;
+    - degree > 10: falls back to the RMST (high-degree nets are control
+      nets whose exact Steiner length matters little, and this mirrors how
+      FLUTE-based flows break high-degree nets). *)
+
+val length : (float * float) array -> float
+
+val net_length : Dpp_wirelen.Pins.t -> cx:float array -> cy:float array -> int -> float
+(** Steiner length of one net at the given cell centers. *)
+
+val total : Dpp_wirelen.Pins.t -> cx:float array -> cy:float array -> float
+(** Net-weighted total over the design. *)
+
+val total_of_design : Dpp_netlist.Design.t -> float

@@ -1,0 +1,1 @@
+lib/structure/alignment.ml: Array Dgroup List

@@ -1,0 +1,1 @@
+lib/structure/alignment.mli: Dgroup

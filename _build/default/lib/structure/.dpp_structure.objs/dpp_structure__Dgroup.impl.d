@@ -1,0 +1,1 @@
+lib/structure/dgroup.ml: Array Dpp_geom Dpp_netlist Dpp_util Float Fun Hashtbl List Logs Option

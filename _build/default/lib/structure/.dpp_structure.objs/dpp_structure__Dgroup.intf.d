@@ -1,0 +1,1 @@
+lib/structure/dgroup.mli: Dpp_netlist

@@ -1,0 +1,1 @@
+lib/structure/shaping.ml: Array Dgroup Dpp_geom Dpp_netlist Dpp_wirelen Float Hashtbl List Logs

@@ -1,0 +1,1 @@
+lib/structure/shaping.mli: Dgroup Dpp_geom Dpp_netlist

@@ -1,0 +1,36 @@
+let group_value_grad (dg : Dgroup.t) ~cx ~cy ~gx ~gy ~want_grad =
+  let n = Array.length dg.Dgroup.cells in
+  let mx, my = Dgroup.origin_of_positions dg ~cx ~cy in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let c = dg.Dgroup.cells.(i) in
+    let ex = cx.(c) -. dg.Dgroup.off_x.(i) -. mx in
+    let ey = cy.(c) -. dg.Dgroup.off_y.(i) -. my in
+    acc := !acc +. (ex *. ex) +. (ey *. ey);
+    if want_grad then begin
+      gx.(c) <- gx.(c) +. (2.0 *. ex);
+      gy.(c) <- gy.(c) +. (2.0 *. ey)
+    end
+  done;
+  !acc
+
+let value dgs ~cx ~cy =
+  List.fold_left
+    (fun acc dg -> acc +. group_value_grad dg ~cx ~cy ~gx:[||] ~gy:[||] ~want_grad:false)
+    0.0 dgs
+
+let value_grad dgs ~cx ~cy ~gx ~gy =
+  List.fold_left
+    (fun acc dg -> acc +. group_value_grad dg ~cx ~cy ~gx ~gy ~want_grad:true)
+    0.0 dgs
+
+let total_error dgs ~cx ~cy =
+  let cells = List.fold_left (fun acc dg -> acc + Array.length dg.Dgroup.cells) 0 dgs in
+  if cells = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc dg ->
+        acc
+        +. (Dgroup.alignment_error dg ~cx ~cy *. float_of_int (Array.length dg.Dgroup.cells)))
+      0.0 dgs
+    /. float_of_int cells

@@ -1,0 +1,31 @@
+(** The alignment potential [A(x, y)] that makes global placement
+    structure-aware.
+
+    For each group with target offsets [o_i] and free origin [g],
+
+    [A = sum_i ||c_i - (g + o_i)||^2]
+
+    minimised over [g] in closed form (the optimal origin is the mean of
+    [c_i - o_i]), so [A] reduces to the within-group variance of the
+    origin estimates:
+
+    [A = sum_i ||d_i - mean(d)||^2] with [d_i = c_i - o_i].
+
+    The gradient w.r.t. cell [i]'s center is [2 (d_i - mean(d))] — linear,
+    translation-invariant, and zero exactly when the group forms a perfect
+    array.  The global placer adds [beta * A] to its objective. *)
+
+val value : Dgroup.t list -> cx:float array -> cy:float array -> float
+
+val value_grad :
+  Dgroup.t list ->
+  cx:float array ->
+  cy:float array ->
+  gx:float array ->
+  gy:float array ->
+  float
+(** Gradients accumulate into [gx]/[gy]. *)
+
+val total_error : Dgroup.t list -> cx:float array -> cy:float array -> float
+(** Cell-count-weighted mean of {!Dgroup.alignment_error} — the reported
+    alignment metric. *)

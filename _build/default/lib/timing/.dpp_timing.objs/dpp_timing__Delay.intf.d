@@ -1,0 +1,1 @@
+lib/timing/delay.mli:

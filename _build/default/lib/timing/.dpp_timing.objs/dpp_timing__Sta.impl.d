@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Delay Dpp_netlist Dpp_util Hashtbl List Logs Queue

@@ -1,0 +1,32 @@
+type t = { gate_delay : string -> float; wire_delay_per_unit : float }
+
+let table =
+  [
+    "INV", 1.0;
+    "BUF", 1.0;
+    "NAND2", 1.2;
+    "NOR2", 1.2;
+    "AND2", 1.5;
+    "OR2", 1.5;
+    "XOR2", 1.8;
+    "XNOR2", 1.8;
+    "AOI21", 1.8;
+    "OAI21", 1.8;
+    "MUX2", 2.0;
+    "HA", 2.5;
+    "FA", 3.0;
+    "DFF", 1.5;
+    "DFFR", 1.5;
+  ]
+
+let default =
+  {
+    gate_delay =
+      (fun master ->
+        match List.assoc_opt master table with Some d -> d | None -> 1.5);
+    wire_delay_per_unit = 0.05;
+  }
+
+let with_wire_delay w t = { t with wire_delay_per_unit = w }
+
+let is_sequential master = master = "DFF" || master = "DFFR"

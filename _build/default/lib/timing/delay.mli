@@ -1,0 +1,23 @@
+(** The delay model for the lite static timing analyzer: per-master gate
+    delays (loosely proportional to logical effort / stage count of the
+    synthetic library) plus a linear wire delay per Manhattan unit.
+
+    Absolute values are arbitrary time units — only relative comparisons
+    between placements of the same netlist are meaningful, which is all
+    the evaluation uses them for. *)
+
+type t = {
+  gate_delay : string -> float;  (** master name -> intrinsic delay *)
+  wire_delay_per_unit : float;  (** delay per Manhattan distance unit *)
+}
+
+val default : t
+(** Gate delays: INV/BUF 1.0; NAND/NOR 1.2; AND/OR 1.5; XOR/XNOR/AOI/OAI
+    1.8; MUX2 2.0; HA 2.5; FA 3.0; DFF/DFFR 1.5 (clock-to-q); unknown
+    masters 1.5.  Wire delay 0.05 per unit (about one gate delay per 25
+    sites, a plausible mid-2000s technology ratio). *)
+
+val with_wire_delay : float -> t -> t
+
+val is_sequential : string -> bool
+(** Masters treated as registers (timing start/end points): DFF, DFFR. *)

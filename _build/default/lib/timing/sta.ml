@@ -1,0 +1,260 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+type edge = { e_src : int; e_dst : int; e_net : int }
+
+type t = {
+  design : Design.t;
+  delay : Delay.t;
+  edges : edge array;  (** combinational-forward edges, back edges removed *)
+  out_edges : int list array;  (** cell -> edge indices *)
+  in_edges : int list array;
+  is_endpoint : bool array;  (** registers and pads *)
+  topo : int array;  (** cells in topological order of the DAG *)
+  gate : float array;  (** per-cell intrinsic delay *)
+  broken : int;
+}
+
+let src = Logs.Src.create "dpp.timing" ~doc:"static timing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Driver of a net: the first Output pin's cell; None when the net has no
+   output pin (e.g. pad-to-pad or degenerate nets). *)
+let driver_of_net (d : Design.t) (net : Types.net) =
+  let found = ref None in
+  Array.iter
+    (fun p ->
+      let pin = Design.pin d p in
+      if !found = None && pin.Types.p_dir = Types.Output then found := Some pin.Types.p_cell)
+    net.Types.n_pins;
+  !found
+
+let build ?(delay = Delay.default) (d : Design.t) =
+  let nc = Design.num_cells d in
+  let is_endpoint =
+    Array.init nc (fun i ->
+        let c = Design.cell d i in
+        Types.is_fixed_kind c.Types.c_kind || Delay.is_sequential c.Types.c_master)
+  in
+  let gate =
+    Array.init nc (fun i -> delay.Delay.gate_delay (Design.cell d i).Types.c_master)
+  in
+  (* raw edges *)
+  let raw = Dpp_util.Dyn.create () in
+  Array.iter
+    (fun (net : Types.net) ->
+      match driver_of_net d net with
+      | None -> ()
+      | Some drv ->
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (fun p ->
+            let pin = Design.pin d p in
+            let c = pin.Types.p_cell in
+            if pin.Types.p_dir <> Types.Output && c <> drv && not (Hashtbl.mem seen c) then begin
+              Hashtbl.add seen c ();
+              Dpp_util.Dyn.push raw { e_src = drv; e_dst = c; e_net = net.Types.n_id }
+            end)
+          net.Types.n_pins)
+    d.Design.nets;
+  let raw = Dpp_util.Dyn.to_array raw in
+  (* Break combinational cycles: DFS over the comb subgraph (edges whose
+     destination is not an endpoint propagate), dropping back edges. *)
+  let adj = Array.make nc [] in
+  Array.iteri
+    (fun k e -> if not is_endpoint.(e.e_dst) then adj.(e.e_src) <- (k, e.e_dst) :: adj.(e.e_src))
+    raw;
+  let color = Array.make nc 0 in
+  (* 0 white, 1 gray, 2 black *)
+  let keep = Array.make (Array.length raw) true in
+  let broken = ref 0 in
+  (* iterative DFS with an explicit stack of (node, remaining adjacency) *)
+  for start = 0 to nc - 1 do
+    if color.(start) = 0 then begin
+      let stack = ref [ (start, ref adj.(start)) ] in
+      color.(start) <- 1;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, rest) :: tl -> (
+          match !rest with
+          | [] ->
+            color.(u) <- 2;
+            stack := tl
+          | (ek, v) :: more ->
+            rest := more;
+            if color.(v) = 1 then begin
+              (* back edge: breaks a cycle *)
+              keep.(ek) <- false;
+              incr broken
+            end
+            else if color.(v) = 0 then begin
+              color.(v) <- 1;
+              stack := (v, ref adj.(v)) :: !stack
+            end)
+      done
+    end
+  done;
+  if !broken > 0 then
+    Log.warn (fun m -> m "broke %d combinational-loop edges" !broken);
+  let edges = Array.of_list (List.filteri (fun k _ -> keep.(k)) (Array.to_list raw)) in
+  let out_edges = Array.make nc [] and in_edges = Array.make nc [] in
+  Array.iteri
+    (fun k e ->
+      out_edges.(e.e_src) <- k :: out_edges.(e.e_src);
+      in_edges.(e.e_dst) <- k :: in_edges.(e.e_dst))
+    edges;
+  (* Kahn topological order over propagating edges (dst not endpoint) *)
+  let indeg = Array.make nc 0 in
+  Array.iter (fun e -> if not is_endpoint.(e.e_dst) then indeg.(e.e_dst) <- indeg.(e.e_dst) + 1) edges;
+  let queue = Queue.create () in
+  for i = 0 to nc - 1 do
+    if indeg.(i) = 0 then Queue.push i queue
+  done;
+  let topo = Dpp_util.Dyn.create () in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Dpp_util.Dyn.push topo u;
+    List.iter
+      (fun ek ->
+        let e = edges.(ek) in
+        if not is_endpoint.(e.e_dst) then begin
+          indeg.(e.e_dst) <- indeg.(e.e_dst) - 1;
+          if indeg.(e.e_dst) = 0 then Queue.push e.e_dst queue
+        end)
+      out_edges.(u)
+  done;
+  {
+    design = d;
+    delay;
+    edges;
+    out_edges;
+    in_edges;
+    is_endpoint;
+    topo = Dpp_util.Dyn.to_array topo;
+    gate;
+    broken = !broken;
+  }
+
+type report = {
+  critical_delay : float;
+  critical_path : int list;
+  endpoint_arrivals : (int * float) list;
+  broken_cycle_edges : int;
+  net_criticality : float array;
+}
+
+let analyze t ~cx ~cy =
+  let d = t.design in
+  let nc = Design.num_cells d in
+  let wire e =
+    t.delay.Delay.wire_delay_per_unit
+    *. (abs_float (cx.(e.e_src) -. cx.(e.e_dst)) +. abs_float (cy.(e.e_src) -. cy.(e.e_dst)))
+  in
+  (* launch time of a cell's output: endpoints launch at their own gate
+     delay (clock-to-q / pad delay), combinational cells at arrival +
+     gate *)
+  let arr = Array.make nc 0.0 in
+  let pred = Array.make nc (-1) in
+  let launch u = (if t.is_endpoint.(u) then 0.0 else arr.(u)) +. t.gate.(u) in
+  (* forward propagation in topo order *)
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun ek ->
+          let e = t.edges.(ek) in
+          let a = launch e.e_src +. wire e in
+          if a > arr.(e.e_dst) then begin
+            arr.(e.e_dst) <- a;
+            pred.(e.e_dst) <- e.e_src
+          end)
+        t.in_edges.(u))
+    t.topo;
+  (* endpoint arrivals (registers/pads with incoming edges) *)
+  let endpoint_arrivals = ref [] in
+  for i = 0 to nc - 1 do
+    if t.is_endpoint.(i) && t.in_edges.(i) <> [] then begin
+      (* endpoints are not in topo propagation above unless indeg 0; fold
+         their arrival here *)
+      List.iter
+        (fun ek ->
+          let e = t.edges.(ek) in
+          let a = launch e.e_src +. wire e in
+          if a > arr.(i) then begin
+            arr.(i) <- a;
+            pred.(i) <- e.e_src
+          end)
+        t.in_edges.(i);
+      endpoint_arrivals := (i, arr.(i)) :: !endpoint_arrivals
+    end
+  done;
+  let critical_delay, critical_end =
+    List.fold_left
+      (fun (best, cell) (i, a) -> if a > best then a, i else best, cell)
+      (0.0, -1) !endpoint_arrivals
+  in
+  let critical_path =
+    if critical_end < 0 then []
+    else begin
+      (* walk predecessors back to the launching endpoint; endpoints other
+         than the capture point terminate the walk (register feedback --
+         e.g. a DFF recirculation mux -- makes pred chains cyclic across
+         endpoints, so running through them would never stop) *)
+      let rec back c acc =
+        if c < 0 then acc
+        else if t.is_endpoint.(c) && acc <> [] then c :: acc
+        else back pred.(c) (c :: acc)
+      in
+      back critical_end []
+    end
+  in
+  (* backward pass: required launch times, then per-edge slack ->
+     per-net criticality *)
+  let req = Array.make nc infinity in
+  let nn = Design.num_nets d in
+  let net_criticality = Array.make nn 0.0 in
+  if critical_delay > 0.0 then begin
+    (* reverse topo: endpoints first *)
+    let visit u =
+      List.iter
+        (fun ek ->
+          let e = t.edges.(ek) in
+          let dst_req =
+            if t.is_endpoint.(e.e_dst) then critical_delay
+            else req.(e.e_dst) -. t.gate.(e.e_dst)
+          in
+          let bound = dst_req -. wire e in
+          if bound < req.(e.e_src) then req.(e.e_src) <- bound;
+          let slack = dst_req -. wire e -. launch e.e_src in
+          let crit = max 0.0 (min 1.0 (1.0 -. (slack /. critical_delay))) in
+          if crit > net_criticality.(e.e_net) then net_criticality.(e.e_net) <- crit)
+        t.out_edges.(u)
+    in
+    for k = Array.length t.topo - 1 downto 0 do
+      visit t.topo.(k)
+    done;
+    (* endpoints can also drive edges (register outputs) *)
+    for i = 0 to nc - 1 do
+      if t.is_endpoint.(i) then visit i
+    done
+  end;
+  {
+    critical_delay;
+    critical_path;
+    endpoint_arrivals = List.rev !endpoint_arrivals;
+    broken_cycle_edges = t.broken;
+    net_criticality;
+  }
+
+let criticality _t report n = report.net_criticality.(n)
+
+let weighted_design ?(alpha = 2.0) (d : Design.t) _t report =
+  let nets =
+    Array.map
+      (fun (net : Types.net) ->
+        let c = report.net_criticality.(net.Types.n_id) in
+        { net with Types.n_weight = net.Types.n_weight *. (1.0 +. (alpha *. c *. c)) })
+      d.Design.nets
+  in
+  { d with Design.nets; x = Array.copy d.Design.x; y = Array.copy d.Design.y }

@@ -1,0 +1,44 @@
+(** Lite static timing analysis over a placed design.
+
+    The timing graph has one node per cell; an edge runs from a net's
+    driver cell to each of its sink cells.  Registers (see
+    {!Delay.is_sequential}) and pads are timing {e endpoints}: arrivals do
+    not propagate through them — paths start at register outputs / input
+    pads (arrival = 0, the launching clock edge) and end at register
+    inputs / output pads.  Combinational cycles (possible in generated or
+    pathological netlists) are broken at DFS back edges with a warning
+    counter in the result.
+
+    Delays: per-master intrinsic gate delay plus a linear wire delay on
+    the driver->sink Manhattan distance at the given placement.  The
+    result of record is the {e critical path delay} — the quality metric
+    timing-driven placement papers report; net criticalities feed the
+    {!criticality} weighting hook. *)
+
+type t
+(** The levelized timing graph (placement-independent). *)
+
+val build : ?delay:Delay.t -> Dpp_netlist.Design.t -> t
+
+type report = {
+  critical_delay : float;  (** worst endpoint arrival *)
+  critical_path : int list;  (** cell ids, start to end *)
+  endpoint_arrivals : (int * float) list;  (** per endpoint cell *)
+  broken_cycle_edges : int;  (** combinational-loop edges ignored *)
+  net_criticality : float array;  (** per net; prefer {!criticality} *)
+}
+
+val analyze : t -> cx:float array -> cy:float array -> report
+(** Arrivals at the given cell-center placement. *)
+
+val criticality : t -> report -> int -> float
+(** Per-net criticality in [0, 1]: the worst "slack ratio" of any edge of
+    the net — 1.0 for edges on the critical path, approaching 0 for edges
+    with large slack against [critical_delay].  Used to derive net
+    weights for timing-driven placement. *)
+
+val weighted_design :
+  ?alpha:float -> Dpp_netlist.Design.t -> t -> report -> Dpp_netlist.Design.t
+(** A copy of the design whose net weights are
+    [1 + alpha * criticality^2] (default [alpha = 2.0]) — the classic
+    net-weighting hook for timing-driven analytical placement. *)

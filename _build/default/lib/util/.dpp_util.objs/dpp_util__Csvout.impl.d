@@ -1,0 +1,1 @@
+lib/util/csvout.ml: Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/util/timer.ml: Hashtbl List Option Unix

@@ -1,0 +1,15 @@
+(** Minimal CSV writer used to dump experiment series for offline plotting.
+    Fields containing commas, quotes or newlines are quoted per RFC 4180. *)
+
+val escape_field : string -> string
+(** Quote a single field if needed. *)
+
+val row_to_string : string list -> string
+(** One CSV line, without trailing newline. *)
+
+val write : string -> string list list -> unit
+(** [write path rows] writes all rows (first row is conventionally the
+    header) to [path], overwriting. *)
+
+val float_cell : float -> string
+(** Compact float formatting ("%.6g") shared by all outputs. *)

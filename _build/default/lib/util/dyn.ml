@@ -1,0 +1,41 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let ncap = if t.len = 0 then 16 else t.len * 2 in
+    let nd = Array.make ncap v in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Dyn: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let clear t = t.len <- 0
+
+let of_array a = { data = Array.copy a; len = Array.length a }

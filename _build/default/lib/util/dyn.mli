@@ -1,0 +1,15 @@
+(** Growable array (OCaml 5.1 predates stdlib [Dynarray]).  Used by the
+    netlist builder and the extractor's work lists. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val clear : 'a t -> unit
+val of_array : 'a array -> 'a t

@@ -1,0 +1,83 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let grow h =
+  let cap = Array.length h.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* The placeholder below is never read past [len]. *)
+  let nd = Array.make ncap h.data.(0) in
+  Array.blit h.data 0 nd 0 h.len;
+  h.data <- nd
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Float.compare h.data.(i).prio h.data.(parent).prio < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && Float.compare h.data.(l).prio h.data.(!smallest).prio < 0 then smallest := l;
+  if r < h.len && Float.compare h.data.(r).prio h.data.(!smallest).prio < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  let e = { prio; value } in
+  if h.len = Array.length h.data then
+    if h.len = 0 then h.data <- Array.make 16 e else grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = h.len <- 0
+
+let of_list l =
+  let h = create () in
+  List.iter (fun (p, v) -> push h p v) l;
+  h
+
+let to_sorted_list h =
+  let rec drain acc =
+    match pop h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

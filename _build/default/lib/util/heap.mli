@@ -1,0 +1,30 @@
+(** Binary min-heap with float priorities, used by the Steiner MST builder
+    and the Tetris legalizer.  Payloads are arbitrary; priorities are
+    compared with [Float.compare] so NaNs order deterministically. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum element without removal. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val of_list : (float * 'a) list -> 'a t
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Destructively drains the heap in ascending priority order. *)

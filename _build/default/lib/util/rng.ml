@@ -1,0 +1,106 @@
+(* Splitmix64 seeds and splits; xoshiro256** generates.  Reimplemented from
+   the public-domain reference code (Blackman & Vigna). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let splitmix64 state =
+  let z = Int64.add !state golden in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Use two outputs of the parent as a fresh splitmix seed chain. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let mask62 = 0x3FFFFFFFFFFFFFFFL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on 62 bits to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) mask62 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.add mask62 1L) b then draw () else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let gaussian t ~mean ~stddev =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u <= 1e-300 then nonzero () else u
+  in
+  let u1 = nonzero () in
+  let u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Partial Fisher–Yates over an index array: O(n) but simple and exact. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k

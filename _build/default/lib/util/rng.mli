@@ -1,0 +1,56 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness in the repository flows through this module so that every
+    benchmark, test and example is exactly reproducible from a single integer
+    seed.  The generator is splitmix64 for stream derivation combined with
+    xoshiro256** for bulk generation — both are public-domain algorithms
+    reimplemented here because the container is sealed and [Random.State]
+    offers no splitting. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent child generator and advances [t].
+    Children created in the same order are identical across runs. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct ints from
+    [\[0, n)], in random order.  Requires [k <= n]. *)

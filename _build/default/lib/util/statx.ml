@@ -1,0 +1,98 @@
+let sum a =
+  (* Kahan summation: placement objectives sum millions of terms. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = a.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort Float.compare b;
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      if a.(i) <= 0.0 then invalid_arg "Statx.geomean: non-positive value";
+      acc := !acc +. log a.(i)
+    done;
+    exp (!acc /. float_of_int n)
+  end
+
+let minimum a = Array.fold_left min infinity a
+let maximum a = Array.fold_left max neg_infinity a
+
+let quantile a q =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if q <= 0.0 then minimum a
+  else if q >= 1.0 then maximum a
+  else begin
+    let b = Array.copy a in
+    Array.sort Float.compare b;
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let entropy w =
+  let total = sum w in
+  if total <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to Array.length w - 1 do
+      if w.(i) > 0.0 then begin
+        let p = w.(i) /. total in
+        acc := !acc -. (p *. log p)
+      end
+    done;
+    !acc
+  end
+
+let pearson x y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Statx.pearson: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let mx = mean x and my = mean y in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = x.(i) -. mx and dy = y.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+  end

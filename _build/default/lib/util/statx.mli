@@ -1,0 +1,34 @@
+(** Small statistics helpers shared by the extractor (regularity scores),
+    the report tables (geomean ratios) and the tests. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median of a copy (input untouched); 0 on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument if any value is non-positive. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val quantile : float array -> float -> float
+(** [quantile a q] with [0 <= q <= 1], linear interpolation between order
+    statistics. *)
+
+val entropy : float array -> float
+(** Shannon entropy (nats) of a nonnegative weight vector, normalised
+    internally; zero-weight entries are skipped. *)
+
+val pearson : float array -> float array -> float
+(** Correlation coefficient; 0 when either side is constant. *)

@@ -1,0 +1,30 @@
+type t = { tbl : (string, float) Hashtbl.t; mutable order : string list }
+
+let create () = { tbl = Hashtbl.create 8; order = [] }
+
+let record t stage dt =
+  match Hashtbl.find_opt t.tbl stage with
+  | Some acc -> Hashtbl.replace t.tbl stage (acc +. dt)
+  | None ->
+    Hashtbl.add t.tbl stage dt;
+    t.order <- stage :: t.order
+
+let time t stage f =
+  let start = Unix.gettimeofday () in
+  match f () with
+  | result ->
+    record t stage (Unix.gettimeofday () -. start);
+    result
+  | exception e ->
+    record t stage (Unix.gettimeofday () -. start);
+    raise e
+
+let get t stage = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl stage)
+
+let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t.tbl 0.0
+
+let stages t = List.rev_map (fun s -> (s, get t s)) t.order
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.order <- []

@@ -1,0 +1,21 @@
+(** Wall-clock stage timers for the flow runtime breakdown (Table 4). *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t stage f] runs [f], accumulating its wall-clock duration under
+    [stage].  Re-entrant per stage (durations add up).  Exceptions propagate
+    after the duration is recorded. *)
+
+val get : t -> string -> float
+(** Accumulated seconds for a stage; 0 if never timed. *)
+
+val total : t -> float
+(** Sum over all stages. *)
+
+val stages : t -> (string * float) list
+(** Stages in first-recorded order with accumulated seconds. *)
+
+val reset : t -> unit

@@ -1,0 +1,43 @@
+type t = { parent : int array; rank : int array; size : int array }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; size = Array.make n 1 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let ra, rb = if t.rank.(ra) < t.rank.(rb) then rb, ra else ra, rb in
+    t.parent.(rb) <- ra;
+    t.size.(ra) <- t.size.(ra) + t.size.(rb);
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1
+  end
+
+let same t a b = find t a = find t b
+
+let size t i = t.size.(find t i)
+
+let count_sets t =
+  let n = Array.length t.parent in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr c
+  done;
+  !c
+
+let groups t =
+  let n = Array.length t.parent in
+  let out = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    out.(r) <- i :: out.(r)
+  done;
+  out

@@ -1,0 +1,28 @@
+(** Disjoint-set forest over dense integer ids, with union by rank and path
+    compression.  Used by the extractor to merge slice candidates and by the
+    netlist validator for connectivity checks. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets.  No-op if already merged. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a set. *)
+
+val size : t -> int -> int
+(** Number of elements in the set containing the argument. *)
+
+val count_sets : t -> int
+(** Number of distinct sets remaining. *)
+
+val groups : t -> int list array
+(** [groups t] returns, indexed by representative, the member list of every
+    set; non-representative slots hold [[]].  Members appear in increasing
+    order. *)

@@ -1,0 +1,1 @@
+lib/viz/plot.ml: Array Dpp_congest Dpp_geom Dpp_netlist Hashtbl List Option Svg

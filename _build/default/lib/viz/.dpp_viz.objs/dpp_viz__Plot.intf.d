@@ -1,0 +1,1 @@
+lib/viz/plot.mli: Dpp_congest Dpp_netlist

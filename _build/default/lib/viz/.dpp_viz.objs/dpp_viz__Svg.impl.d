@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Fun Printf String

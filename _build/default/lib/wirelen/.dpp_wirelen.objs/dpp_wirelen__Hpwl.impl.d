@@ -1,0 +1,1 @@
+lib/wirelen/hpwl.ml: Array Dpp_netlist Pins

@@ -1,0 +1,1 @@
+lib/wirelen/hpwl.mli: Dpp_netlist Pins

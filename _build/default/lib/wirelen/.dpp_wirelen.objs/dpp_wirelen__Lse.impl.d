@@ -1,0 +1,1 @@
+lib/wirelen/lse.ml: Array Dpp_netlist Pins

@@ -1,0 +1,1 @@
+lib/wirelen/lse.mli: Pins

@@ -1,0 +1,1 @@
+lib/wirelen/model.ml: Lse Wa

@@ -1,0 +1,1 @@
+lib/wirelen/pins.ml: Array Dpp_geom Dpp_netlist

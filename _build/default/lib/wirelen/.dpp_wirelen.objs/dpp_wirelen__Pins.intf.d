@@ -1,0 +1,1 @@
+lib/wirelen/pins.mli: Dpp_netlist

@@ -1,0 +1,1 @@
+lib/wirelen/wa.ml: Array Dpp_netlist Pins

@@ -1,0 +1,1 @@
+lib/wirelen/wa.mli: Pins

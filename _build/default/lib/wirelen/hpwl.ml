@@ -1,0 +1,35 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+let net t ~cx ~cy n =
+  let k = Pins.load_net t ~cx ~cy n in
+  if k < 2 then 0.0
+  else begin
+    let xmin = ref t.Pins.scratch_x.(0) and xmax = ref t.Pins.scratch_x.(0) in
+    let ymin = ref t.Pins.scratch_y.(0) and ymax = ref t.Pins.scratch_y.(0) in
+    for i = 1 to k - 1 do
+      let x = t.Pins.scratch_x.(i) and y = t.Pins.scratch_y.(i) in
+      if x < !xmin then xmin := x;
+      if x > !xmax then xmax := x;
+      if y < !ymin then ymin := y;
+      if y > !ymax then ymax := y
+    done;
+    !xmax -. !xmin +. !ymax -. !ymin
+  end
+
+let total t ~cx ~cy =
+  let acc = ref 0.0 in
+  let nn = Design.num_nets t.Pins.design in
+  for n = 0 to nn - 1 do
+    let w = (Design.net t.Pins.design n).Types.n_weight in
+    acc := !acc +. (w *. net t ~cx ~cy n)
+  done;
+  !acc
+
+let total_of_design d =
+  let t = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  total t ~cx ~cy
+
+let per_net t ~cx ~cy =
+  Array.init (Design.num_nets t.Pins.design) (fun n -> net t ~cx ~cy n)

@@ -1,0 +1,70 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+(* Per-axis stable log-sum-exp over the scratch buffer [a.(0..k-1)]:
+   returns (lse_plus + lse_minus) where
+     lse_plus  = gamma * log sum exp(a_i / gamma)     = amax + gamma*log S+
+     lse_minus = gamma * log sum exp(-a_i / gamma)    = -amin + gamma*log S-
+   If [w] is non-empty it also receives the softmax gradient weights
+     w_i = exp((a_i - amax)/gamma)/S+ - exp((amin - a_i)/gamma)/S- . *)
+let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~want_grad =
+  let amax = ref a.(0) and amin = ref a.(0) in
+  for i = 1 to k - 1 do
+    if a.(i) > !amax then amax := a.(i);
+    if a.(i) < !amin then amin := a.(i)
+  done;
+  let splus = ref 0.0 and sminus = ref 0.0 in
+  for i = 0 to k - 1 do
+    splus := !splus +. exp ((a.(i) -. !amax) /. gamma);
+    sminus := !sminus +. exp ((!amin -. a.(i)) /. gamma)
+  done;
+  if want_grad then
+    for i = 0 to k - 1 do
+      w.(i) <-
+        (exp ((a.(i) -. !amax) /. gamma) /. !splus)
+        -. (exp ((!amin -. a.(i)) /. gamma) /. !sminus)
+    done;
+  !amax -. !amin +. (gamma *. (log !splus +. log !sminus))
+
+let value t ~gamma ~cx ~cy =
+  let acc = ref 0.0 in
+  let d = t.Pins.design in
+  for n = 0 to Design.num_nets d - 1 do
+    let k = Pins.load_net t ~cx ~cy n in
+    if k >= 2 then begin
+      let wn = (Design.net d n).Types.n_weight in
+      let vx =
+        axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:false
+      in
+      let vy =
+        axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:false
+      in
+      acc := !acc +. (wn *. (vx +. vy))
+    end
+  done;
+  !acc
+
+let value_grad t ~gamma ~cx ~cy ~gx ~gy =
+  let acc = ref 0.0 in
+  let d = t.Pins.design in
+  for n = 0 to Design.num_nets d - 1 do
+    let pins = (Design.net d n).Types.n_pins in
+    let k = Pins.load_net t ~cx ~cy n in
+    if k >= 2 then begin
+      let wn = (Design.net d n).Types.n_weight in
+      let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      for i = 0 to k - 1 do
+        let c = t.Pins.pin_cell.(pins.(i)) in
+        gx.(c) <- gx.(c) +. (wn *. t.Pins.scratch_w.(i))
+      done;
+      let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      for i = 0 to k - 1 do
+        let c = t.Pins.pin_cell.(pins.(i)) in
+        gy.(c) <- gy.(c) +. (wn *. t.Pins.scratch_w.(i))
+      done;
+      acc := !acc +. (wn *. (vx +. vy))
+    end
+  done;
+  !acc
+
+let upper_bound_gap ~gamma ~degree = gamma *. log (float_of_int (max 1 degree))

@@ -1,0 +1,27 @@
+(** Log-sum-exp smooth wirelength (Naylor et al. patent; the NTUplace3
+    objective).  Per net and axis,
+
+    [W = gamma * (log sum exp(x/gamma) + log sum exp(-x/gamma))]
+
+    which overestimates HPWL and converges to it as [gamma -> 0].  Both
+    value and gradient are computed with max-subtraction so large
+    coordinates never overflow. *)
+
+val value : Pins.t -> gamma:float -> cx:float array -> cy:float array -> float
+(** Weighted total over all nets. *)
+
+val value_grad :
+  Pins.t ->
+  gamma:float ->
+  cx:float array ->
+  cy:float array ->
+  gx:float array ->
+  gy:float array ->
+  float
+(** Weighted total; per-cell-center gradients are {e accumulated} into
+    [gx]/[gy] (callers zero them first).  Fixed cells receive gradient
+    contributions too — the placer simply ignores those slots. *)
+
+val upper_bound_gap : gamma:float -> degree:int -> float
+(** Theoretical per-net, per-axis gap bound [gamma * log(degree)]:
+    [hpwl <= lse <= hpwl + 2 * gap].  Used by tests. *)

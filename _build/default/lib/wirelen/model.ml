@@ -1,0 +1,18 @@
+type kind = Lse | Wa
+
+let kind_to_string = function Lse -> "lse" | Wa -> "wa"
+
+let kind_of_string = function
+  | "lse" -> Some Lse
+  | "wa" -> Some Wa
+  | _ -> None
+
+let value kind t ~gamma ~cx ~cy =
+  match kind with
+  | Lse -> Lse.value t ~gamma ~cx ~cy
+  | Wa -> Wa.value t ~gamma ~cx ~cy
+
+let value_grad kind t ~gamma ~cx ~cy ~gx ~gy =
+  match kind with
+  | Lse -> Lse.value_grad t ~gamma ~cx ~cy ~gx ~gy
+  | Wa -> Wa.value_grad t ~gamma ~cx ~cy ~gx ~gy

@@ -1,0 +1,19 @@
+(** Dispatch over the two smooth wirelength models so the global placer is
+    parameterised by model choice (the F3/BM ablations flip this switch). *)
+
+type kind = Lse | Wa
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val value : kind -> Pins.t -> gamma:float -> cx:float array -> cy:float array -> float
+
+val value_grad :
+  kind ->
+  Pins.t ->
+  gamma:float ->
+  cx:float array ->
+  cy:float array ->
+  gx:float array ->
+  gy:float array ->
+  float

@@ -1,0 +1,76 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+type t = {
+  design : Design.t;
+  pin_cell : int array;
+  off_x : float array;
+  off_y : float array;
+  scratch_x : float array;
+  scratch_y : float array;
+  scratch_w : float array;
+  scratch_w2 : float array;
+}
+
+let build (d : Design.t) =
+  let np = Design.num_pins d in
+  let pin_cell = Array.make np 0 in
+  let off_x = Array.make np 0.0 in
+  let off_y = Array.make np 0.0 in
+  for p = 0 to np - 1 do
+    let pin = Design.pin d p in
+    let ci = pin.Types.p_cell in
+    let c = Design.cell d ci in
+    pin_cell.(p) <- ci;
+    (* offsets respect the cell's orientation at build time (orientation is
+       constant during an optimization phase; the flip pass rebuilds) *)
+    let dx, dy =
+      Dpp_geom.Orient.apply_offset d.Design.orient.(ci) ~w:c.Types.c_width ~h:c.Types.c_height
+        (pin.Types.p_dx, pin.Types.p_dy)
+    in
+    let ow, oh =
+      Dpp_geom.Orient.apply d.Design.orient.(ci) ~w:c.Types.c_width ~h:c.Types.c_height
+    in
+    off_x.(p) <- dx -. (ow /. 2.0);
+    off_y.(p) <- dy -. (oh /. 2.0)
+  done;
+  let max_deg =
+    Array.fold_left (fun m (n : Types.net) -> max m (Array.length n.Types.n_pins)) 1 d.Design.nets
+  in
+  {
+    design = d;
+    pin_cell;
+    off_x;
+    off_y;
+    scratch_x = Array.make max_deg 0.0;
+    scratch_y = Array.make max_deg 0.0;
+    scratch_w = Array.make max_deg 0.0;
+    scratch_w2 = Array.make max_deg 0.0;
+  }
+
+let max_net_degree t = Array.length t.scratch_x
+
+let pin_x t ~cx p = cx.(t.pin_cell.(p)) +. t.off_x.(p)
+let pin_y t ~cy p = cy.(t.pin_cell.(p)) +. t.off_y.(p)
+
+let load_net t ~cx ~cy n =
+  let pins = (Design.net t.design n).Types.n_pins in
+  let k = Array.length pins in
+  for i = 0 to k - 1 do
+    let p = pins.(i) in
+    t.scratch_x.(i) <- pin_x t ~cx p;
+    t.scratch_y.(i) <- pin_y t ~cy p
+  done;
+  k
+
+let centers_of_design (d : Design.t) =
+  let n = Design.num_cells d in
+  let cx = Array.init n (fun i -> Design.cell_center_x d i) in
+  let cy = Array.init n (fun i -> Design.cell_center_y d i) in
+  cx, cy
+
+let apply_centers (d : Design.t) cx cy =
+  for i = 0 to Design.num_cells d - 1 do
+    if not (Types.is_fixed_kind (Design.cell d i).Types.c_kind) then
+      Design.set_center d i cx.(i) cy.(i)
+  done

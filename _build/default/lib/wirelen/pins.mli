@@ -1,0 +1,39 @@
+(** Precomputed pin geometry for the smooth wirelength models.
+
+    Global placement treats every cell as its center point plus fixed pin
+    offsets, evaluated at the orientation each cell has when the structure
+    is built (orientations are constant within an optimization phase; the
+    flip pass rebuilds).  This caches, per pin, the offset of the pin from
+    its cell center, so model evaluation never touches the cell
+    records. *)
+
+type t = {
+  design : Dpp_netlist.Design.t;
+  pin_cell : int array;  (** owning cell per pin *)
+  off_x : float array;  (** pin x offset from cell center *)
+  off_y : float array;
+  scratch_x : float array;  (** per-net pin coordinate buffers, max degree long *)
+  scratch_y : float array;
+  scratch_w : float array;  (** softmax weight buffer for gradients *)
+  scratch_w2 : float array;
+}
+
+val build : Dpp_netlist.Design.t -> t
+
+val max_net_degree : t -> int
+
+val pin_x : t -> cx:float array -> int -> float
+(** Pin absolute x given cell centers [cx]. *)
+
+val pin_y : t -> cy:float array -> int -> float
+
+val load_net : t -> cx:float array -> cy:float array -> int -> int
+(** Copy the pin coordinates of net [n] into the scratch buffers; returns
+    the pin count.  Pins are ordered as in the net's pin array. *)
+
+val centers_of_design : Dpp_netlist.Design.t -> float array * float array
+(** Current cell-center coordinate arrays (fresh). *)
+
+val apply_centers : Dpp_netlist.Design.t -> float array -> float array -> unit
+(** Write center coordinates back into the design's lower-left storage for
+    movable cells only (fixed cells and pads are never moved). *)

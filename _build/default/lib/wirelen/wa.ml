@@ -1,0 +1,71 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+(* Weighted-average on one axis over scratch [a.(0..k-1)].  Fills [w] with
+   d(value)/d(a_i) when [want_grad]. *)
+let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~want_grad =
+  let amax = ref a.(0) and amin = ref a.(0) in
+  for i = 1 to k - 1 do
+    if a.(i) > !amax then amax := a.(i);
+    if a.(i) < !amin then amin := a.(i)
+  done;
+  let nmax = ref 0.0 and dmax = ref 0.0 in
+  let nmin = ref 0.0 and dmin = ref 0.0 in
+  for i = 0 to k - 1 do
+    let u = exp ((a.(i) -. !amax) /. gamma) in
+    let v = exp ((!amin -. a.(i)) /. gamma) in
+    nmax := !nmax +. (a.(i) *. u);
+    dmax := !dmax +. u;
+    nmin := !nmin +. (a.(i) *. v);
+    dmin := !dmin +. v
+  done;
+  let f = !nmax /. !dmax in
+  let g = !nmin /. !dmin in
+  if want_grad then
+    for i = 0 to k - 1 do
+      let u = exp ((a.(i) -. !amax) /. gamma) in
+      let v = exp ((!amin -. a.(i)) /. gamma) in
+      let df = u *. (1.0 +. ((a.(i) -. f) /. gamma)) /. !dmax in
+      let dg = v *. (1.0 -. ((a.(i) -. g) /. gamma)) /. !dmin in
+      w.(i) <- df -. dg
+    done;
+  f -. g
+
+let value t ~gamma ~cx ~cy =
+  let acc = ref 0.0 in
+  let d = t.Pins.design in
+  for n = 0 to Design.num_nets d - 1 do
+    let k = Pins.load_net t ~cx ~cy n in
+    if k >= 2 then begin
+      let wn = (Design.net d n).Types.n_weight in
+      let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:false in
+      let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:false in
+      acc := !acc +. (wn *. (vx +. vy))
+    end
+  done;
+  !acc
+
+let value_grad t ~gamma ~cx ~cy ~gx ~gy =
+  let acc = ref 0.0 in
+  let d = t.Pins.design in
+  for n = 0 to Design.num_nets d - 1 do
+    let pins = (Design.net d n).Types.n_pins in
+    let k = Pins.load_net t ~cx ~cy n in
+    if k >= 2 then begin
+      let wn = (Design.net d n).Types.n_weight in
+      let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      for i = 0 to k - 1 do
+        let c = t.Pins.pin_cell.(pins.(i)) in
+        gx.(c) <- gx.(c) +. (wn *. t.Pins.scratch_w.(i))
+      done;
+      let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      for i = 0 to k - 1 do
+        let c = t.Pins.pin_cell.(pins.(i)) in
+        gy.(c) <- gy.(c) +. (wn *. t.Pins.scratch_w.(i))
+      done;
+      acc := !acc +. (wn *. (vx +. vy))
+    end
+  done;
+  !acc
+
+let error_bound ~gamma = 4.0 *. gamma

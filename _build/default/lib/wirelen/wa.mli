@@ -1,0 +1,26 @@
+(** Weighted-average smooth wirelength (Hsu, Balabanov, Chang — the model
+    the same authors introduced in their TSV placement line and proved to
+    dominate log-sum-exp in modelling error).  Per net and axis,
+
+    [W = sum x e^(x/gamma) / sum e^(x/gamma) - sum x e^(-x/gamma) / sum e^(-x/gamma)]
+
+    which {e underestimates} HPWL and converges to it as [gamma -> 0].
+    Implemented with the max/min-shift normalisation the TCAD'13 paper calls
+    out as necessary for numerical stability. *)
+
+val value : Pins.t -> gamma:float -> cx:float array -> cy:float array -> float
+
+val value_grad :
+  Pins.t ->
+  gamma:float ->
+  cx:float array ->
+  cy:float array ->
+  gx:float array ->
+  gy:float array ->
+  float
+(** Same contract as {!Lse.value_grad}: gradients accumulate into [gx]/[gy]. *)
+
+val error_bound : gamma:float -> float
+(** Per-net, per-axis worst-case deviation from HPWL: the WA model error is
+    bounded by [gamma] times a small constant; we use the loose bound
+    [4 * gamma] from the TCAD analysis for tests. *)

@@ -1,0 +1,1 @@
+test/test_bookshelf.ml: Alcotest Array Dpp_gen Dpp_netlist Filename Float List Sys Unix

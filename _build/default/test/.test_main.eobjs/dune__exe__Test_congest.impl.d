@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Dpp_congest Dpp_gen Dpp_geom Dpp_netlist Dpp_place Dpp_wirelen List

@@ -1,0 +1,1 @@
+test/test_corners.ml: Alcotest Array Dpp_extract Dpp_gen Dpp_geom Dpp_netlist Dpp_place Dpp_structure Dpp_timing Dpp_util Dpp_wirelen List Printf

@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Dpp_density Dpp_geom Dpp_netlist Dpp_wirelen List Tutil

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Dpp_core Dpp_gen Dpp_report Fun List Sys

@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Dpp_extract Dpp_gen Dpp_netlist Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Dpp_core Dpp_gen Dpp_geom Dpp_netlist Dpp_place Dpp_wirelen Float List Printf

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Dpp_extract Dpp_gen Dpp_geom Dpp_netlist Dpp_util List String

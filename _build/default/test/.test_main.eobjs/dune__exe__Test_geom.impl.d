@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Dpp_geom Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_macros.ml: Alcotest Array Dpp_core Dpp_density Dpp_gen Dpp_geom Dpp_netlist Dpp_place Dpp_structure Dpp_util Dpp_wirelen Format List Printf

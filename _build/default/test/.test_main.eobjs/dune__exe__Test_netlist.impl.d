@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Dpp_geom Dpp_netlist List Printf

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Dpp_numeric Dpp_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Dpp_density Dpp_gen Dpp_geom Dpp_netlist Dpp_place Dpp_structure Dpp_wirelen Format List Printf

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Dpp_geom Dpp_netlist Dpp_numeric Dpp_place Dpp_steiner Dpp_util Dpp_wirelen Filename List QCheck QCheck_alcotest Sys Tutil Unix

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dpp_report Filename List String Sys

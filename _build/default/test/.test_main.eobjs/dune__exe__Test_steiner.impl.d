@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Dpp_steiner Dpp_util Dpp_wirelen List QCheck QCheck_alcotest Tutil

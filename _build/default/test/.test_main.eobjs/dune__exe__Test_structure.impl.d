@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Dpp_gen Dpp_geom Dpp_netlist Dpp_structure Dpp_wirelen Float List Printf Tutil

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Dpp_gen Dpp_geom Dpp_netlist Dpp_timing Dpp_wirelen Float List

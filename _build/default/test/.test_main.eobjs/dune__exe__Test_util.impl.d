@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dpp_util Filename Float Gen List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Dpp_congest Dpp_gen Dpp_viz Dpp_wirelen Filename List String Sys

@@ -1,0 +1,1 @@
+test/test_wirelen.ml: Alcotest Array Dpp_geom Dpp_netlist Dpp_wirelen Float List Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Array Dpp_geom Dpp_netlist Dpp_util Dpp_wirelen Fun List Printf

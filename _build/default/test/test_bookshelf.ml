@@ -1,0 +1,135 @@
+(* Bookshelf round-trip tests: a generated design written and re-read must
+   preserve all structure. *)
+
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Groups = Dpp_netlist.Groups
+module Bookshelf = Dpp_netlist.Bookshelf
+module Validate = Dpp_netlist.Validate
+
+let small_spec =
+  {
+    Dpp_gen.Compose.sp_name = "bs_test";
+    sp_seed = 9;
+    sp_blocks = [ Dpp_gen.Compose.Adder 8; Regbank 8 ];
+    sp_random_cells = 120;
+    sp_utilization = 0.7;
+  }
+
+let roundtrip d =
+  let dir = Filename.temp_file "dpp_bs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let base = Filename.concat dir "t" in
+  Bookshelf.write d ~basename:base;
+  let d' = Bookshelf.read ~basename:base in
+  (* clean up *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  d'
+
+let test_roundtrip_counts () =
+  let d = Dpp_gen.Compose.build small_spec in
+  let d' = roundtrip d in
+  Alcotest.(check int) "cells" (Design.num_cells d) (Design.num_cells d');
+  Alcotest.(check int) "nets" (Design.num_nets d) (Design.num_nets d');
+  Alcotest.(check int) "pins" (Design.num_pins d) (Design.num_pins d');
+  Alcotest.(check int) "rows" d.Design.num_rows d'.Design.num_rows;
+  Alcotest.(check int) "groups" (List.length d.Design.groups) (List.length d'.Design.groups)
+
+let test_roundtrip_cells () =
+  let d = Dpp_gen.Compose.build small_spec in
+  let d' = roundtrip d in
+  for i = 0 to Design.num_cells d - 1 do
+    let c = Design.cell d i in
+    (* names may be reordered only if ids changed; bookshelf preserves order *)
+    let c' = Design.cell d' i in
+    if c.Types.c_name <> c'.Types.c_name then
+      Alcotest.failf "cell %d name %s <> %s" i c.Types.c_name c'.Types.c_name;
+    if abs_float (c.Types.c_width -. c'.Types.c_width) > 1e-3 then
+      Alcotest.failf "cell %d width differs" i;
+    if c.Types.c_master <> c'.Types.c_master then Alcotest.failf "cell %d master differs" i;
+    if Types.is_fixed_kind c.Types.c_kind <> Types.is_fixed_kind c'.Types.c_kind then
+      Alcotest.failf "cell %d fixedness differs" i
+  done
+
+let test_roundtrip_positions () =
+  let d = Dpp_gen.Compose.build small_spec in
+  (* give the movables distinctive positions first *)
+  Array.iteri
+    (fun k i -> Design.set_center d i (10.0 +. float_of_int k) 15.0)
+    (Design.movable_ids d);
+  let d' = roundtrip d in
+  for i = 0 to Design.num_cells d - 1 do
+    if abs_float (d.Design.x.(i) -. d'.Design.x.(i)) > 1e-3 then
+      Alcotest.failf "cell %d x differs: %f vs %f" i d.Design.x.(i) d'.Design.x.(i)
+  done
+
+let test_roundtrip_net_structure () =
+  let d = Dpp_gen.Compose.build small_spec in
+  let d' = roundtrip d in
+  (* per net: the multiset of (cell name, pin offset) must match *)
+  let key dd n =
+    Array.to_list (Design.net dd n).Types.n_pins
+    |> List.map (fun p ->
+           let pin = Design.pin dd p in
+           let c = Design.cell dd pin.Types.p_cell in
+           ( c.Types.c_name,
+             Float.round (pin.Types.p_dx *. 100.0),
+             Float.round (pin.Types.p_dy *. 100.0) ))
+    |> List.sort compare
+  in
+  for n = 0 to Design.num_nets d - 1 do
+    if key d n <> key d' n then Alcotest.failf "net %d pin set differs" n
+  done
+
+let test_roundtrip_groups () =
+  let d = Dpp_gen.Compose.build small_spec in
+  let d' = roundtrip d in
+  List.iter2
+    (fun g g' ->
+      Alcotest.(check string) "group name" g.Groups.g_name g'.Groups.g_name;
+      Alcotest.(check int) "slices" (Groups.num_slices g) (Groups.num_slices g');
+      Alcotest.(check int) "stages" (Groups.num_stages g) (Groups.num_stages g');
+      if Groups.jaccard g g' < 1.0 then Alcotest.fail "group membership differs")
+    d.Design.groups d'.Design.groups
+
+let test_roundtrip_validates () =
+  let d = Dpp_gen.Compose.build small_spec in
+  let d' = roundtrip d in
+  Alcotest.(check bool) "round-tripped design validates" true
+    (Validate.is_clean (Validate.check d'))
+
+let test_missing_file () =
+  Alcotest.(check bool) "missing aux raises" true
+    (try
+       ignore (Bookshelf.read ~basename:"/nonexistent/foo");
+       false
+     with Sys_error _ | Bookshelf.Parse_error _ -> true)
+
+let test_malformed () =
+  let path = Filename.temp_file "dpp_badaux" ".aux" in
+  let oc = open_out path in
+  output_string oc "complete nonsense\n";
+  close_out oc;
+  let base = Filename.chop_suffix path ".aux" in
+  let result =
+    try
+      ignore (Bookshelf.read ~basename:base);
+      false
+    with Bookshelf.Parse_error _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "malformed aux raises Parse_error" true result
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip counts" `Quick test_roundtrip_counts;
+    Alcotest.test_case "roundtrip cells" `Quick test_roundtrip_cells;
+    Alcotest.test_case "roundtrip positions" `Quick test_roundtrip_positions;
+    Alcotest.test_case "roundtrip nets" `Quick test_roundtrip_net_structure;
+    Alcotest.test_case "roundtrip groups" `Quick test_roundtrip_groups;
+    Alcotest.test_case "roundtrip validates" `Quick test_roundtrip_validates;
+    Alcotest.test_case "missing file" `Quick test_missing_file;
+    Alcotest.test_case "malformed aux" `Quick test_malformed;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for Dpp_congest.Rudy. *)
+
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Rudy = Dpp_congest.Rudy
+module Pins = Dpp_wirelen.Pins
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* one 2-pin net between known points on a known grid *)
+let net_design x0 x1 =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:100.0 ~yh:100.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let mk name x =
+    let id = Builder.add_cell b ~name ~master:"X" ~w:2.0 ~h:10.0 ~kind:Types.Movable in
+    let p = Builder.add_pin b ~cell:id ~dir:Types.Input ~dx:1.0 ~dy:5.0 () in
+    Builder.set_position b id ~x ~y:40.0;
+    p
+  in
+  let p0 = mk "a" x0 and p1 = mk "b" x1 in
+  ignore (Builder.add_net b [ p0; p1 ]);
+  Builder.finish b
+
+let test_rudy_mass () =
+  (* total demand integrated over the die must equal the net's RUDY volume:
+     density (w+h)/(w*h) times box area w*h = w + h (the half-perimeter) *)
+  let d = net_design 10.0 60.0 in
+  let cx, cy = Pins.centers_of_design d in
+  let r = Rudy.compute ~nx:10 ~ny:10 d ~cx ~cy in
+  let total =
+    Array.fold_left ( +. ) 0.0 r.Rudy.demand *. r.Rudy.bin_w *. r.Rudy.bin_h
+  in
+  (* pins at x 11 and 61, same y: w = 50, h = max 1 -> volume 51 *)
+  check_float "demand volume = half-perimeter" 51.0 total
+
+let test_rudy_localized () =
+  let d = net_design 10.0 20.0 in
+  let cx, cy = Pins.centers_of_design d in
+  let r = Rudy.compute ~nx:10 ~ny:10 d ~cx ~cy in
+  (* all demand inside the net's bbox rows: y in [44,46] -> bin row 4 *)
+  for iy = 0 to 9 do
+    for ix = 0 to 9 do
+      let v = r.Rudy.demand.((iy * 10) + ix) in
+      if iy <> 4 && v > 1e-9 then Alcotest.failf "demand leaked to bin (%d,%d)" ix iy
+    done
+  done
+
+let test_rudy_stats () =
+  let d = net_design 10.0 60.0 in
+  let cx, cy = Pins.centers_of_design d in
+  let r = Rudy.compute ~nx:10 ~ny:10 d ~cx ~cy in
+  let s = Rudy.stats r in
+  Alcotest.(check bool) "max >= p95 >= avg" true
+    (s.Rudy.max_ratio >= s.Rudy.p95_ratio && s.Rudy.p95_ratio >= s.Rudy.avg_ratio);
+  Alcotest.(check bool) "fractions sane" true
+    (s.Rudy.overflowed_bins >= 0.0 && s.Rudy.overflowed_bins <= 1.0)
+
+let test_rudy_hotspots () =
+  let d = net_design 10.0 15.0 in
+  let cx, cy = Pins.centers_of_design d in
+  let r = Rudy.compute ~nx:10 ~ny:10 d ~cx ~cy in
+  match Rudy.hotspots r ~count:3 with
+  | (ix, iy, ratio) :: _ ->
+    Alcotest.(check bool) "hottest is where the net is" true (iy = 4 && ix <= 2);
+    Alcotest.(check bool) "ratio positive" true (ratio > 0.0);
+    check_float "accessor agrees" ratio (Rudy.ratio_at r ~ix ~iy)
+  | [] -> Alcotest.fail "no hotspots"
+
+let test_rudy_placement_sensitivity () =
+  (* total RUDY demand volume equals the sum of net half-perimeters, so a
+     shorter-wirelength placement must have lower average demand *)
+  let d = Dpp_gen.Compose.build (List.nth Dpp_gen.Presets.suite 4) in
+  let qp = Dpp_place.Qp.run ~seed:1 d in
+  let gp = Dpp_place.Gp.run d Dpp_place.Gp.default_config ~cx:qp.Dpp_place.Qp.cx ~cy:qp.Dpp_place.Qp.cy in
+  let pins = Pins.build d in
+  let hp_qp = Dpp_wirelen.Hpwl.total pins ~cx:qp.Dpp_place.Qp.cx ~cy:qp.Dpp_place.Qp.cy in
+  let hp_gp = Dpp_wirelen.Hpwl.total pins ~cx:gp.Dpp_place.Gp.cx ~cy:gp.Dpp_place.Gp.cy in
+  let s_qp = Rudy.stats (Rudy.compute ~nx:16 ~ny:16 d ~cx:qp.Dpp_place.Qp.cx ~cy:qp.Dpp_place.Qp.cy) in
+  let s_gp = Rudy.stats (Rudy.compute ~nx:16 ~ny:16 d ~cx:gp.Dpp_place.Gp.cx ~cy:gp.Dpp_place.Gp.cy) in
+  let ordered = (hp_qp <= hp_gp) = (s_qp.Rudy.avg_ratio <= s_gp.Rudy.avg_ratio +. 1e-6) in
+  Alcotest.(check bool) "average demand tracks wirelength" true ordered
+
+let test_rudy_weight_scales () =
+  let d1 = net_design 10.0 60.0 in
+  let cx, cy = Pins.centers_of_design d1 in
+  let r1 = Rudy.compute ~nx:10 ~ny:10 d1 ~cx ~cy in
+  (* double the net weight: total demand doubles *)
+  let nets =
+    Array.map (fun (n : Types.net) -> { n with Types.n_weight = 2.0 }) d1.Dpp_netlist.Design.nets
+  in
+  let d2 = { d1 with Dpp_netlist.Design.nets } in
+  let r2 = Rudy.compute ~nx:10 ~ny:10 d2 ~cx ~cy in
+  let tot r = Array.fold_left ( +. ) 0.0 r.Rudy.demand in
+  check_float "weight scales demand" (2.0 *. tot r1) (tot r2)
+
+let suite =
+  [
+    Alcotest.test_case "rudy mass conservation" `Quick test_rudy_mass;
+    Alcotest.test_case "rudy localized" `Quick test_rudy_localized;
+    Alcotest.test_case "rudy stats" `Quick test_rudy_stats;
+    Alcotest.test_case "rudy hotspots" `Quick test_rudy_hotspots;
+    Alcotest.test_case "rudy placement sensitivity" `Slow test_rudy_placement_sensitivity;
+    Alcotest.test_case "rudy weight scaling" `Quick test_rudy_weight_scales;
+  ]

@@ -1,0 +1,49 @@
+(* Light tests of the experiment harness (the expensive flows are covered
+   by the bench itself; here we check the cheap tables' shapes). *)
+
+module Experiment = Dpp_core.Experiment
+
+let test_table1_shape () =
+  let t = Experiment.table1 () in
+  Alcotest.(check int) "one row per preset" (List.length Dpp_gen.Presets.suite)
+    (List.length t.Experiment.t_rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "row width matches header" (List.length t.Experiment.t_header)
+        (List.length row))
+    t.Experiment.t_rows;
+  (* first column is the design name, in suite order *)
+  List.iter2
+    (fun name row -> Alcotest.(check string) "name column" name (List.hd row))
+    Dpp_gen.Presets.names t.Experiment.t_rows
+
+let test_table2_shape () =
+  let t = Experiment.table2 () in
+  Alcotest.(check int) "one row per preset" (List.length Dpp_gen.Presets.suite)
+    (List.length t.Experiment.t_rows);
+  (* precision column (index 6) must parse as a float in [0,1] *)
+  List.iter
+    (fun row ->
+      match float_of_string_opt (List.nth row 6) with
+      | Some p when p >= 0.0 && p <= 1.0 -> ()
+      | Some p -> Alcotest.failf "precision %f out of range" p
+      | None -> Alcotest.fail "precision not a number")
+    t.Experiment.t_rows
+
+let test_print_table () =
+  (* printing must not raise *)
+  let t = Experiment.table1 () in
+  let dev_null = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+  Fun.protect
+    ~finally:(fun () -> close_out dev_null)
+    (fun () ->
+      Dpp_report.Table.print ~out:dev_null ~title:t.Experiment.t_title
+        ~header:t.Experiment.t_header t.Experiment.t_rows);
+  Alcotest.(check pass) "printed" () ()
+
+let suite =
+  [
+    Alcotest.test_case "table1 shape" `Quick test_table1_shape;
+    Alcotest.test_case "table2 shape" `Quick test_table2_shape;
+    Alcotest.test_case "print table" `Quick test_print_table;
+  ]

@@ -1,0 +1,140 @@
+(* End-to-end flow tests: both modes, legality, determinism, failure
+   handling. *)
+
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Design = Dpp_netlist.Design
+module Pins = Dpp_wirelen.Pins
+module Legality = Dpp_place.Legality
+module Config = Dpp_core.Config
+module Flow = Dpp_core.Flow
+module Compose = Dpp_gen.Compose
+
+let flow_design () =
+  Compose.build
+    {
+      Compose.sp_name = "fl";
+      sp_seed = 91;
+      sp_blocks = [ Compose.Adder 16; Regbank 16; Regbank 16 ];
+      sp_random_cells = 300;
+      sp_utilization = 0.7;
+    }
+
+let small_cfg = { Config.structure_aware with Config.gp_rounds = 10; gp_inner_iters = 30 }
+
+let audit (r : Flow.result) =
+  let cx, cy = Pins.centers_of_design r.Flow.design in
+  Legality.check r.Flow.design ~cx ~cy
+
+let test_flow_baseline_legal () =
+  let d = flow_design () in
+  let r = Flow.run d { small_cfg with Config.mode = Config.Baseline } in
+  Alcotest.(check (list string)) "no violations" [] (List.map (fun _ -> "v") (audit r));
+  Alcotest.(check bool) "final <= legal hpwl" true (r.Flow.hpwl_final <= r.Flow.hpwl_legal +. 1e-6);
+  Alcotest.(check bool) "positive metrics" true
+    (r.Flow.hpwl_final > 0.0 && r.Flow.steiner_final > 0.0);
+  Alcotest.(check bool) "steiner >= hpwl" true (r.Flow.steiner_final >= r.Flow.hpwl_final -. 1e-6);
+  Alcotest.(check bool) "no extraction in baseline" true (r.Flow.extraction = None)
+
+let test_flow_structure_aware_legal () =
+  let d = flow_design () in
+  let r = Flow.run d small_cfg in
+  Alcotest.(check (list string)) "no violations" [] (List.map (fun _ -> "v") (audit r));
+  Alcotest.(check bool) "extraction ran" true (r.Flow.extraction <> None);
+  Alcotest.(check bool) "groups used" true (r.Flow.groups_used <> []);
+  (* snapped rigid arrays end perfectly aligned (covered by the structure
+     suite); groups left soft on this deliberately short-GP config keep
+     residual error, so here the metric only has to be well-formed *)
+  Alcotest.(check bool) "alignment error well-formed" true
+    (Float.is_finite r.Flow.align_error_final && r.Flow.align_error_final >= 0.0)
+
+let test_flow_input_untouched () =
+  let d = flow_design () in
+  let x0 = Array.copy d.Design.x in
+  ignore (Flow.run d small_cfg);
+  Alcotest.(check bool) "input design unchanged" true (d.Design.x = x0)
+
+let test_flow_deterministic () =
+  let d = flow_design () in
+  let r1 = Flow.run d small_cfg in
+  let r2 = Flow.run d small_cfg in
+  Alcotest.(check (float 1e-9)) "same hpwl" r1.Flow.hpwl_final r2.Flow.hpwl_final
+
+let test_flow_ground_truth_source () =
+  let d = flow_design () in
+  let r = Flow.run d { small_cfg with Config.group_source = Config.Ground_truth } in
+  Alcotest.(check bool) "no extraction with truth source" true (r.Flow.extraction = None);
+  Alcotest.(check bool) "groups from labels" true (r.Flow.groups_used <> [])
+
+let test_flow_soft_mode () =
+  let d = flow_design () in
+  let r = Flow.run d (Config.with_structure Config.Soft_alignment small_cfg) in
+  Alcotest.(check (list string)) "soft mode legal" [] (List.map (fun _ -> "v") (audit r))
+
+let test_flow_invalid_design_raises () =
+  (* overfull die must be rejected before placement *)
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:10.0 ~yh:10.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  for k = 0 to 9 do
+    ignore
+      (Builder.add_cell b ~name:(Printf.sprintf "c%d" k) ~master:"X" ~w:2.0 ~h:10.0
+         ~kind:Types.Movable)
+  done;
+  let d = Builder.finish b in
+  Alcotest.(check bool) "Invalid_design raised" true
+    (try
+       ignore (Flow.run d small_cfg);
+       false
+     with Flow.Invalid_design _ -> true)
+
+let test_flow_times_recorded () =
+  let d = flow_design () in
+  let r = Flow.run d small_cfg in
+  let stage s = List.mem_assoc s r.Flow.times in
+  Alcotest.(check bool) "stages timed" true
+    (stage "extract" && stage "init" && stage "gp" && stage "legal" && stage "detail");
+  Alcotest.(check bool) "total covers stages" true
+    (r.Flow.total_time >= List.fold_left (fun acc (_, t) -> acc +. t) 0.0 r.Flow.times -. 1e-6)
+
+let test_flow_run_both_modes_differ () =
+  let d = flow_design () in
+  let base, sa = Flow.run_both d small_cfg in
+  Alcotest.(check bool) "modes recorded" true
+    (base.Flow.config.Config.mode = Config.Baseline
+    && sa.Flow.config.Config.mode = Config.Structure_aware)
+
+let test_flow_no_groups_ties_baseline () =
+  (* a design where extraction finds nothing: both flows must coincide *)
+  let d =
+    Compose.build
+      {
+        Compose.sp_name = "tie";
+        sp_seed = 92;
+        sp_blocks = [ Compose.Adder 4 ];
+        sp_random_cells = 400;
+        sp_utilization = 0.7;
+      }
+  in
+  let base, sa = Flow.run_both d small_cfg in
+  if sa.Flow.groups_used = [] then
+    Alcotest.(check (float 1e-6)) "identical when no groups" base.Flow.hpwl_final
+      sa.Flow.hpwl_final
+  else
+    (* extraction found the tiny adder: results may differ but must be sane *)
+    Alcotest.(check bool) "sane ratio" true
+      (sa.Flow.hpwl_final /. base.Flow.hpwl_final < 1.3)
+
+let suite =
+  [
+    Alcotest.test_case "baseline legal" `Slow test_flow_baseline_legal;
+    Alcotest.test_case "structure-aware legal" `Slow test_flow_structure_aware_legal;
+    Alcotest.test_case "input untouched" `Slow test_flow_input_untouched;
+    Alcotest.test_case "deterministic" `Slow test_flow_deterministic;
+    Alcotest.test_case "ground-truth source" `Slow test_flow_ground_truth_source;
+    Alcotest.test_case "soft mode" `Slow test_flow_soft_mode;
+    Alcotest.test_case "invalid design" `Quick test_flow_invalid_design_raises;
+    Alcotest.test_case "times recorded" `Slow test_flow_times_recorded;
+    Alcotest.test_case "run_both" `Slow test_flow_run_both_modes_differ;
+    Alcotest.test_case "no-group tie" `Slow test_flow_no_groups_ties_baseline;
+  ]

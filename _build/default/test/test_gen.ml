@@ -1,0 +1,409 @@
+(* Tests for Dpp_gen: cell library, datapath blocks, random logic,
+   composition and presets. *)
+
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Design = Dpp_netlist.Design
+module Groups = Dpp_netlist.Groups
+module Validate = Dpp_netlist.Validate
+module Stdcells = Dpp_gen.Stdcells
+module Kit = Dpp_gen.Kit
+module Blocks = Dpp_gen.Blocks
+module Randlogic = Dpp_gen.Randlogic
+module Compose = Dpp_gen.Compose
+module Presets = Dpp_gen.Presets
+module Nstats = Dpp_netlist.Nstats
+
+(* ---------------- Stdcells ---------------- *)
+
+let test_stdcells_lookup () =
+  Alcotest.(check bool) "find INV" true (Stdcells.find "INV" = Some Stdcells.inv);
+  Alcotest.(check bool) "find missing" true (Stdcells.find "NAND9" = None);
+  Alcotest.(check int) "library size" 15 (List.length Stdcells.all)
+
+let test_stdcells_pins () =
+  let m = Stdcells.fa in
+  Alcotest.(check int) "fa pins" 5 (m.Stdcells.m_inputs + m.Stdcells.m_outputs);
+  for k = 0 to 4 do
+    let dx, dy = Stdcells.pin_offset m ~index:k in
+    Alcotest.(check bool) "pin inside" true
+      (dx > 0.0 && dx < m.Stdcells.m_width && dy > 0.0 && dy < Stdcells.row_height)
+  done;
+  Alcotest.(check bool) "bad index" true
+    (try
+       ignore (Stdcells.pin_offset m ~index:5);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- block helper ---------------- *)
+
+let with_kit f =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:1000.0 ~yh:1000.0 in
+  let b = Builder.create ~die ~row_height:Stdcells.row_height ~site_width:Stdcells.site_width () in
+  let kit = Kit.create b ~prefix:"t" in
+  let blk = f kit in
+  (* terminate all ports so the design validates *)
+  let finish_ports () =
+    List.iter
+      (fun (_, sinks) ->
+        let pad = Builder.add_cell b ~name:(Kit.fresh_name kit "ipad") ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad in
+        let pin = Builder.add_pin b ~cell:pad ~dir:Types.Output () in
+        ignore (Builder.add_net b (pin :: sinks)))
+      blk.Blocks.in_ports;
+    List.iter
+      (fun (_, driver) ->
+        let pad = Builder.add_cell b ~name:(Kit.fresh_name kit "opad") ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad in
+        let pin = Builder.add_pin b ~cell:pad ~dir:Types.Input () in
+        ignore (Builder.add_net b [ driver; pin ]))
+      blk.Blocks.out_ports
+  in
+  finish_ports ();
+  (match blk.Blocks.group with Some g -> Builder.add_group b g | None -> ());
+  blk, Builder.finish b
+
+let the_group blk =
+  match blk.Blocks.group with
+  | Some g -> g
+  | None -> Alcotest.fail "expected a ground-truth group"
+
+let check_block_clean name blk d =
+  let issues = Validate.check d in
+  if not (Validate.is_clean issues) then
+    Alcotest.failf "%s: validation errors" name;
+  (* every group cell must exist and be movable *)
+  Array.iter
+    (fun c ->
+      if Types.is_fixed_kind (Design.cell d c).Types.c_kind then
+        Alcotest.failf "%s: fixed cell in group" name)
+    (Groups.cell_ids (the_group blk))
+
+let test_ripple_adder () =
+  let blk, d = with_kit (fun kit -> Blocks.ripple_adder kit ~name:"add" ~bits:8) in
+  check_block_clean "adder" blk d;
+  Alcotest.(check int) "slices" 8 (Groups.num_slices (the_group blk));
+  Alcotest.(check int) "stages" 5 (Groups.num_stages (the_group blk));
+  Alcotest.(check int) "cells" 40 (Groups.cell_count (the_group blk));
+  (* ports: cin + 2 per bit in, s per bit + cout out *)
+  Alcotest.(check int) "in ports" 17 (List.length blk.Blocks.in_ports);
+  Alcotest.(check int) "out ports" 9 (List.length blk.Blocks.out_ports)
+
+let test_alu () =
+  let blk, d = with_kit (fun kit -> Blocks.alu kit ~name:"alu" ~bits:4) in
+  check_block_clean "alu" blk d;
+  Alcotest.(check int) "stages" 11 (Groups.num_stages (the_group blk));
+  Alcotest.(check int) "cells" 44 (Groups.cell_count (the_group blk));
+  Alcotest.(check bool) "has op selects" true
+    (List.mem_assoc "sel0" blk.Blocks.in_ports && List.mem_assoc "sel1" blk.Blocks.in_ports);
+  (* sel0 touches two muxes per bit *)
+  Alcotest.(check int) "sel0 fanout" 8 (List.length (List.assoc "sel0" blk.Blocks.in_ports))
+
+let test_barrel_shifter () =
+  let blk, d = with_kit (fun kit -> Blocks.barrel_shifter kit ~name:"sh" ~bits:8) in
+  check_block_clean "shifter" blk d;
+  Alcotest.(check int) "stages = log2 bits" 3 (Groups.num_stages (the_group blk));
+  Alcotest.(check int) "cells" 24 (Groups.cell_count (the_group blk));
+  Alcotest.(check int) "level selects" 3
+    (List.length (List.filter (fun (n, _) -> String.length n >= 2 && String.sub n 0 2 = "sh") blk.Blocks.in_ports))
+
+let test_register_bank () =
+  let blk, d = with_kit (fun kit -> Blocks.register_bank kit ~name:"rb" ~bits:6) in
+  check_block_clean "regbank" blk d;
+  Alcotest.(check int) "stages" 3 (Groups.num_stages (the_group blk));
+  Alcotest.(check int) "clk fanout" 6 (List.length (List.assoc "clk" blk.Blocks.in_ports))
+
+let test_comparator () =
+  let blk, d = with_kit (fun kit -> Blocks.comparator kit ~name:"cmp" ~bits:5) in
+  check_block_clean "comparator" blk d;
+  Alcotest.(check int) "cells" 10 (Groups.cell_count (the_group blk));
+  Alcotest.(check int) "single output" 1 (List.length blk.Blocks.out_ports)
+
+let test_multiplier () =
+  let blk, d = with_kit (fun kit -> Blocks.multiplier kit ~name:"mul" ~bits:4) in
+  check_block_clean "multiplier" blk d;
+  Alcotest.(check int) "slices" 4 (Groups.num_slices (the_group blk));
+  Alcotest.(check int) "stages" 8 (Groups.num_stages (the_group blk));
+  (* row 0 has no adders: 4 holes *)
+  Alcotest.(check int) "cells" 28 (Groups.cell_count (the_group blk))
+
+let test_mux_tree () =
+  let blk, d = with_kit (fun kit -> Blocks.mux_tree kit ~name:"mx" ~bits:4 ~inputs:4) in
+  check_block_clean "muxtree" blk d;
+  Alcotest.(check int) "stages = inputs-1" 3 (Groups.num_stages (the_group blk));
+  Alcotest.(check bool) "bad inputs rejected" true
+    (try
+       let _ = with_kit (fun kit -> Blocks.mux_tree kit ~name:"mx2" ~bits:2 ~inputs:3) in
+       false
+     with Invalid_argument _ -> true)
+
+let test_block_bad_bits () =
+  Alcotest.(check bool) "adder bits 0 rejected" true
+    (try
+       let _ = with_kit (fun kit -> Blocks.ripple_adder kit ~name:"a" ~bits:0) in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Randlogic ---------------- *)
+
+let test_randlogic_counts () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:1000.0 ~yh:1000.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let kit = Kit.create b ~prefix:"g" in
+  let rng = Dpp_util.Rng.create 17 in
+  let cloud = Randlogic.cloud kit ~rng ~cells:200 in
+  Alcotest.(check int) "cell count" 200 (List.length cloud.Randlogic.rl_cells);
+  Alcotest.(check bool) "has out ports" true (cloud.Randlogic.rl_out_ports <> []);
+  Alcotest.(check bool) "has in ports" true (cloud.Randlogic.rl_in_ports <> [])
+
+let test_randlogic_deterministic () =
+  let mk seed =
+    let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:1000.0 ~yh:1000.0 in
+    let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+    let kit = Kit.create b ~prefix:"g" in
+    let cloud = Randlogic.cloud kit ~rng:(Dpp_util.Rng.create seed) ~cells:100 in
+    Builder.num_nets b, List.length cloud.Randlogic.rl_out_ports
+  in
+  Alcotest.(check bool) "same seed same structure" true (mk 3 = mk 3);
+  Alcotest.(check bool) "different seed differs" true (mk 3 <> mk 4)
+
+(* ---------------- Compose / Presets ---------------- *)
+
+let test_compose_validates () =
+  let spec =
+    {
+      Compose.sp_name = "t";
+      sp_seed = 5;
+      sp_blocks = [ Compose.Adder 8; Regbank 8; Comparator 8 ];
+      sp_random_cells = 150;
+      sp_utilization = 0.7;
+    }
+  in
+  let d = Compose.build spec in
+  Alcotest.(check bool) "validates" true (Validate.is_clean (Validate.check d));
+  Alcotest.(check int) "three groups" 3 (List.length d.Design.groups);
+  let st = Nstats.compute d in
+  Alcotest.(check bool) "utilization near target" true
+    (abs_float (st.Nstats.s_utilization -. 0.7) < 0.02)
+
+let test_compose_deterministic () =
+  let spec = List.hd Presets.suite in
+  let d1 = Compose.build spec and d2 = Compose.build spec in
+  Alcotest.(check int) "same cells" (Design.num_cells d1) (Design.num_cells d2);
+  Alcotest.(check int) "same nets" (Design.num_nets d1) (Design.num_nets d2);
+  (* spot-check full structural equality of a net *)
+  let n1 = Design.net d1 7 and n2 = Design.net d2 7 in
+  Alcotest.(check bool) "same net pins" true (n1.Types.n_pins = n2.Types.n_pins)
+
+let test_compose_rejects_empty () =
+  Alcotest.(check bool) "empty spec rejected" true
+    (try
+       ignore
+         (Compose.build
+            {
+              Compose.sp_name = "e";
+              sp_seed = 1;
+              sp_blocks = [];
+              sp_random_cells = 0;
+              sp_utilization = 0.7;
+            });
+       false
+     with Invalid_argument _ -> true)
+
+let test_compose_bad_utilization () =
+  Alcotest.(check bool) "utilization > 1 rejected" true
+    (try
+       ignore
+         (Compose.build
+            {
+              Compose.sp_name = "e";
+              sp_seed = 1;
+              sp_blocks = [ Compose.Adder 4 ];
+              sp_random_cells = 10;
+              sp_utilization = 1.5;
+            });
+       false
+     with Invalid_argument _ -> true)
+
+let test_presets_all_valid () =
+  List.iter
+    (fun spec ->
+      let d = Compose.build spec in
+      let issues = Validate.check d in
+      if not (Validate.is_clean issues) then
+        Alcotest.failf "preset %s has validation errors" spec.Compose.sp_name)
+    Presets.suite
+
+let test_presets_lookup () =
+  Alcotest.(check int) "suite size" 7 (List.length Presets.suite);
+  Alcotest.(check bool) "by_name hit" true (Presets.by_name "dp_add32" <> None);
+  Alcotest.(check bool) "by_name miss" true (Presets.by_name "nope" = None)
+
+let test_presets_scaled () =
+  let spec = Presets.scaled ~name:"s" ~seed:1 ~cells:1500 ~dp_fraction:0.5 in
+  let d = Compose.build spec in
+  let st = Nstats.compute d in
+  Alcotest.(check bool) "size in ballpark" true
+    (st.Nstats.s_movable > 1000 && st.Nstats.s_movable < 2200);
+  Alcotest.(check bool) "dp fraction in ballpark" true
+    (abs_float (st.Nstats.s_datapath_fraction -. 0.5) < 0.2);
+  Alcotest.(check bool) "bad fraction rejected" true
+    (try
+       ignore (Presets.scaled ~name:"s" ~seed:1 ~cells:1500 ~dp_fraction:0.99);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pads_on_boundary () =
+  let d = Compose.build (List.hd Presets.suite) in
+  let die = d.Design.die in
+  Array.iter
+    (fun i ->
+      match (Design.cell d i).Types.c_kind with
+      | Types.Pad ->
+        let x = d.Design.x.(i) and y = d.Design.y.(i) in
+        let on_edge =
+          x <= die.Rect.xl +. 1.5 || x >= die.Rect.xh -. 2.5 || y <= die.Rect.yl +. 1.5
+          || y >= die.Rect.yh -. 2.5
+        in
+        if not on_edge then Alcotest.failf "pad %d not on boundary (%.1f, %.1f)" i x y
+      | Types.Fixed | Types.Movable -> ())
+    (Design.fixed_ids d)
+
+let suite =
+  [
+    Alcotest.test_case "stdcells lookup" `Quick test_stdcells_lookup;
+    Alcotest.test_case "stdcells pins" `Quick test_stdcells_pins;
+    Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+    Alcotest.test_case "alu" `Quick test_alu;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "register bank" `Quick test_register_bank;
+    Alcotest.test_case "comparator" `Quick test_comparator;
+    Alcotest.test_case "multiplier" `Quick test_multiplier;
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "bad bits" `Quick test_block_bad_bits;
+    Alcotest.test_case "randlogic counts" `Quick test_randlogic_counts;
+    Alcotest.test_case "randlogic deterministic" `Quick test_randlogic_deterministic;
+    Alcotest.test_case "compose validates" `Quick test_compose_validates;
+    Alcotest.test_case "compose deterministic" `Quick test_compose_deterministic;
+    Alcotest.test_case "compose rejects empty" `Quick test_compose_rejects_empty;
+    Alcotest.test_case "compose bad utilization" `Quick test_compose_bad_utilization;
+    Alcotest.test_case "presets all valid" `Slow test_presets_all_valid;
+    Alcotest.test_case "presets lookup" `Quick test_presets_lookup;
+    Alcotest.test_case "presets scaled" `Quick test_presets_scaled;
+    Alcotest.test_case "pads on boundary" `Quick test_pads_on_boundary;
+  ]
+
+(* appended: tests for the later-added blocks *)
+
+let test_carry_select_adder () =
+  let blk, d = with_kit (fun kit -> Blocks.carry_select_adder kit ~name:"csa" ~bits:8 ~block_size:4) in
+  check_block_clean "cselect" blk d;
+  Alcotest.(check int) "slices" 8 (Groups.num_slices (the_group blk));
+  (* 11 cells per bit + a carry mux on each block-boundary slice *)
+  Alcotest.(check int) "cells" (8 * 11 + 2) (Groups.cell_count (the_group blk));
+  Alcotest.(check bool) "bad block size rejected" true
+    (try
+       let _ = with_kit (fun kit -> Blocks.carry_select_adder kit ~name:"x" ~bits:6 ~block_size:4) in
+       false
+     with Invalid_argument _ -> true)
+
+let test_priority_encoder () =
+  let blk, d = with_kit (fun kit -> Blocks.priority_encoder kit ~name:"pri" ~bits:8) in
+  check_block_clean "prienc" blk d;
+  Alcotest.(check int) "slices" 8 (Groups.num_slices (the_group blk));
+  Alcotest.(check int) "stages" 3 (Groups.num_stages (the_group blk));
+  (* grants per bit + the any output *)
+  Alcotest.(check int) "outputs" 9 (List.length blk.Blocks.out_ports)
+
+let test_compose_new_blocks () =
+  let d =
+    Compose.build
+      {
+        Compose.sp_name = "newb";
+        sp_seed = 19;
+        sp_blocks = [ Compose.Cselect (16, 4); Prienc 8; Regbank 16 ];
+        sp_random_cells = 150;
+        sp_utilization = 0.7;
+      }
+  in
+  Alcotest.(check bool) "validates" true (Validate.is_clean (Validate.check d));
+  Alcotest.(check int) "three groups" 3 (List.length d.Design.groups)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "carry-select adder" `Quick test_carry_select_adder;
+      Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+      Alcotest.test_case "compose new blocks" `Quick test_compose_new_blocks;
+    ]
+
+(* appended: noise injection tests *)
+
+let test_noise_preserves_counts () =
+  let d = Compose.build (List.nth Presets.suite 4) in
+  let rng = Dpp_util.Rng.create 7 in
+  let d' = Dpp_gen.Noise.rewire ~rng ~fraction:0.2 d in
+  Alcotest.(check int) "cells" (Design.num_cells d) (Design.num_cells d');
+  Alcotest.(check int) "nets" (Design.num_nets d) (Design.num_nets d');
+  Alcotest.(check int) "pins" (Design.num_pins d) (Design.num_pins d');
+  (* every net keeps its pin count *)
+  for n = 0 to Design.num_nets d - 1 do
+    Alcotest.(check int) "net degree preserved"
+      (Array.length (Design.net d n).Types.n_pins)
+      (Array.length (Design.net d' n).Types.n_pins)
+  done;
+  (* result still validates (no errors) *)
+  Alcotest.(check bool) "validates" true (Validate.is_clean (Validate.check d'))
+
+let test_noise_zero_is_identity () =
+  let d = Compose.build (List.nth Presets.suite 4) in
+  let rng = Dpp_util.Rng.create 8 in
+  let d' = Dpp_gen.Noise.rewire ~rng ~fraction:0.0 d in
+  for n = 0 to Design.num_nets d - 1 do
+    if (Design.net d n).Types.n_pins <> (Design.net d' n).Types.n_pins then
+      Alcotest.failf "net %d changed at zero noise" n
+  done
+
+let test_noise_actually_rewires () =
+  let d = Compose.build (List.nth Presets.suite 4) in
+  let rng = Dpp_util.Rng.create 9 in
+  let d' = Dpp_gen.Noise.rewire ~rng ~fraction:0.3 d in
+  let changed = ref 0 in
+  for n = 0 to Design.num_nets d - 1 do
+    if (Design.net d n).Types.n_pins <> (Design.net d' n).Types.n_pins then incr changed
+  done;
+  Alcotest.(check bool) "a substantial number of nets changed" true
+    (!changed > Design.num_nets d / 10)
+
+let test_noise_input_untouched () =
+  let d = Compose.build (List.nth Presets.suite 4) in
+  let before = Array.map (fun (n : Types.net) -> n.Types.n_pins) d.Design.nets in
+  let rng = Dpp_util.Rng.create 10 in
+  ignore (Dpp_gen.Noise.rewire ~rng ~fraction:0.5 d);
+  Array.iteri
+    (fun n pins ->
+      if pins <> (Design.net d n).Types.n_pins then Alcotest.failf "input net %d mutated" n)
+    before
+
+let test_noise_degrades_recall () =
+  let d = Compose.build (List.hd Presets.suite) in
+  let extract dd =
+    let r = Dpp_extract.Slicer.run dd Dpp_extract.Slicer.default_config in
+    (Dpp_extract.Exmetrics.compare_to_truth ~truth:dd.Design.groups
+       ~found:r.Dpp_extract.Slicer.groups)
+      .Dpp_extract.Exmetrics.recall
+  in
+  let clean = extract d in
+  let noisy =
+    extract (Dpp_gen.Noise.rewire ~rng:(Dpp_util.Rng.create 11) ~fraction:0.4 d)
+  in
+  Alcotest.(check bool) "noise reduces recall" true (noisy < clean)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "noise preserves counts" `Quick test_noise_preserves_counts;
+      Alcotest.test_case "noise zero identity" `Quick test_noise_zero_is_identity;
+      Alcotest.test_case "noise rewires" `Quick test_noise_actually_rewires;
+      Alcotest.test_case "noise input untouched" `Quick test_noise_input_untouched;
+      Alcotest.test_case "noise degrades recall" `Quick test_noise_degrades_recall;
+    ]

@@ -1,0 +1,29 @@
+(* Test driver: one Alcotest run over every library's suite. *)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Error);
+  Alcotest.run "dpp"
+    [
+      "util", Test_util.suite;
+      "geom", Test_geom.suite;
+      "netlist", Test_netlist.suite;
+      "bookshelf", Test_bookshelf.suite;
+      "numeric", Test_numeric.suite;
+      "wirelen", Test_wirelen.suite;
+      "steiner", Test_steiner.suite;
+      "density", Test_density.suite;
+      "gen", Test_gen.suite;
+      "extract", Test_extract.suite;
+      "structure", Test_structure.suite;
+      "place", Test_place.suite;
+      "flow", Test_flow.suite;
+      "report", Test_report.suite;
+      "congest", Test_congest.suite;
+      "timing", Test_timing.suite;
+      "viz", Test_viz.suite;
+      "macros", Test_macros.suite;
+      "experiment", Test_experiment.suite;
+      "properties", Test_properties.suite;
+      "corners", Test_corners.suite;
+    ]

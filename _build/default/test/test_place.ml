@@ -1,0 +1,347 @@
+(* Tests for Dpp_place: Qp, Gp, Legal, Abacus, Detail, Legality. *)
+
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Design = Dpp_netlist.Design
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Qp = Dpp_place.Qp
+module Gp = Dpp_place.Gp
+module Legal = Dpp_place.Legal
+module Abacus = Dpp_place.Abacus
+module Detail = Dpp_place.Detail
+module Legality = Dpp_place.Legality
+module Compose = Dpp_gen.Compose
+
+let place_design seed =
+  Compose.build
+    {
+      Compose.sp_name = "pl";
+      sp_seed = seed;
+      sp_blocks = [ Compose.Adder 8 ];
+      sp_random_cells = 250;
+      sp_utilization = 0.7;
+    }
+
+(* ---------------- Qp ---------------- *)
+
+let test_qp_pulls_connected_cells_together () =
+  (* two movables connected to opposite fixed pads end between them *)
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:100.0 ~yh:50.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let pad x =
+    let id = Builder.add_cell b ~name:(Printf.sprintf "p%f" x) ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad in
+    Builder.set_position b id ~x ~y:25.0;
+    Builder.add_pin b ~cell:id ~dir:Types.Output ()
+  in
+  let p_left = pad 0.0 and p_right = pad 99.0 in
+  let mk name =
+    let id = Builder.add_cell b ~name ~master:"X" ~w:2.0 ~h:10.0 ~kind:Types.Movable in
+    let i = Builder.add_pin b ~cell:id ~dir:Types.Input () in
+    let o = Builder.add_pin b ~cell:id ~dir:Types.Output () in
+    id, i, o
+  in
+  let a, ai, ao = mk "a" in
+  let c, ci, co = mk "c" in
+  ignore (Builder.add_net b [ p_left; ai ]);
+  ignore (Builder.add_net b [ ao; ci ]);
+  ignore (Builder.add_net b [ co; p_right ]);
+  let d = Builder.finish b in
+  let r = Qp.run ~seed:1 d in
+  Alcotest.(check bool) "a left of c" true (r.Qp.cx.(a) < r.Qp.cx.(c));
+  Alcotest.(check bool) "a in left-middle" true (r.Qp.cx.(a) > 10.0 && r.Qp.cx.(a) < 60.0);
+  Alcotest.(check bool) "c in right-middle" true (r.Qp.cx.(c) > 40.0 && r.Qp.cx.(c) < 90.0)
+
+let test_qp_inside_die () =
+  let d = place_design 71 in
+  let r = Qp.run ~seed:1 d in
+  let die = d.Design.die in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "center inside" true
+        (r.Qp.cx.(i) >= die.Rect.xl && r.Qp.cx.(i) <= die.Rect.xh
+        && r.Qp.cy.(i) >= die.Rect.yl
+        && r.Qp.cy.(i) <= die.Rect.yh))
+    (Design.movable_ids d)
+
+let test_qp_deterministic () =
+  let d = place_design 72 in
+  let a = Qp.run ~seed:5 d and b = Qp.run ~seed:5 d in
+  Alcotest.(check bool) "same result" true (a.Qp.cx = b.Qp.cx && a.Qp.cy = b.Qp.cy)
+
+let test_qp_improves_hpwl () =
+  let d = place_design 73 in
+  let pins = Pins.build d in
+  (* start: everything at die center via QP result vs cells at (0, 0) *)
+  let nc = Design.num_cells d in
+  let zero_x = Array.init nc (fun i -> Design.cell_center_x d i) in
+  let zero_y = Array.init nc (fun i -> Design.cell_center_y d i) in
+  let before = Hpwl.total pins ~cx:zero_x ~cy:zero_y in
+  let r = Qp.run ~seed:1 d in
+  let after = Hpwl.total pins ~cx:r.Qp.cx ~cy:r.Qp.cy in
+  Alcotest.(check bool) "qp reduces wirelength vs piled-at-origin" true (after < before)
+
+(* ---------------- Gp ---------------- *)
+
+let test_gp_reduces_overflow () =
+  let d = place_design 74 in
+  let qp = Qp.run ~seed:1 d in
+  let grid = Dpp_density.Grid.build d ~nx:16 ~ny:16 in
+  let before =
+    Dpp_density.Overflow.total_overflow d grid ~target_density:0.9 ~cx:qp.Qp.cx ~cy:qp.Qp.cy
+  in
+  let gp = Gp.run d Gp.default_config ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  Alcotest.(check bool) "overflow reduced" true (gp.Gp.final_overflow < before);
+  Alcotest.(check bool) "reaches target-ish" true (gp.Gp.final_overflow < 0.15)
+
+let test_gp_trace_monotone_overflow () =
+  let d = place_design 75 in
+  let qp = Qp.run ~seed:1 d in
+  let gp = Gp.run d { Gp.default_config with Gp.rounds = 8 } ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  Alcotest.(check bool) "trace nonempty" true (gp.Gp.trace <> []);
+  (* overflow should broadly decrease over rounds *)
+  let ovfs = List.map (fun (ri : Gp.round_info) -> ri.Gp.overflow) gp.Gp.trace in
+  let first = List.hd ovfs and last = List.nth ovfs (List.length ovfs - 1) in
+  Alcotest.(check bool) "first >= last" true (first >= last -. 0.02)
+
+let test_gp_rigid_groups_stay_arrays () =
+  let d =
+    Compose.build
+      {
+        Compose.sp_name = "gr";
+        sp_seed = 76;
+        sp_blocks = [ Compose.Adder 16 ];
+        sp_random_cells = 200;
+        sp_utilization = 0.7;
+      }
+  in
+  let qp = Qp.run ~seed:1 d in
+  let dgs = Dpp_structure.Dgroup.build_all d d.Design.groups in
+  let cfg = { Gp.default_config with Gp.rigid_groups = dgs } in
+  let gp = Gp.run d cfg ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  List.iter
+    (fun dg ->
+      Alcotest.(check (float 1e-6)) "rigid group is an exact array" 0.0
+        (Dpp_structure.Dgroup.alignment_error dg ~cx:gp.Gp.cx ~cy:gp.Gp.cy))
+    dgs
+
+let test_gp_soft_groups_reduce_alignment_error () =
+  let d =
+    Compose.build
+      {
+        Compose.sp_name = "gs";
+        sp_seed = 77;
+        sp_blocks = [ Compose.Adder 16 ];
+        sp_random_cells = 200;
+        sp_utilization = 0.7;
+      }
+  in
+  let qp = Qp.run ~seed:1 d in
+  let dgs = Dpp_structure.Dgroup.build_all d d.Design.groups in
+  let base = Gp.run d Gp.default_config ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  let soft =
+    Gp.run d { Gp.default_config with Gp.groups = dgs; beta = 2.0 } ~cx:qp.Qp.cx ~cy:qp.Qp.cy
+  in
+  let err r = Dpp_structure.Alignment.total_error dgs ~cx:r.Gp.cx ~cy:r.Gp.cy in
+  Alcotest.(check bool) "soft alignment tightens groups" true (err soft < err base)
+
+(* ---------------- Legal + Abacus ---------------- *)
+
+let run_legalization d =
+  let qp = Qp.run ~seed:1 d in
+  let gp = Gp.run d Gp.default_config ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  let legal = Legal.run d ~cx:gp.Gp.cx ~cy:gp.Gp.cy () in
+  Abacus.run d ~target_cx:gp.Gp.cx ~legal ();
+  gp, legal
+
+let test_legalization_is_legal () =
+  let d = place_design 78 in
+  let _, legal = run_legalization d in
+  Alcotest.(check (list string)) "no failures" []
+    (List.map string_of_int legal.Legal.failed);
+  let v = Legality.check d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  if v <> [] then
+    Alcotest.failf "%d violations, first: %s" (List.length v)
+      (Format.asprintf "%a" (Legality.pp_violation d) (List.hd v))
+
+let test_legalization_respects_obstacles () =
+  let d = place_design 79 in
+  let qp = Qp.run ~seed:1 d in
+  let die = d.Design.die in
+  let ob =
+    Rect.make ~xl:die.Rect.xl ~yl:die.Rect.yl
+      ~xh:(die.Rect.xl +. (Rect.width die /. 3.0))
+      ~yh:(die.Rect.yl +. 30.0)
+  in
+  let legal = Legal.run d ~extra_obstacles:[ ob ] ~cx:qp.Qp.cx ~cy:qp.Qp.cy () in
+  Array.iter
+    (fun i ->
+      if legal.Legal.assignment.(i) >= 0 then begin
+        let c = Design.cell d i in
+        let r =
+          Rect.of_center ~cx:legal.Legal.cx.(i) ~cy:legal.Legal.cy.(i) ~w:c.Types.c_width
+            ~h:c.Types.c_height
+        in
+        if Rect.overlap_area r ob > 1e-6 then Alcotest.failf "cell %d inside obstacle" i
+      end)
+    (Design.movable_ids d)
+
+let test_legalization_skip () =
+  let d = place_design 80 in
+  let qp = Qp.run ~seed:1 d in
+  let skip i = i < 5 in
+  let legal = Legal.run d ~skip ~cx:qp.Qp.cx ~cy:qp.Qp.cy () in
+  for i = 0 to 4 do
+    if not (Types.is_fixed_kind (Design.cell d i).Types.c_kind) then begin
+      Alcotest.(check int) "skipped unassigned" (-1) legal.Legal.assignment.(i);
+      Alcotest.(check (float 1e-12)) "skipped untouched" qp.Qp.cx.(i) legal.Legal.cx.(i)
+    end
+  done
+
+let test_abacus_reduces_displacement () =
+  let d = place_design 81 in
+  let qp = Qp.run ~seed:1 d in
+  let gp = Gp.run d Gp.default_config ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
+  let legal1 = Legal.run d ~cx:gp.Gp.cx ~cy:gp.Gp.cy () in
+  let disp l =
+    Array.fold_left
+      (fun acc i ->
+        if l.Legal.assignment.(i) >= 0 then acc +. abs_float (l.Legal.cx.(i) -. gp.Gp.cx.(i))
+        else acc)
+      0.0 (Design.movable_ids d)
+  in
+  let before = disp legal1 in
+  Abacus.run d ~target_cx:gp.Gp.cx ~legal:legal1 ();
+  let after = disp legal1 in
+  Alcotest.(check bool) "abacus does not worsen displacement" true (after <= before +. 1e-6)
+
+(* ---------------- Detail ---------------- *)
+
+let test_detail_improves_and_stays_legal () =
+  let d = place_design 82 in
+  let gp, legal = run_legalization d in
+  let pins = Pins.build d in
+  let before = Hpwl.total pins ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let stats = Detail.run d ~max_passes:3 ~legal () in
+  let after = Hpwl.total pins ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  ignore gp;
+  Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
+  Alcotest.(check bool) "claimed gain matches" true
+    (abs_float (before -. after -. (stats.Detail.reorder_gain +. stats.Detail.swap_gain)) < 1e-3);
+  let v = Legality.check d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  if v <> [] then
+    Alcotest.failf "detail broke legality: %s"
+      (Format.asprintf "%a" (Legality.pp_violation d) (List.hd v))
+
+let test_detail_skip_frozen () =
+  let d = place_design 83 in
+  let _, legal = run_legalization d in
+  let frozen = Array.copy legal.Legal.cx in
+  let skip i = i mod 7 = 0 in
+  ignore (Detail.run d ~max_passes:2 ~skip ~legal ());
+  Array.iter
+    (fun i ->
+      if skip i && legal.Legal.assignment.(i) >= 0 then
+        Alcotest.(check (float 1e-12)) "frozen cell untouched" frozen.(i) legal.Legal.cx.(i))
+    (Design.movable_ids d)
+
+(* ---------------- Legality ---------------- *)
+
+let test_legality_detects_violations () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:40.0 ~yh:20.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let c0 = Builder.add_cell b ~name:"a" ~master:"X" ~w:4.0 ~h:10.0 ~kind:Types.Movable in
+  let c1 = Builder.add_cell b ~name:"b" ~master:"X" ~w:4.0 ~h:10.0 ~kind:Types.Movable in
+  let d = Builder.finish b in
+  let cx = [| 2.0; 4.0 |] and cy = [| 5.0; 5.0 |] in
+  (* overlapping pair *)
+  let v = Legality.check d ~cx ~cy in
+  Alcotest.(check bool) "overlap found" true
+    (List.exists (function Legality.Overlap (a, b) -> a = c0 && b = c1 | _ -> false) v);
+  (* clean placement passes *)
+  let cx = [| 2.0; 10.0 |] in
+  Alcotest.(check bool) "clean passes" true (Legality.is_legal d ~cx ~cy);
+  (* off-row *)
+  let cy2 = [| 6.0; 5.0 |] in
+  let v = Legality.check d ~cx ~cy:cy2 in
+  Alcotest.(check bool) "off-row found" true
+    (List.exists (function Legality.Off_row _ -> true | _ -> false) v)
+
+let suite =
+  [
+    Alcotest.test_case "qp pulls chain" `Quick test_qp_pulls_connected_cells_together;
+    Alcotest.test_case "qp inside die" `Quick test_qp_inside_die;
+    Alcotest.test_case "qp deterministic" `Quick test_qp_deterministic;
+    Alcotest.test_case "qp improves hpwl" `Quick test_qp_improves_hpwl;
+    Alcotest.test_case "gp reduces overflow" `Slow test_gp_reduces_overflow;
+    Alcotest.test_case "gp trace" `Slow test_gp_trace_monotone_overflow;
+    Alcotest.test_case "gp rigid groups" `Slow test_gp_rigid_groups_stay_arrays;
+    Alcotest.test_case "gp soft groups" `Slow test_gp_soft_groups_reduce_alignment_error;
+    Alcotest.test_case "legalization legal" `Slow test_legalization_is_legal;
+    Alcotest.test_case "legalization obstacles" `Quick test_legalization_respects_obstacles;
+    Alcotest.test_case "legalization skip" `Quick test_legalization_skip;
+    Alcotest.test_case "abacus displacement" `Slow test_abacus_reduces_displacement;
+    Alcotest.test_case "detail improves" `Slow test_detail_improves_and_stays_legal;
+    Alcotest.test_case "detail skip" `Slow test_detail_skip_frozen;
+    Alcotest.test_case "legality detects" `Quick test_legality_detects_violations;
+  ]
+
+(* appended: orientation-flip pass *)
+
+let test_flip_improves_and_preserves_legality () =
+  let d = place_design 84 in
+  let _, legal = run_legalization d in
+  let pins_before = Pins.build d in
+  let before = Hpwl.total pins_before ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let pins_after = Pins.build d in
+  let after = Hpwl.total pins_after ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
+  Alcotest.(check (float 1e-3)) "claimed gain" (before -. after) stats.Dpp_place.Flip.gain;
+  Alcotest.(check bool) "some flips found" true (stats.Dpp_place.Flip.flips > 0);
+  (* flipping never moves footprints *)
+  let v = Legality.check d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  Alcotest.(check int) "still legal" 0 (List.length v)
+
+let test_flip_orientation_recorded () =
+  let d = place_design 85 in
+  let _, legal = run_legalization d in
+  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let flipped =
+    Array.fold_left
+      (fun acc o -> if o = Dpp_geom.Orient.FN then acc + 1 else acc)
+      0 d.Design.orient
+  in
+  Alcotest.(check int) "orient array matches stats" stats.Dpp_place.Flip.flips flipped
+
+let test_pins_respect_orientation () =
+  (* a 2-cell design: flipping one cell mirrors its pin offset *)
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:40.0 ~yh:20.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let c0 = Builder.add_cell b ~name:"a" ~master:"X" ~w:4.0 ~h:10.0 ~kind:Types.Movable in
+  let p0 = Builder.add_pin b ~cell:c0 ~dir:Types.Output ~dx:1.0 ~dy:5.0 () in
+  let c1 = Builder.add_cell b ~name:"b" ~master:"X" ~w:4.0 ~h:10.0 ~kind:Types.Movable in
+  let p1 = Builder.add_pin b ~cell:c1 ~dir:Types.Input ~dx:1.0 ~dy:5.0 () in
+  ignore (Builder.add_net b [ p0; p1 ]);
+  Builder.set_position b c0 ~x:0.0 ~y:0.0;
+  Builder.set_position b c1 ~x:20.0 ~y:0.0;
+  let d = Builder.finish b in
+  let pins_n = Pins.build d in
+  d.Design.orient.(c0) <- Dpp_geom.Orient.FN;
+  let pins_fn = Pins.build d in
+  (* offset from center was 1.0 - 2.0 = -1.0; mirrored becomes +1.0 *)
+  Alcotest.(check (float 1e-9)) "N offset" (-1.0) pins_n.Pins.off_x.(p0);
+  Alcotest.(check (float 1e-9)) "FN offset" 1.0 pins_fn.Pins.off_x.(p0);
+  (* and agrees with the slow pin_position path *)
+  let px, _ = Design.pin_position d p0 in
+  Alcotest.(check (float 1e-9)) "pin_position agrees" px
+    (Design.cell_center_x d c0 +. pins_fn.Pins.off_x.(p0))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "flip improves" `Slow test_flip_improves_and_preserves_legality;
+      Alcotest.test_case "flip orientation recorded" `Slow test_flip_orientation_recorded;
+      Alcotest.test_case "pins respect orientation" `Quick test_pins_respect_orientation;
+    ]

@@ -1,0 +1,71 @@
+(* Tests for Dpp_report: table rendering and series output. *)
+
+module Table = Dpp_report.Table
+module Series = Dpp_report.Series
+
+let test_table_render () =
+  let out =
+    Table.render ~title:"T" ~header:[ "name"; "v" ] [ [ "a"; "1.5" ]; [ "bb"; "20" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "title + header + sep + 2 rows" 5 (List.length lines);
+  Alcotest.(check string) "title first" "T" (List.hd lines);
+  (* numeric right-alignment: "1.5" occupies width 3 right-aligned under "v" *)
+  Alcotest.(check bool) "columns aligned" true
+    (String.length (List.nth lines 3) = String.length (List.nth lines 4))
+
+let test_table_short_rows_padded () =
+  let out = Table.render ~title:"T" ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length out > 0)
+
+let test_geomean_row () =
+  let rows = [ [ "a"; "2.0"; "x" ]; [ "b"; "8.0"; "y" ] ] in
+  match Table.geomean_row ~label:"gm" rows with
+  | [ l; v; nv ] ->
+    Alcotest.(check string) "label" "gm" l;
+    Alcotest.(check string) "geomean" "4" v;
+    Alcotest.(check string) "non-numeric column dashed" "-" nv
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_geomean_row_empty () =
+  Alcotest.(check (list string)) "empty rows" [ "gm" ] (Table.geomean_row ~label:"gm" [])
+
+let test_series_make_checks_arity () =
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       ignore
+         (Series.make ~title:"f" ~x_label:"x" ~y_labels:[ "a"; "b" ] [ (1.0, [ 2.0 ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_csv () =
+  let s =
+    Series.make ~title:"f" ~x_label:"x" ~y_labels:[ "y" ] [ (1.0, [ 2.0 ]); (3.0, [ 4.0 ]) ]
+  in
+  let path = Filename.temp_file "dpp_series" ".csv" in
+  Series.to_csv s ~path;
+  let ic = open_in path in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "x,y" header;
+  Alcotest.(check string) "row" "1,2" row
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Series.sparkline []);
+  let s = Series.sparkline [ 0.0; 0.5; 1.0 ] in
+  Alcotest.(check bool) "three glyphs" true (String.length s > 0);
+  (* constant series does not crash (zero range) *)
+  Alcotest.(check bool) "constant ok" true (String.length (Series.sparkline [ 2.0; 2.0 ]) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table short rows" `Quick test_table_short_rows_padded;
+    Alcotest.test_case "geomean row" `Quick test_geomean_row;
+    Alcotest.test_case "geomean empty" `Quick test_geomean_row_empty;
+    Alcotest.test_case "series arity" `Quick test_series_make_checks_arity;
+    Alcotest.test_case "series csv" `Quick test_series_csv;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+  ]
