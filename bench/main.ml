@@ -92,6 +92,109 @@ let run_micro () =
     (micro_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Detailed-placement move-evaluation microbenchmark                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Same candidate cross-row swaps evaluated two ways: the Netbox
+   incremental delta (what Detail/Flip now run on) against the classical
+   full rescan of every touched net.  Emits BENCH_detail.json. *)
+let run_detail_bench () =
+  let module Design = Dpp_netlist.Design in
+  let module Types = Dpp_netlist.Types in
+  let module Pins = Dpp_wirelen.Pins in
+  let module Hpwl = Dpp_wirelen.Hpwl in
+  let module Netbox = Dpp_wirelen.Netbox in
+  let module Rng = Dpp_util.Rng in
+  let d = Lazy.force micro_design in
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let legal = Dpp_place.Legal.run d ~cx ~cy () in
+  let lcx = legal.Dpp_place.Legal.cx and lcy = legal.Dpp_place.Legal.cy in
+  let movable = Design.movable_ids d in
+  let nm = Array.length movable in
+  let rng = Rng.create 7 in
+  let n_cands = 40_000 in
+  let cands =
+    Array.init n_cands (fun _ ->
+        movable.(Rng.int rng nm), movable.(Rng.int rng nm))
+  in
+  (* weighted rescan of the union of both cells' nets, before/after the
+     staged swap — the pre-refactor Detail.local_hpwl evaluation *)
+  let module Hypergraph = Dpp_netlist.Hypergraph in
+  let h = Hypergraph.build d in
+  let local i j =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun c -> Hypergraph.iter_nets_of_cell h c (fun n -> Hashtbl.replace seen n ()))
+      [ i; j ];
+    Hashtbl.fold
+      (fun n () acc ->
+        acc +. ((Design.net d n).Types.n_weight *. Hpwl.net pins ~cx:lcx ~cy:lcy n))
+      seen 0.0
+  in
+  let rescan_eval (i, j) =
+    let before = local i j in
+    let xi = lcx.(i) and yi = lcy.(i) and xj = lcx.(j) and yj = lcy.(j) in
+    lcx.(i) <- xj;
+    lcy.(i) <- yj;
+    lcx.(j) <- xi;
+    lcy.(j) <- yi;
+    let after = local i j in
+    lcx.(i) <- xi;
+    lcy.(i) <- yi;
+    lcx.(j) <- xj;
+    lcy.(j) <- yj;
+    after -. before
+  in
+  let nb = Netbox.build pins ~cx:lcx ~cy:lcy in
+  let netbox_eval (i, j) =
+    let xi = lcx.(i) and yi = lcy.(i) and xj = lcx.(j) and yj = lcy.(j) in
+    Netbox.move_cell nb i xj yj;
+    Netbox.move_cell nb j xi yi;
+    let delta = Netbox.delta nb in
+    Netbox.rollback nb;
+    delta
+  in
+  (* the two evaluators must agree before timing means anything *)
+  Array.iteri
+    (fun k cand ->
+      if k < 2_000 then begin
+        let dr = rescan_eval cand and dn = netbox_eval cand in
+        if abs_float (dr -. dn) > 1e-6 then begin
+          say "DP: MISMATCH on candidate %d: rescan %.9f netbox %.9f" k dr dn;
+          exit 1
+        end
+      end)
+    cands;
+  let time_evals eval =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0.0 in
+    Array.iter (fun cand -> acc := !acc +. eval cand) cands;
+    let dt = Unix.gettimeofday () -. t0 in
+    ignore !acc;
+    float_of_int n_cands /. dt
+  in
+  (* warm up, then measure *)
+  ignore (time_evals rescan_eval);
+  ignore (time_evals netbox_eval);
+  let rescan_rate = time_evals rescan_eval in
+  let netbox_rate = time_evals netbox_eval in
+  let speedup = netbox_rate /. rescan_rate in
+  say "DP: %d swap evaluations on %s (%d cells, %d nets)" n_cands d.Design.name
+    (Design.num_cells d) (Design.num_nets d);
+  say "  rescan  %12.0f moves/sec" rescan_rate;
+  say "  netbox  %12.0f moves/sec" netbox_rate;
+  say "  speedup %12.2fx" speedup;
+  let oc = open_out "BENCH_detail.json" in
+  Printf.fprintf oc
+    {|{"design":"%s","cells":%d,"nets":%d,"evals":%d,"rescan_moves_per_sec":%.0f,"netbox_moves_per_sec":%.0f,"speedup":%.3f}
+|}
+    d.Design.name (Design.num_cells d) (Design.num_nets d) n_cands rescan_rate netbox_rate
+    speedup;
+  close_out oc;
+  say "  written BENCH_detail.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -119,6 +222,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("F4", "runtime scaling", fun () -> Series.print (Experiment.figure4 ()));
     ("F5", "extraction noise robustness", fun () -> Series.print (Experiment.figure5 ()));
     ("BM", "kernel micro-benchmarks", run_micro);
+    ("DP", "detailed-placement move-evaluation microbenchmark", run_detail_bench);
   ]
 
 let matches selector (id, _, _) =

@@ -26,7 +26,7 @@ let load ~preset ~bookshelf =
   | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
   | None, None -> Error "give --preset <name> or --bookshelf <basename>"
 
-let run verbose preset bookshelf mode beta density seed out svg compare =
+let run verbose preset bookshelf mode beta density seed out svg compare trace =
   setup_logs verbose;
   match load ~preset ~bookshelf with
   | Error msg ->
@@ -48,6 +48,13 @@ let run verbose preset bookshelf mode beta density seed out svg compare =
         r.Dpp_core.Flow.total_time;
       List.iter (fun (s, t) -> Printf.printf "  %-8s %6.2fs\n" s t) r.Dpp_core.Flow.times
     in
+    let write_trace results =
+      match trace with
+      | None -> ()
+      | Some path ->
+        Dpp_report.Trace.write ~path (List.map Dpp_core.Flow.trace_of_result results);
+        Printf.printf "stage trace written to %s\n" path
+    in
     try
       if compare then begin
         let base, sa = Dpp_core.Flow.run_both design cfg in
@@ -55,6 +62,7 @@ let run verbose preset bookshelf mode beta density seed out svg compare =
         report "structure-aware" sa;
         Printf.printf "HPWL ratio (sa/base): %.4f\n"
           (sa.Dpp_core.Flow.hpwl_final /. base.Dpp_core.Flow.hpwl_final);
+        write_trace [ base; sa ];
         0
       end
       else begin
@@ -69,6 +77,7 @@ let run verbose preset bookshelf mode beta density seed out svg compare =
         in
         let r = Dpp_core.Flow.run design cfg in
         report (Dpp_core.Config.mode_to_string r.Dpp_core.Flow.config.Dpp_core.Config.mode) r;
+        write_trace [ r ];
         (match out with
         | Some base ->
           Dpp_netlist.Bookshelf.write r.Dpp_core.Flow.design ~basename:base;
@@ -113,8 +122,11 @@ let cmd =
   let svg =
     Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG plot of the placement.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the per-stage JSON trace (timing, HPWL before/after, overflow) to FILE.")
+  in
   let term =
-    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare)
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare $ trace)
   in
   Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
 

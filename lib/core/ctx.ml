@@ -1,0 +1,80 @@
+module Design = Dpp_netlist.Design
+module Groups = Dpp_netlist.Groups
+module Hypergraph = Dpp_netlist.Hypergraph
+module Pins = Dpp_wirelen.Pins
+module Netbox = Dpp_wirelen.Netbox
+module Hpwl = Dpp_wirelen.Hpwl
+
+type t = {
+  design : Design.t;
+  config : Config.t;
+  pins : Pins.t;
+  hypergraph : Hypergraph.t Lazy.t;
+  mutable cx : float array;
+  mutable cy : float array;
+  mutable netbox : Netbox.t option;
+  mutable skip : int -> bool;
+  mutable obstacles : Dpp_geom.Rect.t list;
+  mutable legal : Dpp_place.Legal.t option;
+  mutable groups_used : Groups.t list;
+  mutable extraction : (Dpp_extract.Slicer.result * Dpp_extract.Exmetrics.t) option;
+  mutable dgroups : Dpp_structure.Dgroup.t list;
+  mutable macro_dgs : Dpp_structure.Dgroup.t list;
+  mutable rigid_dgs : Dpp_structure.Dgroup.t list;
+  mutable soft_dgs : Dpp_structure.Dgroup.t list;
+  mutable gp : Dpp_place.Gp.result option;
+  mutable detail_stats : Dpp_place.Detail.stats option;
+  mutable flip_stats : Dpp_place.Flip.stats option;
+  mutable hpwl_init : float;
+  mutable hpwl_legal : float;
+  mutable steiner_final : float;
+  mutable congestion : Dpp_congest.Rudy.stats option;
+  mutable critical_delay : float;
+}
+
+let create design config =
+  let cx, cy = Pins.centers_of_design design in
+  {
+    design;
+    config;
+    pins = Pins.build design;
+    hypergraph = lazy (Hypergraph.build design);
+    cx;
+    cy;
+    netbox = None;
+    skip = (fun _ -> false);
+    obstacles = [];
+    legal = None;
+    groups_used = [];
+    extraction = None;
+    dgroups = [];
+    macro_dgs = [];
+    rigid_dgs = [];
+    soft_dgs = [];
+    gp = None;
+    detail_stats = None;
+    flip_stats = None;
+    hpwl_init = 0.0;
+    hpwl_legal = 0.0;
+    steiner_final = 0.0;
+    congestion = None;
+    critical_delay = 0.0;
+  }
+
+let set_coords t cx cy =
+  t.cx <- cx;
+  t.cy <- cy;
+  t.netbox <- None
+
+let netbox t =
+  match t.netbox with
+  | Some nb -> nb
+  | None ->
+    let nb = Netbox.build t.pins ~cx:t.cx ~cy:t.cy in
+    t.netbox <- Some nb;
+    nb
+
+let hpwl t =
+  match t.netbox with
+  | Some nb -> Netbox.total nb
+  | None -> Hpwl.total t.pins ~cx:t.cx ~cy:t.cy

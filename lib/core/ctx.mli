@@ -1,0 +1,54 @@
+(** The shared placement context threaded through the flow's stages.
+
+    One [t] is allocated per {!Flow.run}: it owns the placed design copy,
+    the pin view (built {e once} — the flip stage keeps its offsets
+    consistent in place), a lazily built hypergraph, the live coordinate
+    arrays, and, from legalization onward, the {!Dpp_wirelen.Netbox}
+    incremental-cost cache that the detailed-placement and flip stages
+    evaluate their moves against.  Stages communicate exclusively by
+    mutating the context, which is what later scaling work (parallel
+    passes, sharded density, cross-run caching) builds on. *)
+
+type t = {
+  design : Dpp_netlist.Design.t;  (** the placed copy being optimized *)
+  config : Config.t;
+  pins : Dpp_wirelen.Pins.t;  (** built once at context creation *)
+  hypergraph : Dpp_netlist.Hypergraph.t Lazy.t;
+  mutable cx : float array;  (** live cell centers — the current best placement *)
+  mutable cy : float array;
+  mutable netbox : Dpp_wirelen.Netbox.t option;
+      (** incremental HPWL cache over [cx]/[cy]; [None] until first use,
+          dropped by {!set_coords} *)
+  mutable skip : int -> bool;  (** cells frozen by group snapping *)
+  mutable obstacles : Dpp_geom.Rect.t list;  (** snapped group/macro outlines *)
+  mutable legal : Dpp_place.Legal.t option;
+  mutable groups_used : Dpp_netlist.Groups.t list;
+  mutable extraction : (Dpp_extract.Slicer.result * Dpp_extract.Exmetrics.t) option;
+  mutable dgroups : Dpp_structure.Dgroup.t list;
+  mutable macro_dgs : Dpp_structure.Dgroup.t list;
+  mutable rigid_dgs : Dpp_structure.Dgroup.t list;
+  mutable soft_dgs : Dpp_structure.Dgroup.t list;
+  mutable gp : Dpp_place.Gp.result option;
+  mutable detail_stats : Dpp_place.Detail.stats option;
+  mutable flip_stats : Dpp_place.Flip.stats option;
+  mutable hpwl_init : float;
+  mutable hpwl_legal : float;
+  mutable steiner_final : float;
+  mutable congestion : Dpp_congest.Rudy.stats option;
+  mutable critical_delay : float;
+}
+
+val create : Dpp_netlist.Design.t -> Config.t -> t
+(** Builds the pin view and captures the design's current centers. *)
+
+val set_coords : t -> float array -> float array -> unit
+(** Adopt new live coordinate arrays (e.g. a stage's output), dropping
+    any netbox built over the old ones. *)
+
+val netbox : t -> Dpp_wirelen.Netbox.t
+(** The incremental cache over the current coordinates, built on first
+    use after each {!set_coords}. *)
+
+val hpwl : t -> float
+(** Weighted HPWL at the current coordinates — O(1) off the netbox when
+    one is live, a full rescan otherwise. *)

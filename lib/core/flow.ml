@@ -14,7 +14,7 @@ module Gp = Dpp_place.Gp
 module Legal = Dpp_place.Legal
 module Abacus = Dpp_place.Abacus
 module Detail = Dpp_place.Detail
-module Timer = Dpp_util.Timer
+module Trace = Dpp_report.Trace
 
 exception Invalid_design of Validate.issue list
 
@@ -33,9 +33,12 @@ type result = {
   groups_used : Groups.t list;
   extraction : (Slicer.result * Exmetrics.t) option;
   trace : Gp.round_info list;
+  stage_trace : Trace.stage list;
   times : (string * float) list;
   total_time : float;
 }
+
+type stage = { name : string; run : Ctx.t -> Ctx.t }
 
 let src = Logs.Src.create "dpp.flow" ~doc:"placement flow"
 
@@ -45,98 +48,115 @@ let copy_design (d : Design.t) =
   { d with Design.x = Array.copy d.Design.x; y = Array.copy d.Design.y;
            orient = Array.copy d.Design.orient }
 
-let run (input : Design.t) (cfg : Config.t) =
-  let issues = Validate.check input in
-  if not (Validate.is_clean issues) then raise (Invalid_design (Validate.errors issues));
-  List.iter
-    (fun i ->
-      match i.Validate.severity with
-      | Validate.Warning -> Log.warn (fun m -> m "%a" Validate.pp_issue i)
-      | Validate.Error -> ())
-    issues;
-  let d = copy_design input in
-  let timer = Timer.create () in
-  (* ----- groups ----- *)
-  let extraction, groups_used =
-    match cfg.Config.mode with
-    | Config.Baseline -> None, []
-    | Config.Structure_aware -> (
-      match cfg.Config.group_source with
-      | Config.Ground_truth -> None, d.Design.groups
-      | Config.Extracted ->
-        let r = Timer.time timer "extract" (fun () -> Slicer.run d cfg.Config.extract) in
-        let metrics =
-          Exmetrics.compare_to_truth ~truth:d.Design.groups ~found:r.Slicer.groups
+(* groups small enough to snap become rigid macros (primary mode);
+   oversized ones and every group in the soft-ablation mode take the
+   alignment-penalty path instead *)
+let snap_fraction = 0.25
+
+(* ----- stages ----- *)
+
+let extract_stage =
+  {
+    name = "extract";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let d = ctx.Ctx.design and cfg = ctx.Ctx.config in
+        (match cfg.Config.group_source with
+        | Config.Ground_truth -> ctx.Ctx.groups_used <- d.Design.groups
+        | Config.Extracted ->
+          let r = Slicer.run d cfg.Config.extract in
+          let metrics =
+            Exmetrics.compare_to_truth ~truth:d.Design.groups ~found:r.Slicer.groups
+          in
+          Log.info (fun m ->
+              m "extraction: %d groups, precision %.3f recall %.3f"
+                (List.length r.Slicer.groups) metrics.Exmetrics.precision
+                metrics.Exmetrics.recall);
+          ctx.Ctx.extraction <- Some (r, metrics);
+          ctx.Ctx.groups_used <- r.Slicer.groups);
+        ctx);
+  }
+
+let init_stage =
+  {
+    name = "init";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let d = ctx.Ctx.design and cfg = ctx.Ctx.config in
+        let qp = Qp.run ~seed:cfg.Config.seed d in
+        Ctx.set_coords ctx qp.Qp.cx qp.Qp.cy;
+        (* idealized arrays are oriented by the connectivity-driven initial
+           placement, so alignment works with the net forces, not against
+           them *)
+        (* regularity evaluation: structures dominated by boundary coupling
+           lose wirelength when constrained, so they are dropped here *)
+        let groups_kept =
+          List.filter
+            (fun g ->
+              Dgroup.internal_coupling d g >= cfg.Config.min_coupling
+              && Dgroup.slice_span d g <= cfg.Config.max_slice_span)
+            ctx.Ctx.groups_used
         in
-        Log.info (fun m ->
-            m "extraction: %d groups, precision %.3f recall %.3f"
-              (List.length r.Slicer.groups) metrics.Exmetrics.precision
-              metrics.Exmetrics.recall);
-        Some (r, metrics), r.Slicer.groups)
-  in
-  (* ----- initial placement ----- *)
-  let qp = Timer.time timer "init" (fun () -> Qp.run ~seed:cfg.Config.seed d) in
-  (* idealized arrays are oriented by the connectivity-driven initial
-     placement, so alignment works with the net forces, not against them *)
-  (* regularity evaluation: structures dominated by boundary coupling lose
-     wirelength when constrained, so they are dropped here *)
-  let groups_kept =
-    List.filter
-      (fun g ->
-        Dgroup.internal_coupling d g >= cfg.Config.min_coupling
-        && Dgroup.slice_span d g <= cfg.Config.max_slice_span)
-      groups_used
-  in
-  let dgroups =
-    if groups_kept = [] then []
-    else Dgroup.build_all_ordered d groups_kept ~cx:qp.Qp.cx ~cy:qp.Qp.cy
-  in
-  let pins = Pins.build d in
-  let hpwl_init = Hpwl.total pins ~cx:qp.Qp.cx ~cy:qp.Qp.cy in
-  (* ----- global placement ----- *)
-  (* groups small enough to snap become rigid macros (primary mode);
-     oversized ones and every group in the soft-ablation mode take the
-     alignment-penalty path instead *)
-  let snap_fraction = 0.25 in
-  let die_area = Dpp_geom.Rect.area d.Design.die in
-  let rigid_dgs, soft_dgs =
-    match cfg.Config.mode, cfg.Config.structure with
-    | Config.Baseline, _ -> [], []
-    | Config.Structure_aware, Config.Soft_alignment -> [], dgroups
-    | Config.Structure_aware, Config.Rigid_macros ->
-      List.partition
-        (fun dg ->
-          dg.Dgroup.width *. dg.Dgroup.height <= snap_fraction *. die_area)
-        dgroups
-  in
-  (* movable multi-row macros ride the rigid machinery in both modes *)
-  let macro_dgs = List.map (Dgroup.of_movable_macro d) (Dgroup.movable_macros d) in
-  let gp_cfg =
-    {
-      Gp.default_config with
-      Gp.model = cfg.Config.model;
-      target_density = cfg.Config.target_density;
-      rounds = cfg.Config.gp_rounds;
-      inner_iters = cfg.Config.gp_inner_iters;
-      overflow_target = cfg.Config.overflow_target;
-      beta =
-        (match cfg.Config.mode with
-        | Config.Baseline -> 0.0
-        | Config.Structure_aware -> cfg.Config.beta);
-      groups = soft_dgs;
-      rigid_groups = rigid_dgs @ macro_dgs;
-    }
-  in
-  let gp =
-    Timer.time timer "gp" (fun () -> Gp.run d gp_cfg ~cx:qp.Qp.cx ~cy:qp.Qp.cy)
-  in
-  let cx = gp.Gp.cx and cy = gp.Gp.cy in
-  (* ----- snapping: movable macros always; datapath groups in SA mode ----- *)
-  let obstacles, skip =
-    Timer.time timer "snap" (fun () ->
+        ctx.Ctx.dgroups <-
+          (if groups_kept = [] then []
+           else Dgroup.build_all_ordered d groups_kept ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy);
+        let die_area = Dpp_geom.Rect.area d.Design.die in
+        let rigid, soft =
+          match cfg.Config.mode, cfg.Config.structure with
+          | Config.Baseline, _ -> [], []
+          | Config.Structure_aware, Config.Soft_alignment -> [], ctx.Ctx.dgroups
+          | Config.Structure_aware, Config.Rigid_macros ->
+            List.partition
+              (fun dg ->
+                dg.Dgroup.width *. dg.Dgroup.height <= snap_fraction *. die_area)
+              ctx.Ctx.dgroups
+        in
+        ctx.Ctx.rigid_dgs <- rigid;
+        ctx.Ctx.soft_dgs <- soft;
+        (* movable multi-row macros ride the rigid machinery in both modes *)
+        ctx.Ctx.macro_dgs <- List.map (Dgroup.of_movable_macro d) (Dgroup.movable_macros d);
+        ctx.Ctx.hpwl_init <- Ctx.hpwl ctx;
+        ctx);
+  }
+
+let gp_stage =
+  {
+    name = "gp";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let cfg = ctx.Ctx.config in
+        let gp_cfg =
+          {
+            Gp.default_config with
+            Gp.model = cfg.Config.model;
+            target_density = cfg.Config.target_density;
+            rounds = cfg.Config.gp_rounds;
+            inner_iters = cfg.Config.gp_inner_iters;
+            overflow_target = cfg.Config.overflow_target;
+            beta =
+              (match cfg.Config.mode with
+              | Config.Baseline -> 0.0
+              | Config.Structure_aware -> cfg.Config.beta);
+            groups = ctx.Ctx.soft_dgs;
+            rigid_groups = ctx.Ctx.rigid_dgs @ ctx.Ctx.macro_dgs;
+          }
+        in
+        let gp = Gp.run ctx.Ctx.design gp_cfg ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy in
+        ctx.Ctx.gp <- Some gp;
+        Ctx.set_coords ctx gp.Gp.cx gp.Gp.cy;
+        ctx);
+  }
+
+let snap_stage =
+  {
+    name = "snap";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let d = ctx.Ctx.design and cfg = ctx.Ctx.config in
+        let cx = ctx.Ctx.cx and cy = ctx.Ctx.cy in
         (* movable multi-row macros must become row-aligned obstacles in
            every mode: the row legalizer cannot handle them *)
-        let placed_macros = Shaping.snap ~max_die_fraction:1.0 d macro_dgs ~cx ~cy in
+        let placed_macros = Shaping.snap ~max_die_fraction:1.0 d ctx.Ctx.macro_dgs ~cx ~cy in
         let placed_groups =
           match cfg.Config.mode with
           | Config.Baseline -> []
@@ -144,7 +164,7 @@ let run (input : Design.t) (cfg : Config.t) =
             (* soft groups that fit also snap (they were pulled toward
                arrays by the penalty); Shaping drops oversized ones *)
             Shaping.snap ~max_die_fraction:snap_fraction
-              ~extra_obstacles:(Shaping.obstacles placed_macros) d dgroups ~cx ~cy
+              ~extra_obstacles:(Shaping.obstacles placed_macros) d ctx.Ctx.dgroups ~cx ~cy
         in
         let placed = placed_macros @ placed_groups in
         List.iter (fun p -> Shaping.apply p ~cx ~cy) placed;
@@ -153,58 +173,161 @@ let run (input : Design.t) (cfg : Config.t) =
           (fun p ->
             Array.iter (fun c -> Hashtbl.replace members c ()) p.Shaping.dgroup.Dgroup.cells)
           placed;
-        Shaping.obstacles placed, fun i -> Hashtbl.mem members i)
-  in
-  (* ----- legalization ----- *)
-  let legal =
-    Timer.time timer "legal" (fun () ->
-        let l = Legal.run d ~extra_obstacles:obstacles ~skip ~cx ~cy () in
-        Abacus.run d ~extra_obstacles:obstacles ~skip ~target_cx:cx ~legal:l ();
-        l)
-  in
-  if legal.Legal.failed <> [] then
-    Log.err (fun m -> m "%d cells could not be legalized" (List.length legal.Legal.failed));
-  let hpwl_legal = Hpwl.total pins ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
-  (* ----- detailed placement ----- *)
-  let _stats =
-    Timer.time timer "detail" (fun () ->
-        Detail.run d ~max_passes:cfg.Config.detail_passes ~skip ~legal ())
-  in
-  let fx = legal.Legal.cx and fy = legal.Legal.cy in
-  (* orientation optimization: free HPWL, cannot affect legality *)
-  let _flip_stats = Timer.time timer "flip" (fun () -> Dpp_place.Flip.run d ~cx:fx ~cy:fy) in
-  (* pin offsets changed where cells flipped: rebuild the metric view *)
-  let pins = Pins.build d in
-  let hpwl_final = Hpwl.total pins ~cx:fx ~cy:fy in
-  let steiner_final, congestion, critical_delay =
-    Timer.time timer "metrics" (fun () ->
-        let st = Rsmt.total pins ~cx:fx ~cy:fy in
-        let rudy = Dpp_congest.Rudy.compute d ~cx:fx ~cy:fy in
+        ctx.Ctx.obstacles <- Shaping.obstacles placed;
+        ctx.Ctx.skip <- (fun i -> Hashtbl.mem members i);
+        ctx);
+  }
+
+let legal_stage =
+  {
+    name = "legal";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let d = ctx.Ctx.design in
+        let l =
+          Legal.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx
+            ~cy:ctx.Ctx.cy ()
+        in
+        Abacus.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip
+          ~target_cx:ctx.Ctx.cx ~legal:l ();
+        if l.Legal.failed <> [] then
+          Log.err (fun m -> m "%d cells could not be legalized" (List.length l.Legal.failed));
+        ctx.Ctx.legal <- Some l;
+        Ctx.set_coords ctx l.Legal.cx l.Legal.cy;
+        ctx.Ctx.hpwl_legal <- Ctx.hpwl ctx;
+        ctx);
+  }
+
+let detail_stage =
+  {
+    name = "detail";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let legal = Option.get ctx.Ctx.legal in
+        let stats =
+          Detail.run ctx.Ctx.design ~max_passes:ctx.Ctx.config.Config.detail_passes
+            ~skip:ctx.Ctx.skip ~netbox:(Ctx.netbox ctx)
+            ~hypergraph:(Lazy.force ctx.Ctx.hypergraph) ~legal ()
+        in
+        ctx.Ctx.detail_stats <- Some stats;
+        ctx);
+  }
+
+let flip_stage =
+  {
+    name = "flip";
+    run =
+      (fun (ctx : Ctx.t) ->
+        (* orientation optimization: free HPWL, cannot affect legality.
+           Accepted flips mirror the shared pin view's offsets in place
+           through the netbox, so the pin view built at context creation
+           stays valid — no rebuild. *)
+        let stats =
+          Dpp_place.Flip.run ctx.Ctx.design ~netbox:(Ctx.netbox ctx) ~cx:ctx.Ctx.cx
+            ~cy:ctx.Ctx.cy ()
+        in
+        ctx.Ctx.flip_stats <- Some stats;
+        ctx);
+  }
+
+let metrics_stage =
+  {
+    name = "metrics";
+    run =
+      (fun (ctx : Ctx.t) ->
+        let d = ctx.Ctx.design in
+        let cx = ctx.Ctx.cx and cy = ctx.Ctx.cy in
+        ctx.Ctx.steiner_final <- Rsmt.total ctx.Ctx.pins ~cx ~cy;
+        let rudy = Dpp_congest.Rudy.compute d ~cx ~cy in
+        ctx.Ctx.congestion <- Some (Dpp_congest.Rudy.stats rudy);
         let sta = Dpp_timing.Sta.build d in
-        let timing = Dpp_timing.Sta.analyze sta ~cx:fx ~cy:fy in
-        st, Dpp_congest.Rudy.stats rudy, timing.Dpp_timing.Sta.critical_delay)
-  in
+        let timing = Dpp_timing.Sta.analyze sta ~cx ~cy in
+        ctx.Ctx.critical_delay <- timing.Dpp_timing.Sta.critical_delay;
+        ctx);
+  }
+
+let stages (cfg : Config.t) =
+  (match cfg.Config.mode with
+  | Config.Baseline -> []
+  | Config.Structure_aware -> [ extract_stage ])
+  @ [ init_stage; gp_stage; snap_stage; legal_stage; detail_stage; flip_stage; metrics_stage ]
+
+(* ----- driver ----- *)
+
+let run ?observer (input : Design.t) (cfg : Config.t) =
+  let issues = Validate.check input in
+  if not (Validate.is_clean issues) then raise (Invalid_design (Validate.errors issues));
+  List.iter
+    (fun i ->
+      match i.Validate.severity with
+      | Validate.Warning -> Log.warn (fun m -> m "%a" Validate.pp_issue i)
+      | Validate.Error -> ())
+    issues;
+  let t_start = Unix.gettimeofday () in
+  let ctx = Ctx.create (copy_design input) cfg in
+  let reports = ref [] in
+  let hpwl_before = ref (Ctx.hpwl ctx) in
+  List.iter
+    (fun stage ->
+      let t0 = Unix.gettimeofday () in
+      let _ = stage.run ctx in
+      let wall = Unix.gettimeofday () -. t0 in
+      let hpwl_after = Ctx.hpwl ctx in
+      let overflow =
+        if stage.name = "gp" then Option.map (fun g -> g.Gp.final_overflow) ctx.Ctx.gp
+        else None
+      in
+      let rep =
+        {
+          Trace.name = stage.name;
+          wall_s = wall;
+          hpwl_before = !hpwl_before;
+          hpwl_after;
+          overflow;
+        }
+      in
+      reports := rep :: !reports;
+      (match observer with Some f -> f rep | None -> ());
+      hpwl_before := hpwl_after)
+    (stages cfg);
+  let stage_trace = List.rev !reports in
+  let d = ctx.Ctx.design in
+  let fx = ctx.Ctx.cx and fy = ctx.Ctx.cy in
+  (* report the exact recomputed metric, not the incrementally accumulated
+     one (they agree to float-accumulation order; tables want the former) *)
+  let hpwl_final = Hpwl.total ctx.Ctx.pins ~cx:fx ~cy:fy in
   let align_error_final =
-    if dgroups = [] then 0.0 else Alignment.total_error dgroups ~cx:fx ~cy:fy
+    if ctx.Ctx.dgroups = [] then 0.0
+    else Alignment.total_error ctx.Ctx.dgroups ~cx:fx ~cy:fy
   in
   Pins.apply_centers d fx fy;
+  let gp = Option.get ctx.Ctx.gp in
   {
     design = d;
     config = cfg;
-    hpwl_init;
+    hpwl_init = ctx.Ctx.hpwl_init;
     hpwl_gp = gp.Gp.final_hpwl;
-    hpwl_legal;
+    hpwl_legal = ctx.Ctx.hpwl_legal;
     hpwl_final;
-    steiner_final;
-    congestion;
-    critical_delay;
+    steiner_final = ctx.Ctx.steiner_final;
+    congestion = Option.get ctx.Ctx.congestion;
+    critical_delay = ctx.Ctx.critical_delay;
     overflow_gp = gp.Gp.final_overflow;
     align_error_final;
-    groups_used;
-    extraction;
+    groups_used = ctx.Ctx.groups_used;
+    extraction = ctx.Ctx.extraction;
     trace = gp.Gp.trace;
-    times = Timer.stages timer;
-    total_time = Timer.total timer;
+    stage_trace;
+    times = List.map (fun (r : Trace.stage) -> r.Trace.name, r.Trace.wall_s) stage_trace;
+    total_time = Unix.gettimeofday () -. t_start;
+  }
+
+let trace_of_result (r : result) =
+  {
+    Trace.design = r.design.Design.name;
+    mode = Config.mode_to_string r.config.Config.mode;
+    total_s = r.total_time;
+    stages = r.stage_trace;
   }
 
 let run_both input cfg =

@@ -3,10 +3,17 @@
     {v
       validate -> [extract] -> QP init -> nonlinear GP (+ alignment)
                -> [group snap] -> Tetris + Abacus -> detailed placement
+               -> flip -> metrics
     v}
 
     Bracketed stages run only in [Structure_aware] mode.  The input design
-    is never modified; the result carries a placed copy. *)
+    is never modified; the result carries a placed copy.
+
+    The flow is an explicit {!stage} list over one shared {!Ctx.t}: each
+    stage reads and mutates the context (design copy, pin view, live
+    coordinates, incremental {!Dpp_wirelen.Netbox} cost cache) and the
+    driver wraps every stage with timing and HPWL bookkeeping, reported
+    through the [observer] hook and the result's [stage_trace]. *)
 
 exception Invalid_design of Dpp_netlist.Validate.issue list
 (** Raised when validation reports errors. *)
@@ -17,7 +24,7 @@ type result = {
   hpwl_init : float;  (** after quadratic init *)
   hpwl_gp : float;
   hpwl_legal : float;
-  hpwl_final : float;  (** after detailed placement *)
+  hpwl_final : float;  (** after detailed placement and flipping *)
   steiner_final : float;
   congestion : Dpp_congest.Rudy.stats;  (** RUDY demand statistics at the final placement *)
   critical_delay : float;  (** lite-STA critical path delay at the final placement *)
@@ -28,11 +35,25 @@ type result = {
       (** present when extraction ran; metrics compare against the design's
           ground-truth labels (empty truth yields trivial metrics) *)
   trace : Dpp_place.Gp.round_info list;
+  stage_trace : Dpp_report.Trace.stage list;
+      (** one record per pipeline stage, flow order *)
   times : (string * float) list;  (** stage name -> seconds, flow order *)
   total_time : float;
 }
 
-val run : Dpp_netlist.Design.t -> Config.t -> result
+type stage = { name : string; run : Ctx.t -> Ctx.t }
+(** One pipeline step.  Stages communicate only through the context. *)
+
+val stages : Config.t -> stage list
+(** The stage list the driver executes for a given configuration (the
+    extract stage is present only in [Structure_aware] mode). *)
+
+val run : ?observer:(Dpp_report.Trace.stage -> unit) -> Dpp_netlist.Design.t -> Config.t -> result
+(** [observer] fires after each stage completes, with that stage's trace
+    record (name, wall time, HPWL before/after, overflow when tracked). *)
+
+val trace_of_result : result -> Dpp_report.Trace.t
+(** The result's stage trace bundled for {!Dpp_report.Trace.write}. *)
 
 val run_both : Dpp_netlist.Design.t -> Config.t -> result * result
 (** Baseline and structure-aware on the same design with otherwise equal

@@ -1,22 +1,14 @@
 module Design = Dpp_netlist.Design
 module Types = Dpp_netlist.Types
 module Pins = Dpp_wirelen.Pins
-module Hpwl = Dpp_wirelen.Hpwl
+module Netbox = Dpp_wirelen.Netbox
 module Hypergraph = Dpp_netlist.Hypergraph
 
 type stats = { passes : int; reorder_gain : float; swap_gain : float; moves : int }
 
-(* HPWL over the union of nets touching the given cells. *)
-let local_hpwl pins h ~cx ~cy cells =
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun c -> Hypergraph.iter_nets_of_cell h c (fun n -> Hashtbl.replace seen n ()))
-    cells;
-  Hashtbl.fold (fun n () acc -> acc +. Hpwl.net pins ~cx ~cy n) seen 0.0
-
 let permutations3 = [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] ]
 
-let reorder_pass (d : Design.t) pins h skip (legal : Legal.t) =
+let reorder_pass (d : Design.t) nb skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
   let gain = ref 0.0 and moves = ref 0 in
   (* rows -> cells sorted by x *)
@@ -49,31 +41,33 @@ let reorder_pass (d : Design.t) pins h skip (legal : Legal.t) =
             (Array.mapi (fun k i -> cx.(i) +. (widths.(k) /. 2.0)) w3)
         in
         if right -. left <= total +. 1e-6 then begin
-          let saved = Array.map (fun i -> cx.(i)) w3 in
-          let before = local_hpwl pins h ~cx ~cy (Array.to_list w3) in
-          let best = ref (before, None) in
+          (* repack in permuted order from the left edge, staged on the
+             netbox; keep the best strictly-improving permutation *)
+          let stage perm =
+            let cursor = ref left in
+            List.iter
+              (fun k ->
+                let i = w3.(k) in
+                let w = widths.(k) in
+                Netbox.move_cell nb i (!cursor +. (w /. 2.0)) cy.(i);
+                cursor := !cursor +. w)
+              perm
+          in
+          let best = ref (0.0, None) in
           List.iter
             (fun perm ->
-              (* repack in permuted order from the left edge *)
-              let cursor = ref left in
-              List.iter
-                (fun k ->
-                  let i = w3.(k) in
-                  let w = widths.(k) in
-                  cx.(i) <- !cursor +. (w /. 2.0);
-                  cursor := !cursor +. w)
-                perm;
-              let after = local_hpwl pins h ~cx ~cy (Array.to_list w3) in
+              stage perm;
+              let delta = Netbox.delta nb in
               (match !best with
-              | b, _ when after < b -. 1e-9 -> best := after, Some (Array.map (fun i -> cx.(i)) w3)
+              | b, _ when delta < b -. 1e-9 -> best := delta, Some perm
               | _ -> ());
-              (* restore *)
-              Array.iteri (fun k i -> cx.(i) <- saved.(k)) w3)
+              Netbox.rollback nb)
             permutations3;
           match !best with
-          | after, Some positions ->
-            Array.iteri (fun k i -> cx.(i) <- positions.(k)) w3;
-            gain := !gain +. (before -. after);
+          | delta, Some perm ->
+            stage perm;
+            Netbox.commit nb;
+            gain := !gain -. delta;
             incr moves;
             (* skip past the permuted cells: the sorted order within the
                window is now stale *)
@@ -85,7 +79,7 @@ let reorder_pass (d : Design.t) pins h skip (legal : Legal.t) =
     per_row;
   !gain, !moves
 
-let swap_pass (d : Design.t) pins h skip (legal : Legal.t) =
+let swap_pass (d : Design.t) nb skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
   let gain = ref 0.0 and moves = ref 0 in
   (* bucket by width, then by x order: candidates are the nearest few in
@@ -112,26 +106,19 @@ let swap_pass (d : Design.t) pins h skip (legal : Legal.t) =
         for kj = k + 1 to j_end do
           let j = arr.(kj) in
           if legal.Legal.assignment.(i) <> legal.Legal.assignment.(j) then begin
-            let before = local_hpwl pins h ~cx ~cy [ i; j ] in
             let xi = cx.(i) and yi = cy.(i) and xj = cx.(j) and yj = cy.(j) in
-            cx.(i) <- xj;
-            cy.(i) <- yj;
-            cx.(j) <- xi;
-            cy.(j) <- yi;
-            let after = local_hpwl pins h ~cx ~cy [ i; j ] in
-            if after < before -. 1e-9 then begin
+            Netbox.move_cell nb i xj yj;
+            Netbox.move_cell nb j xi yi;
+            let delta = Netbox.delta nb in
+            if delta < -1e-9 then begin
+              Netbox.commit nb;
               let ri = legal.Legal.assignment.(i) in
               legal.Legal.assignment.(i) <- legal.Legal.assignment.(j);
               legal.Legal.assignment.(j) <- ri;
-              gain := !gain +. (before -. after);
+              gain := !gain -. delta;
               incr moves
             end
-            else begin
-              cx.(i) <- xi;
-              cy.(i) <- yi;
-              cx.(j) <- xj;
-              cy.(j) <- yj
-            end
+            else Netbox.rollback nb
           end
         done
       done)
@@ -143,7 +130,7 @@ let swap_pass (d : Design.t) pins h skip (legal : Legal.t) =
    median interval of its incident nets' bounding boxes computed without
    the cell itself.  A cell outside its region is moved into a free gap
    near the region if that lowers the HPWL of its nets. *)
-let move_pass (d : Design.t) pins h skip (legal : Legal.t) =
+let move_pass (d : Design.t) nb h skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
   let gain = ref 0.0 and moves = ref 0 in
   (* occupancy: per row, sorted (xl, xh, cell) of placed movables; fixed
@@ -239,14 +226,13 @@ let move_pass (d : Design.t) pins h skip (legal : Legal.t) =
           done;
           match !best with
           | Some (_, r, cand_cx) ->
-            let before = local_hpwl pins h ~cx ~cy [ i ] in
-            let ox = cx.(i) and oy = cy.(i) and orow = legal.Legal.assignment.(i) in
-            cx.(i) <- cand_cx;
-            cy.(i) <- Design.row_y d r +. (d.Design.row_height /. 2.0);
-            let after = local_hpwl pins h ~cx ~cy [ i ] in
-            if after < before -. 1e-9 then begin
+            let orow = legal.Legal.assignment.(i) in
+            Netbox.move_cell nb i cand_cx (Design.row_y d r +. (d.Design.row_height /. 2.0));
+            let delta = Netbox.delta nb in
+            if delta < -1e-9 then begin
+              Netbox.commit nb;
               legal.Legal.assignment.(i) <- r;
-              gain := !gain +. (before -. after);
+              gain := !gain -. delta;
               incr moves;
               (* update occupancy: remove from the old row, insert into the
                  new one *)
@@ -254,10 +240,7 @@ let move_pass (d : Design.t) pins h skip (legal : Legal.t) =
               rows.(r) <-
                 List.sort compare ((cand_cx -. (w /. 2.0), cand_cx +. (w /. 2.0), i) :: rows.(r))
             end
-            else begin
-              cx.(i) <- ox;
-              cy.(i) <- oy
-            end
+            else Netbox.rollback nb
           | None -> ()
         end
       | _, _ -> ()
@@ -266,17 +249,21 @@ let move_pass (d : Design.t) pins h skip (legal : Legal.t) =
   Array.iter try_cell (Design.movable_ids d);
   !gain, !moves
 
-let run (d : Design.t) ?(max_passes = 3) ?(skip = fun _ -> false) ~legal () =
-  let pins = Pins.build d in
-  let h = Hypergraph.build d in
+let run (d : Design.t) ?(max_passes = 3) ?(skip = fun _ -> false) ?netbox ?hypergraph ~legal () =
+  let nb =
+    match netbox with
+    | Some nb -> nb
+    | None -> Netbox.build (Pins.build d) ~cx:legal.Legal.cx ~cy:legal.Legal.cy
+  in
+  let h = match hypergraph with Some h -> h | None -> Hypergraph.build d in
   let reorder_gain = ref 0.0 and swap_gain = ref 0.0 and moves = ref 0 in
   let pass = ref 0 in
   let improved = ref true in
   while !improved && !pass < max_passes do
     incr pass;
-    let g1, m1 = reorder_pass d pins h skip legal in
-    let g2, m2 = swap_pass d pins h skip legal in
-    let g3, m3 = move_pass d pins h skip legal in
+    let g1, m1 = reorder_pass d nb skip legal in
+    let g2, m2 = swap_pass d nb skip legal in
+    let g3, m3 = move_pass d nb h skip legal in
     reorder_gain := !reorder_gain +. g1;
     swap_gain := !swap_gain +. g2 +. g3;
     moves := !moves + m1 + m2 + m3;

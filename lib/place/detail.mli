@@ -1,20 +1,28 @@
 (** Detailed placement: HPWL-greedy local refinement on a legal placement.
 
-    Two move types, alternated for a bounded number of passes:
+    Three move types, alternated for a bounded number of passes:
 
     - {b window reorder}: every window of three consecutive cells in a row
       is tried in all six orders (repacked at the window's left edge, which
       preserves legality because the total width is invariant);
     - {b global swap}: cells of equal width exchange positions across rows
-      when that lowers the HPWL of their incident nets.
+      when that lowers the HPWL of their incident nets;
+    - {b global move}: a cell outside the median interval of its incident
+      nets is moved into a free gap near that interval.
+
+    Every candidate is evaluated through {!Dpp_wirelen.Netbox}
+    transactions — an O(pins-of-the-moved-cells) delta instead of
+    rescanning every pin of every touched net — and committed only when
+    strictly improving, so the weighted HPWL is monotonically
+    non-increasing.
 
     Cells matched by [skip] (snapped datapath group members in the
     structure-aware flow) are never moved. *)
 
 type stats = {
   passes : int;
-  reorder_gain : float;  (** HPWL improvement from window reorders *)
-  swap_gain : float;
+  reorder_gain : float;  (** weighted HPWL improvement from window reorders *)
+  swap_gain : float;  (** weighted HPWL improvement from swaps and moves *)
   moves : int;
 }
 
@@ -22,8 +30,15 @@ val run :
   Dpp_netlist.Design.t ->
   ?max_passes:int ->
   ?skip:(int -> bool) ->
+  ?netbox:Dpp_wirelen.Netbox.t ->
+  ?hypergraph:Dpp_netlist.Hypergraph.t ->
   legal:Legal.t ->
   unit ->
   stats
 (** Mutates [legal.cx]/[legal.cy] in place.  Default [max_passes] is 3;
-    a pass that improves nothing stops the loop early. *)
+    a pass that improves nothing stops the loop early.
+
+    [netbox], when given, {e must} have been built over the [legal.cx] /
+    [legal.cy] arrays (the flow's shared context guarantees this); when
+    absent a private one is built.  [hypergraph] likewise avoids a rebuild
+    when the caller already has one. *)

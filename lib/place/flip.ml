@@ -2,36 +2,30 @@ module Design = Dpp_netlist.Design
 module Types = Dpp_netlist.Types
 module Orient = Dpp_geom.Orient
 module Pins = Dpp_wirelen.Pins
-module Hpwl = Dpp_wirelen.Hpwl
-module Hypergraph = Dpp_netlist.Hypergraph
+module Netbox = Dpp_wirelen.Netbox
 
-type stats = { flips : int; gain : float }
+type stats = { flips : int; gain : float; flipped : int list }
 
-let run (d : Design.t) ~cx ~cy =
-  let pins = Pins.build d in
-  let h = Hypergraph.build d in
-  let flips = ref 0 and gain = ref 0.0 in
-  let incident_hpwl i =
-    let acc = ref 0.0 in
-    Hypergraph.iter_nets_of_cell h i (fun n -> acc := !acc +. Hpwl.net pins ~cx ~cy n);
-    !acc
-  in
+let run (d : Design.t) ?netbox ~cx ~cy () =
+  let nb = match netbox with Some nb -> nb | None -> Netbox.build (Pins.build d) ~cx ~cy in
+  let flips = ref 0 and gain = ref 0.0 and flipped = ref [] in
   Array.iter
     (fun i ->
       let c = Design.cell d i in
       if c.Types.c_height <= d.Design.row_height +. 1e-9 then begin
-        let before = incident_hpwl i in
-        (* mirror this cell's pin x-offsets in the shared Pins structure *)
-        let saved = Array.map (fun p -> pins.Pins.off_x.(p)) c.Types.c_pins in
-        Array.iter (fun p -> pins.Pins.off_x.(p) <- -.pins.Pins.off_x.(p)) c.Types.c_pins;
-        let after = incident_hpwl i in
-        if after < before -. 1e-9 then begin
+        (* mirror this cell's pin x-offsets in the shared pin view; the
+           netbox keeps the offsets and its boxes consistent on commit,
+           so no caller ever rebuilds the pin structure after flipping *)
+        Netbox.flip_cell nb i;
+        let delta = Netbox.delta nb in
+        if delta < -1e-9 then begin
+          Netbox.commit nb;
           d.Design.orient.(i) <- Orient.flip_x d.Design.orient.(i);
           incr flips;
-          gain := !gain +. (before -. after)
+          gain := !gain -. delta;
+          flipped := i :: !flipped
         end
-        else
-          Array.iteri (fun k p -> pins.Pins.off_x.(p) <- saved.(k)) c.Types.c_pins
+        else Netbox.rollback nb
       end)
     (Design.movable_ids d);
-  { flips = !flips; gain = !gain }
+  { flips = !flips; gain = !gain; flipped = !flipped }

@@ -5,11 +5,26 @@
     every cell is a candidate, group members included.
 
     A cheap, classical post-pass: typical gains are a fraction of a
-    percent of HPWL, concentrated on asymmetric-pin cells. *)
+    percent of HPWL, concentrated on asymmetric-pin cells.  Candidates
+    are evaluated through {!Dpp_wirelen.Netbox} transactions; accepted
+    flips leave the shared pin view's offsets mirrored in place, so the
+    caller never rebuilds it. *)
 
-type stats = { flips : int; gain : float }
+type stats = {
+  flips : int;
+  gain : float;  (** weighted HPWL improvement *)
+  flipped : int list;  (** ids of the cells that were flipped *)
+}
 
-val run : Dpp_netlist.Design.t -> cx:float array -> cy:float array -> stats
+val run :
+  Dpp_netlist.Design.t ->
+  ?netbox:Dpp_wirelen.Netbox.t ->
+  cx:float array ->
+  cy:float array ->
+  unit ->
+  stats
 (** Greedy single pass over all movable cells at the given placement;
-    mutates [design.orient] for accepted flips.  Multi-row macros (RAMs)
-    are skipped — their pin symmetry assumptions do not hold. *)
+    mutates [design.orient] (and the pin view's x-offsets) for accepted
+    flips.  Multi-row macros (RAMs) are skipped — their pin symmetry
+    assumptions do not hold.  [netbox], when given, must be live over
+    [cx]/[cy]; when absent a private one is built. *)

@@ -1,0 +1,49 @@
+type stage = {
+  name : string;
+  wall_s : float;
+  hpwl_before : float;
+  hpwl_after : float;
+  overflow : float option;
+}
+
+type t = { design : string; mode : string; total_s : float; stages : stage list }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num v = if Float.is_finite v then Printf.sprintf "%.12g" v else "null"
+
+let stage_to_json s =
+  Printf.sprintf
+    {|{"name":"%s","wall_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s}|}
+    (escape s.name) (num s.wall_s) (num s.hpwl_before) (num s.hpwl_after)
+    (match s.overflow with Some v -> num v | None -> "null")
+
+let to_json t =
+  Printf.sprintf {|{"design":"%s","mode":"%s","total_s":%s,"stages":[%s]}|}
+    (escape t.design) (escape t.mode) (num t.total_s)
+    (String.concat "," (List.map stage_to_json t.stages))
+
+let write ~path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i t ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (to_json t))
+        traces;
+      output_string oc "\n]\n")

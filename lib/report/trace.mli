@@ -1,0 +1,32 @@
+(** Structured per-stage flow traces, serialized as JSON.
+
+    One {!stage} record is emitted per pipeline stage by the flow's
+    observer hook; a {!t} bundles the stages of one complete run.  The
+    JSON schema (consumed by [dpp_place --trace] and the bench harness):
+
+    {v
+      [ { "design": "<name>", "mode": "baseline|structure-aware",
+          "total_s": <float>,
+          "stages": [ { "name": "<stage>", "wall_s": <float>,
+                        "hpwl_before": <float>, "hpwl_after": <float>,
+                        "overflow": <float|null> }, ... ] }, ... ]
+    v}
+
+    [overflow] is [null] for stages where no density evaluation happens
+    (every stage except global placement). *)
+
+type stage = {
+  name : string;
+  wall_s : float;  (** wall-clock seconds spent in the stage *)
+  hpwl_before : float;  (** weighted HPWL entering the stage *)
+  hpwl_after : float;
+  overflow : float option;  (** density overflow, when the stage tracks it *)
+}
+
+type t = { design : string; mode : string; total_s : float; stages : stage list }
+
+val to_json : t -> string
+(** One run as a compact JSON object. *)
+
+val write : path:string -> t list -> unit
+(** Write runs as a JSON array (pretty enough: one object per line). *)

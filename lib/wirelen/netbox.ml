@@ -1,0 +1,357 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+
+type t = {
+  pins : Pins.t;
+  cx : float array;
+  cy : float array;
+  pin_net : int array;
+  (* CSR copy of net -> pins for allocation-free, cache-friendly rescans *)
+  net_off : int array;
+  net_pin : int array;
+  weight : float array;
+  degree : int array;
+  (* committed per-net boxes with extreme multiplicities *)
+  xmin : float array;
+  xmax : float array;
+  ymin : float array;
+  ymax : float array;
+  nxmin : int array;
+  nxmax : int array;
+  nymin : int array;
+  nymax : int array;
+  (* staged copies, valid for nets with stamp = txn *)
+  sxmin : float array;
+  sxmax : float array;
+  symin : float array;
+  symax : float array;
+  snxmin : int array;
+  snxmax : int array;
+  snymin : int array;
+  snymax : int array;
+  stamp : int array;
+  cell_stamp : int array;
+  mutable txn : int;
+  (* transaction journals: preallocated stacks, no per-move allocation *)
+  mutable touched : int array;
+  mutable n_touched : int;
+  mutable moved_cell : int array;
+  mutable moved_x : float array;
+  mutable moved_y : float array;
+  mutable n_moved : int;
+  mutable mirrored : int array;
+  mutable n_mirrored : int;
+  mutable total : float;
+  mutable active : bool;
+}
+
+(* Nets up to this degree skip the multiplicity bookkeeping entirely: any
+   staged change just marks them rescan-dirty, and the O(degree) rescan at
+   [delta] time costs about as much as one pin's counter cascade would. *)
+let small_degree = 8
+
+(* Recompute net [n]'s box and extreme multiplicities from the live
+   coordinates into the given arrays.  Only called for degree >= 2. *)
+let scan_into t n ~bxmin ~bxmax ~bymin ~bymax ~cxmin ~cxmax ~cymin ~cymax =
+  let pin_cell = t.pins.Pins.pin_cell in
+  let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  let nxmin = ref 0 and nxmax = ref 0 and nymin = ref 0 and nymax = ref 0 in
+  for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+    let p = t.net_pin.(i) in
+    let c = pin_cell.(p) in
+    let x = t.cx.(c) +. off_x.(p) and y = t.cy.(c) +. off_y.(p) in
+    if x < !xmin then begin xmin := x; nxmin := 1 end
+    else if x = !xmin then incr nxmin;
+    if x > !xmax then begin xmax := x; nxmax := 1 end
+    else if x = !xmax then incr nxmax;
+    if y < !ymin then begin ymin := y; nymin := 1 end
+    else if y = !ymin then incr nymin;
+    if y > !ymax then begin ymax := y; nymax := 1 end
+    else if y = !ymax then incr nymax
+  done;
+  bxmin.(n) <- !xmin;
+  bxmax.(n) <- !xmax;
+  bymin.(n) <- !ymin;
+  bymax.(n) <- !ymax;
+  cxmin.(n) <- !nxmin;
+  cxmax.(n) <- !nxmax;
+  cymin.(n) <- !nymin;
+  cymax.(n) <- !nymax
+
+let build (pins : Pins.t) ~cx ~cy =
+  let d = pins.Pins.design in
+  let nn = Design.num_nets d in
+  let np = Design.num_pins d in
+  let net_off = Array.make (nn + 1) 0 in
+  for n = 0 to nn - 1 do
+    net_off.(n + 1) <- net_off.(n) + Array.length (Design.net d n).Types.n_pins
+  done;
+  let net_pin = Array.make (max 1 net_off.(nn)) 0 in
+  for n = 0 to nn - 1 do
+    let ps = (Design.net d n).Types.n_pins in
+    Array.blit ps 0 net_pin net_off.(n) (Array.length ps)
+  done;
+  let t =
+    {
+      pins;
+      cx;
+      cy;
+      pin_net = Array.init np (fun p -> (Design.pin d p).Types.p_net);
+      net_off;
+      net_pin;
+      weight = Array.make nn 1.0;
+      degree = Array.make nn 0;
+      xmin = Array.make nn 0.0;
+      xmax = Array.make nn 0.0;
+      ymin = Array.make nn 0.0;
+      ymax = Array.make nn 0.0;
+      nxmin = Array.make nn 0;
+      nxmax = Array.make nn 0;
+      nymin = Array.make nn 0;
+      nymax = Array.make nn 0;
+      sxmin = Array.make nn 0.0;
+      sxmax = Array.make nn 0.0;
+      symin = Array.make nn 0.0;
+      symax = Array.make nn 0.0;
+      snxmin = Array.make nn 0;
+      snxmax = Array.make nn 0;
+      snymin = Array.make nn 0;
+      snymax = Array.make nn 0;
+      stamp = Array.make nn (-1);
+      cell_stamp = Array.make (Design.num_cells d) (-1);
+      txn = 0;
+      touched = Array.make 64 0;
+      n_touched = 0;
+      moved_cell = Array.make 16 0;
+      moved_x = Array.make 16 0.0;
+      moved_y = Array.make 16 0.0;
+      n_moved = 0;
+      mirrored = Array.make 16 0;
+      n_mirrored = 0;
+      total = 0.0;
+      active = false;
+    }
+  in
+  for n = 0 to nn - 1 do
+    let net = Design.net d n in
+    t.weight.(n) <- net.Types.n_weight;
+    t.degree.(n) <- Array.length net.Types.n_pins;
+    if t.degree.(n) >= 2 then begin
+      scan_into t n ~bxmin:t.xmin ~bxmax:t.xmax ~bymin:t.ymin ~bymax:t.ymax ~cxmin:t.nxmin
+        ~cxmax:t.nxmax ~cymin:t.nymin ~cymax:t.nymax;
+      t.total <-
+        t.total
+        +. (t.weight.(n) *. (t.xmax.(n) -. t.xmin.(n) +. t.ymax.(n) -. t.ymin.(n)))
+    end
+  done;
+  t
+
+let total t = t.total
+let in_transaction t = t.active
+let net_box t n = t.xmin.(n), t.xmax.(n), t.ymin.(n), t.ymax.(n)
+
+let grow_int a = let b = Array.make (2 * Array.length a) 0 in Array.blit a 0 b 0 (Array.length a); b
+let grow_float a = let b = Array.make (2 * Array.length a) 0.0 in Array.blit a 0 b 0 (Array.length a); b
+
+(* Small-net variant of [touch]: no staged copy, no counters — small nets
+   are unconditionally rescanned by [resolve], so just record the touch. *)
+let touch_dirty t n =
+  if t.stamp.(n) <> t.txn then begin
+    t.stamp.(n) <- t.txn;
+    if t.n_touched = Array.length t.touched then t.touched <- grow_int t.touched;
+    t.touched.(t.n_touched) <- n;
+    t.n_touched <- t.n_touched + 1
+  end
+
+let touch t n =
+  if t.stamp.(n) <> t.txn then begin
+    t.stamp.(n) <- t.txn;
+    if t.n_touched = Array.length t.touched then t.touched <- grow_int t.touched;
+    t.touched.(t.n_touched) <- n;
+    t.n_touched <- t.n_touched + 1;
+    t.sxmin.(n) <- t.xmin.(n);
+    t.sxmax.(n) <- t.xmax.(n);
+    t.symin.(n) <- t.ymin.(n);
+    t.symax.(n) <- t.ymax.(n);
+    t.snxmin.(n) <- t.nxmin.(n);
+    t.snxmax.(n) <- t.nxmax.(n);
+    t.snymin.(n) <- t.nymin.(n);
+    t.snymax.(n) <- t.nymax.(n)
+  end
+
+(* Extreme-multiplicity bookkeeping.  Values are always computed as
+   [coordinate +. offset], so a pin sitting at an extreme compares equal
+   bit-for-bit.  When a counter hits 0 the bound is stale (strict): the
+   true extreme moved away and only a full rescan can recover it — that
+   rescan is deferred to [delta]/[commit], and only runs for nets where a
+   moved pin was the unique extreme. *)
+let remove_x t n v =
+  if v = t.sxmin.(n) then t.snxmin.(n) <- t.snxmin.(n) - 1;
+  if v = t.sxmax.(n) then t.snxmax.(n) <- t.snxmax.(n) - 1
+
+let remove_y t n v =
+  if v = t.symin.(n) then t.snymin.(n) <- t.snymin.(n) - 1;
+  if v = t.symax.(n) then t.snymax.(n) <- t.snymax.(n) - 1
+
+let add_x t n v =
+  if v < t.sxmin.(n) then begin
+    t.sxmin.(n) <- v;
+    t.snxmin.(n) <- 1
+  end
+  else if v = t.sxmin.(n) then t.snxmin.(n) <- t.snxmin.(n) + 1;
+  if v > t.sxmax.(n) then begin
+    t.sxmax.(n) <- v;
+    t.snxmax.(n) <- 1
+  end
+  else if v = t.sxmax.(n) then t.snxmax.(n) <- t.snxmax.(n) + 1
+
+let add_y t n v =
+  if v < t.symin.(n) then begin
+    t.symin.(n) <- v;
+    t.snymin.(n) <- 1
+  end
+  else if v = t.symin.(n) then t.snymin.(n) <- t.snymin.(n) + 1;
+  if v > t.symax.(n) then begin
+    t.symax.(n) <- v;
+    t.snymax.(n) <- 1
+  end
+  else if v = t.symax.(n) then t.snymax.(n) <- t.snymax.(n) + 1
+
+let move_cell t i nx ny =
+  t.active <- true;
+  if t.cell_stamp.(i) <> t.txn then begin
+    t.cell_stamp.(i) <- t.txn;
+    if t.n_moved = Array.length t.moved_cell then begin
+      t.moved_cell <- grow_int t.moved_cell;
+      t.moved_x <- grow_float t.moved_x;
+      t.moved_y <- grow_float t.moved_y
+    end;
+    t.moved_cell.(t.n_moved) <- i;
+    t.moved_x.(t.n_moved) <- t.cx.(i);
+    t.moved_y.(t.n_moved) <- t.cy.(i);
+    t.n_moved <- t.n_moved + 1
+  end;
+  let ox = t.cx.(i) and oy = t.cy.(i) in
+  let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+  let cpins = (Design.cell t.pins.Pins.design i).Types.c_pins in
+  for k = 0 to Array.length cpins - 1 do
+    let p = cpins.(k) in
+    let n = t.pin_net.(p) in
+    if n >= 0 then begin
+      let deg = t.degree.(n) in
+      if deg >= 2 then
+        if deg <= small_degree then touch_dirty t n
+        else begin
+          touch t n;
+          remove_x t n (ox +. off_x.(p));
+          remove_y t n (oy +. off_y.(p));
+          add_x t n (nx +. off_x.(p));
+          add_y t n (ny +. off_y.(p))
+        end
+    end
+  done;
+  t.cx.(i) <- nx;
+  t.cy.(i) <- ny
+
+let flip_cell t i =
+  t.active <- true;
+  if t.n_mirrored = Array.length t.mirrored then t.mirrored <- grow_int t.mirrored;
+  t.mirrored.(t.n_mirrored) <- i;
+  t.n_mirrored <- t.n_mirrored + 1;
+  let x = t.cx.(i) in
+  let off_x = t.pins.Pins.off_x in
+  let cpins = (Design.cell t.pins.Pins.design i).Types.c_pins in
+  for k = 0 to Array.length cpins - 1 do
+    let p = cpins.(k) in
+    let off = off_x.(p) in
+    let n = t.pin_net.(p) in
+    if n >= 0 then begin
+      let deg = t.degree.(n) in
+      if deg >= 2 then
+        if deg <= small_degree then touch_dirty t n
+        else begin
+          touch t n;
+          remove_x t n (x +. off);
+          add_x t n (x -. off)
+        end
+    end;
+    off_x.(p) <- -.off
+  done
+
+(* Counter-free staged box rescan for small nets (their committed and
+   staged multiplicity slots are never read). *)
+let scan_box t n =
+  let pin_cell = t.pins.Pins.pin_cell in
+  let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+    let p = t.net_pin.(i) in
+    let c = pin_cell.(p) in
+    let x = t.cx.(c) +. off_x.(p) and y = t.cy.(c) +. off_y.(p) in
+    if x < !xmin then xmin := x;
+    if x > !xmax then xmax := x;
+    if y < !ymin then ymin := y;
+    if y > !ymax then ymax := y
+  done;
+  t.sxmin.(n) <- !xmin;
+  t.sxmax.(n) <- !xmax;
+  t.symin.(n) <- !ymin;
+  t.symax.(n) <- !ymax
+
+let resolve t n =
+  if t.degree.(n) <= small_degree then scan_box t n
+  else if t.snxmin.(n) = 0 || t.snxmax.(n) = 0 || t.snymin.(n) = 0 || t.snymax.(n) = 0 then
+    scan_into t n ~bxmin:t.sxmin ~bxmax:t.sxmax ~bymin:t.symin ~bymax:t.symax ~cxmin:t.snxmin
+      ~cxmax:t.snxmax ~cymin:t.snymin ~cymax:t.snymax
+
+let delta t =
+  let acc = ref 0.0 in
+  for k = 0 to t.n_touched - 1 do
+    let n = t.touched.(k) in
+    resolve t n;
+    let staged = t.sxmax.(n) -. t.sxmin.(n) +. t.symax.(n) -. t.symin.(n) in
+    let committed = t.xmax.(n) -. t.xmin.(n) +. t.ymax.(n) -. t.ymin.(n) in
+    acc := !acc +. (t.weight.(n) *. (staged -. committed))
+  done;
+  !acc
+
+let finish t =
+  t.txn <- t.txn + 1;
+  t.n_touched <- 0;
+  t.n_moved <- 0;
+  t.n_mirrored <- 0;
+  t.active <- false
+
+let commit t =
+  if t.active then begin
+    t.total <- t.total +. delta t;
+    for k = 0 to t.n_touched - 1 do
+      let n = t.touched.(k) in
+      t.xmin.(n) <- t.sxmin.(n);
+      t.xmax.(n) <- t.sxmax.(n);
+      t.ymin.(n) <- t.symin.(n);
+      t.ymax.(n) <- t.symax.(n);
+      t.nxmin.(n) <- t.snxmin.(n);
+      t.nxmax.(n) <- t.snxmax.(n);
+      t.nymin.(n) <- t.snymin.(n);
+      t.nymax.(n) <- t.snymax.(n)
+    done;
+    finish t
+  end
+
+let rollback t =
+  if t.active then begin
+    for k = 0 to t.n_moved - 1 do
+      let i = t.moved_cell.(k) in
+      t.cx.(i) <- t.moved_x.(k);
+      t.cy.(i) <- t.moved_y.(k)
+    done;
+    for k = 0 to t.n_mirrored - 1 do
+      let cpins = (Design.cell t.pins.Pins.design t.mirrored.(k)).Types.c_pins in
+      Array.iter (fun p -> t.pins.Pins.off_x.(p) <- -.t.pins.Pins.off_x.(p)) cpins
+    done;
+    finish t
+  end

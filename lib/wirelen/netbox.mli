@@ -1,0 +1,54 @@
+(** Incremental per-net bounding boxes — the shared cost substrate of the
+    detailed-placement stages.
+
+    Caches, per net, the committed HPWL bounding box plus the multiplicity
+    of pins sitting on each of the four extremes.  A candidate move is
+    evaluated transactionally: {!move_cell} / {!flip_cell} stage coordinate
+    or pin-offset changes (written to the live arrays immediately, boxes
+    updated in O(pins of the cell)), {!delta} answers the weighted HPWL
+    change, and the caller either {!commit}s or {!rollback}s.  A staged net
+    falls back to an O(degree) rescan only when a moved pin was the unique
+    extreme of its box; every other update is O(1) per pin.
+
+    Totals and deltas are weighted exactly like {!Hpwl.total}, so after
+    any sequence of commits [total t = Hpwl.total pins ~cx ~cy] up to
+    float accumulation order. *)
+
+type t
+
+val build : Pins.t -> cx:float array -> cy:float array -> t
+(** Scans every net once.  [cx]/[cy] are captured, not copied: the cache
+    owns coordinate updates from here on (move through {!move_cell}). *)
+
+val total : t -> float
+(** Committed weighted HPWL (ignores any open transaction). *)
+
+val in_transaction : t -> bool
+
+val net_box : t -> int -> float * float * float * float
+(** Committed [(xmin, xmax, ymin, ymax)] of one net (meaningless for
+    degree < 2). *)
+
+val move_cell : t -> int -> float -> float -> unit
+(** [move_cell t i x y] stages moving cell [i]'s center to [(x, y)]:
+    writes the live arrays and updates the staged boxes of its nets.
+    Opens a transaction if none is active; staging the same cell again
+    within one transaction composes (the journal keeps the original
+    position). *)
+
+val flip_cell : t -> int -> unit
+(** Stage mirroring cell [i]'s pin x-offsets about its center (the [N] <->
+    [FN] orientation flip).  Mutates [pins.off_x] in place; {!rollback}
+    restores it. *)
+
+val delta : t -> float
+(** Weighted HPWL change of the staged moves relative to the committed
+    state; 0 outside a transaction.  Resolves any pending rescans. *)
+
+val commit : t -> unit
+(** Accept the staged moves: folds staged boxes into the committed state
+    and adds {!delta} to {!total}.  No-op outside a transaction. *)
+
+val rollback : t -> unit
+(** Discard the staged moves, restoring coordinates and pin offsets.
+    No-op outside a transaction. *)

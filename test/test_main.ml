@@ -11,6 +11,7 @@ let () =
       "bookshelf", Test_bookshelf.suite;
       "numeric", Test_numeric.suite;
       "wirelen", Test_wirelen.suite;
+      "netbox", Test_netbox.suite;
       "steiner", Test_steiner.suite;
       "density", Test_density.suite;
       "gen", Test_gen.suite;

@@ -1,0 +1,151 @@
+(* Property tests for Dpp_wirelen.Netbox: the incremental total must equal
+   a full Hpwl.total recompute after arbitrary move / flip / commit /
+   rollback sequences, including degenerate nets. *)
+
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Design = Dpp_netlist.Design
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Netbox = Dpp_wirelen.Netbox
+module Rng = Dpp_util.Rng
+
+let agree ~msg pins nb ~cx ~cy =
+  let exact = Hpwl.total pins ~cx ~cy in
+  let incremental = Netbox.total nb in
+  if abs_float (exact -. incremental) > 1e-6 *. (1.0 +. abs_float exact) then
+    Alcotest.failf "%s: incremental %.9f <> recompute %.9f" msg incremental exact
+
+(* Random move/flip/commit/rollback exercise; every committed or rolled
+   back state is compared against the full recompute, and every commit's
+   delta is checked against the recomputed before/after difference. *)
+let exercise (d : Design.t) ~seed ~ops =
+  let rng = Rng.create seed in
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let nb = Netbox.build pins ~cx ~cy in
+  agree ~msg:"initial" pins nb ~cx ~cy;
+  let movable = Design.movable_ids d in
+  let nm = Array.length movable in
+  let die = d.Design.die in
+  let random_cell () = movable.(Rng.int rng nm) in
+  let random_x () = die.Rect.xl +. Rng.float rng (Rect.width die) in
+  let random_y () = die.Rect.yl +. Rng.float rng (Rect.height die) in
+  for op = 1 to ops do
+    let msg = Printf.sprintf "op %d (seed %d)" op seed in
+    match Rng.int rng 6 with
+    | 0 | 1 ->
+      (* stage 1-3 cell moves, check the delta, commit *)
+      let before = Hpwl.total pins ~cx ~cy in
+      for _ = 0 to Rng.int rng 3 do
+        Netbox.move_cell nb (random_cell ()) (random_x ()) (random_y ())
+      done;
+      let delta = Netbox.delta nb in
+      Netbox.commit nb;
+      let after = Hpwl.total pins ~cx ~cy in
+      if abs_float (before +. delta -. after) > 1e-6 *. (1.0 +. abs_float after) then
+        Alcotest.failf "%s: delta %.9f but totals moved %.9f" msg delta (after -. before);
+      agree ~msg pins nb ~cx ~cy
+    | 2 ->
+      (* moves (possibly re-moving the same cell) rolled back: the live
+         coordinates and the committed total must be untouched *)
+      let i = random_cell () in
+      let ox = cx.(i) and oy = cy.(i) in
+      Netbox.move_cell nb i (random_x ()) (random_y ());
+      Netbox.move_cell nb i (random_x ()) (random_y ());
+      Netbox.move_cell nb (random_cell ()) (random_x ()) (random_y ());
+      ignore (Netbox.delta nb);
+      Netbox.rollback nb;
+      Alcotest.(check (float 0.0)) (msg ^ " x restored") ox cx.(i);
+      Alcotest.(check (float 0.0)) (msg ^ " y restored") oy cy.(i);
+      agree ~msg pins nb ~cx ~cy
+    | 3 ->
+      let i = random_cell () in
+      Netbox.flip_cell nb i;
+      let delta = Netbox.delta nb in
+      let before = Netbox.total nb in
+      Netbox.commit nb;
+      agree ~msg:(msg ^ " flip commit") pins nb ~cx ~cy;
+      Alcotest.(check (float 1e-9)) (msg ^ " flip delta") (before +. delta) (Netbox.total nb)
+    | 4 ->
+      let i = random_cell () in
+      let offs = Array.map (fun p -> pins.Pins.off_x.(p)) (Design.cell d i).Types.c_pins in
+      Netbox.flip_cell nb i;
+      ignore (Netbox.delta nb);
+      Netbox.rollback nb;
+      Array.iteri
+        (fun k p ->
+          Alcotest.(check (float 0.0)) (msg ^ " offset restored") offs.(k) pins.Pins.off_x.(p))
+        (Design.cell d i).Types.c_pins;
+      agree ~msg:(msg ^ " flip rollback") pins nb ~cx ~cy
+    | _ ->
+      (* mixed transaction: move + flip together, commit or roll back *)
+      Netbox.move_cell nb (random_cell ()) (random_x ()) (random_y ());
+      Netbox.flip_cell nb (random_cell ());
+      if Rng.int rng 2 = 0 then Netbox.commit nb else Netbox.rollback nb;
+      agree ~msg:(msg ^ " mixed") pins nb ~cx ~cy
+  done
+
+(* Degenerate nets: a 1-pin net, an all-pins-coincident net, a pinless
+   cell, and a pair of stacked cells sharing exact pin positions. *)
+let degenerate_design () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:80.0 ~yh:40.0 in
+  let b = Builder.create ~name:"degen" ~die ~row_height:10.0 ~site_width:1.0 () in
+  let mk name x y =
+    let id = Builder.add_cell b ~name ~master:"X" ~w:4.0 ~h:10.0 ~kind:Types.Movable in
+    Builder.set_position b id ~x ~y;
+    id
+  in
+  let a = mk "a" 0.0 0.0 in
+  let c1 = mk "c1" 20.0 10.0 in
+  let c2 = mk "c2" 20.0 10.0 in
+  let c3 = mk "c3" 20.0 10.0 in
+  ignore (mk "pinless" 40.0 0.0);
+  let lone = Builder.add_pin b ~cell:a ~dir:Types.Output ~dx:1.0 ~dy:5.0 () in
+  ignore (Builder.add_net b [ lone ]);
+  (* three cells stacked at one point, pins at the same offset: every pin
+     of the net is coincident, so each is simultaneously the (non-unique)
+     min and max of both axes *)
+  let p1 = Builder.add_pin b ~cell:c1 ~dir:Types.Input ~dx:2.0 ~dy:5.0 () in
+  let p2 = Builder.add_pin b ~cell:c2 ~dir:Types.Input ~dx:2.0 ~dy:5.0 () in
+  let p3 = Builder.add_pin b ~cell:c3 ~dir:Types.Output ~dx:2.0 ~dy:5.0 () in
+  ignore (Builder.add_net b [ p1; p2; p3 ]);
+  let q1 = Builder.add_pin b ~cell:a ~dir:Types.Input ~dx:3.0 ~dy:2.0 () in
+  let q2 = Builder.add_pin b ~cell:c1 ~dir:Types.Output ~dx:1.0 ~dy:2.0 () in
+  ignore (Builder.add_net b ~weight:2.5 [ q1; q2 ]);
+  Builder.finish b
+
+let test_netbox_random_designs () =
+  (* 5 designs x 1000 random transactions, dense and sparse *)
+  List.iter
+    (fun seed ->
+      let d = Tutil.random_design ~cells:20 ~nets:25 ~die_w:100.0 ~die_rows:8 seed in
+      exercise d ~seed ~ops:1000)
+    [ 11; 23; 37; 58; 71 ]
+
+let test_netbox_degenerate () = exercise (degenerate_design ()) ~seed:5 ~ops:1000
+
+let test_netbox_weighted () =
+  (* weights must scale deltas exactly like Hpwl.total *)
+  let d = degenerate_design () in
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let nb = Netbox.build pins ~cx ~cy in
+  Alcotest.(check (float 1e-9)) "build total" (Hpwl.total pins ~cx ~cy) (Netbox.total nb)
+
+let qcheck_agreement =
+  QCheck.Test.make ~count:40 ~name:"netbox equals recompute on random designs"
+    QCheck.(pair (int_range 1 10_000) (int_range 4 40))
+    (fun (seed, cells) ->
+      let d = Tutil.random_design ~cells ~nets:(cells * 2) seed in
+      exercise d ~seed ~ops:100;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "random move/commit/rollback x1000" `Quick test_netbox_random_designs;
+    Alcotest.test_case "degenerate nets" `Quick test_netbox_degenerate;
+    Alcotest.test_case "weighted build" `Quick test_netbox_weighted;
+    QCheck_alcotest.to_alcotest qcheck_agreement;
+  ]

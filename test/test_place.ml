@@ -294,7 +294,7 @@ let test_flip_improves_and_preserves_legality () =
   let _, legal = run_legalization d in
   let pins_before = Pins.build d in
   let before = Hpwl.total pins_before ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
-  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy () in
   let pins_after = Pins.build d in
   let after = Hpwl.total pins_after ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
   Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
@@ -307,7 +307,7 @@ let test_flip_improves_and_preserves_legality () =
 let test_flip_orientation_recorded () =
   let d = place_design 85 in
   let _, legal = run_legalization d in
-  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy () in
   let flipped =
     Array.fold_left
       (fun acc o -> if o = Dpp_geom.Orient.FN then acc + 1 else acc)
