@@ -1,0 +1,101 @@
+(* dpp_fuzz: seeded differential fuzzing of the placement flow.
+
+     dpp_fuzz --count 8                 # sweep seeds 1..8, shrink failures
+     dpp_fuzz --seed 7                  # replay one seed exactly
+     dpp_fuzz --seed 7 --cells 100 --nets 8 --moves 12 --dp-fraction 0
+                                        # replay a shrunk reproducer
+     dpp_fuzz --count 100 --budget 30   # bounded CI smoke run           *)
+
+open Cmdliner
+module Fuzz = Dpp_core.Fuzz
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Error))
+
+let override v field c = match v with None -> c | Some x -> field c x
+
+let build_case ~cells ~nets ~moves ~dp seed =
+  Fuzz.case_of_seed seed
+  |> override cells (fun c cells -> { c with Fuzz.cells })
+  |> override nets (fun c nets -> { c with Fuzz.nets })
+  |> override moves (fun c moves -> { c with Fuzz.moves })
+  |> override dp (fun c dp_fraction -> { c with Fuzz.dp_fraction })
+
+let run verbose seed base_seed count budget skip_flow cells nets moves dp =
+  setup_logs verbose;
+  let flow = not skip_flow in
+  let case_of = build_case ~cells ~nets ~moves ~dp in
+  let seeds =
+    match seed with Some s -> [ s ] | None -> List.init count (fun i -> base_seed + i)
+  in
+  let t0 = Unix.gettimeofday () in
+  let in_budget () =
+    match budget with None -> true | Some b -> Unix.gettimeofday () -. t0 < b
+  in
+  let ran = ref 0 in
+  let first_failure =
+    List.find_map
+      (fun s ->
+        if not (in_budget ()) then None
+        else begin
+          incr ran;
+          let c = case_of s in
+          if verbose then Printf.printf "seed %d: %s\n%!" s (Fuzz.replay_command c);
+          Fuzz.run_case ~flow c
+        end)
+      seeds
+  in
+  match first_failure with
+  | None ->
+    Printf.printf "dpp_fuzz: %d case%s ok (%.1fs)\n" !ran
+      (if !ran = 1 then "" else "s")
+      (Unix.gettimeofday () -. t0);
+    0
+  | Some failure ->
+    let minimal = Fuzz.shrink (Fuzz.run_case ~flow) failure in
+    Printf.eprintf "%s\n" (Format.asprintf "%a" Fuzz.pp_failure failure);
+    if minimal.Fuzz.case <> failure.Fuzz.case then
+      Printf.eprintf "shrunk to: %s\n" (Fuzz.replay_command minimal.Fuzz.case);
+    1
+
+let cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose progress.") in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Replay exactly one case derived from this seed.")
+  in
+  let base_seed =
+    Arg.(value & opt int 1 & info [ "base-seed" ] ~docv:"N" ~doc:"First seed of the sweep.")
+  in
+  let count =
+    Arg.(value & opt int 5 & info [ "count" ] ~docv:"N" ~doc:"Number of consecutive seeds to sweep.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Stop starting new cases once this much wall time has elapsed.")
+  in
+  let skip_flow =
+    Arg.(value & flag & info [ "skip-flow" ] ~doc:"Only run the unit and differential layers (no full pipeline runs).")
+  in
+  let cells =
+    Arg.(value & opt (some int) None & info [ "cells" ] ~docv:"N" ~doc:"Override the case's design size (for replaying shrunk reproducers).")
+  in
+  let nets =
+    Arg.(value & opt (some int) None & info [ "nets" ] ~docv:"N" ~doc:"Override the case's random net count.")
+  in
+  let moves =
+    Arg.(value & opt (some int) None & info [ "moves" ] ~docv:"N" ~doc:"Override the case's move-sequence length.")
+  in
+  let dp =
+    Arg.(value & opt (some float) None & info [ "dp-fraction" ] ~docv:"F" ~doc:"Override the case's datapath fraction.")
+  in
+  let term =
+    Term.(
+      const run $ verbose $ seed $ base_seed $ count $ budget $ skip_flow $ cells $ nets
+      $ moves $ dp)
+  in
+  Cmd.v
+    (Cmd.info "dpp_fuzz"
+       ~doc:"Seeded differential fuzzing of the placement flow and its incremental caches")
+    term
+
+let () = exit (Cmd.eval' cmd)

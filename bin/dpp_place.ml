@@ -26,7 +26,7 @@ let load ~preset ~bookshelf =
   | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
   | None, None -> Error "give --preset <name> or --bookshelf <basename>"
 
-let run verbose preset bookshelf mode beta density seed out svg compare trace =
+let run verbose preset bookshelf mode beta density seed out svg compare trace check =
   setup_logs verbose;
   match load ~preset ~bookshelf with
   | Error msg ->
@@ -57,7 +57,7 @@ let run verbose preset bookshelf mode beta density seed out svg compare trace =
     in
     try
       if compare then begin
-        let base, sa = Dpp_core.Flow.run_both design cfg in
+        let base, sa = Dpp_core.Flow.run_both ~check design cfg in
         report "baseline" base;
         report "structure-aware" sa;
         Printf.printf "HPWL ratio (sa/base): %.4f\n"
@@ -75,7 +75,7 @@ let run verbose preset bookshelf mode beta density seed out svg compare trace =
             Printf.eprintf "unknown mode %S, using structure-aware\n" other;
             cfg
         in
-        let r = Dpp_core.Flow.run design cfg in
+        let r = Dpp_core.Flow.run ~check design cfg in
         report (Dpp_core.Config.mode_to_string r.Dpp_core.Flow.config.Dpp_core.Config.mode) r;
         write_trace [ r ];
         (match out with
@@ -94,12 +94,18 @@ let run verbose preset bookshelf mode beta density seed out svg compare trace =
         | None -> ());
         0
       end
-    with Dpp_core.Flow.Invalid_design issues ->
+    with
+    | Dpp_core.Flow.Invalid_design issues ->
       Printf.eprintf "design has %d validation errors; first: %s\n" (List.length issues)
         (match issues with
         | i :: _ -> Format.asprintf "%a" Dpp_netlist.Validate.pp_issue i
         | [] -> "?");
-      1)
+      1
+    | Dpp_core.Flow.Check_failed { stage; violations } ->
+      Printf.eprintf "invariant check failed after stage %s (%d violations):\n" stage
+        (List.length violations);
+      List.iter (fun v -> Printf.eprintf "  %s\n" v) violations;
+      2)
 
 let cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.") in
@@ -125,8 +131,11 @@ let cmd =
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the per-stage JSON trace (timing, HPWL before/after, overflow) to FILE.")
   in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Validate invariant oracles (legality, group rigidity, incremental-cache consistency) at every stage boundary; the first violation aborts with exit code 2 and names the offending stage.")
+  in
   let term =
-    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare $ trace)
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare $ trace $ check)
   in
   Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
 

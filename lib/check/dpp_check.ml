@@ -1,0 +1,5 @@
+(* Library root: re-export the violation type and expose the oracles at the
+   top level, so callers write [Dpp_check.legal] / [Dpp_check.Violation.t]. *)
+
+module Violation = Violation
+include Oracles

@@ -1,0 +1,261 @@
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Design = Dpp_netlist.Design
+module Validate = Dpp_netlist.Validate
+module Bookshelf = Dpp_netlist.Bookshelf
+module Groups = Dpp_netlist.Groups
+module Pins = Dpp_wirelen.Pins
+module Netbox = Dpp_wirelen.Netbox
+module Model = Dpp_wirelen.Model
+module Dgroup = Dpp_structure.Dgroup
+module Legality = Dpp_place.Legality
+module Rng = Dpp_util.Rng
+
+let cell_name d i = (Design.cell d i).Types.c_name
+
+let finite d ~cx ~cy =
+  Array.fold_left
+    (fun acc i ->
+      let bad v axis =
+        Violation.v ~oracle:"finite"
+          ~subject:(Printf.sprintf "cell %s" (cell_name d i))
+          "%s coordinate is %s" axis
+          (if Float.is_nan v then "NaN" else "infinite")
+      in
+      let acc = if Float.is_finite cx.(i) then acc else bad cx.(i) "x" :: acc in
+      if Float.is_finite cy.(i) then acc else bad cy.(i) "y" :: acc)
+    []
+    (Design.movable_ids d)
+  |> List.rev
+
+let of_legality ~oracle d violation =
+  let subj i = Printf.sprintf "cell %s" (cell_name d i) in
+  match violation with
+  | Legality.Outside i -> Violation.v ~oracle ~subject:(subj i) "lies outside the die"
+  | Legality.Off_row i -> Violation.v ~oracle ~subject:(subj i) "bottom edge is off-row"
+  | Legality.Off_site i -> Violation.v ~oracle ~subject:(subj i) "is off the site grid"
+  | Legality.Overlap (i, j) ->
+    Violation.v ~oracle ~subject:(subj i) "overlaps movable cell %s" (cell_name d j)
+  | Legality.Overlaps_fixed (i, j) ->
+    Violation.v ~oracle ~subject:(subj i) "overlaps fixed cell %s" (cell_name d j)
+
+let audit ?tolerance ~oracle ~keep d ~cx ~cy =
+  Legality.check ?tolerance d ~cx ~cy
+  |> List.filter keep
+  |> List.map (of_legality ~oracle d)
+
+let overlap_bounds ?tolerance d ~cx ~cy =
+  audit ?tolerance ~oracle:"overlap-bounds"
+    ~keep:(function
+      | Legality.Outside _ | Legality.Overlap _ | Legality.Overlaps_fixed _ -> true
+      | Legality.Off_row _ | Legality.Off_site _ -> false)
+    d ~cx ~cy
+
+let row_site ?tolerance d ~cx ~cy =
+  audit ?tolerance ~oracle:"row-site"
+    ~keep:(function
+      | Legality.Off_row _ | Legality.Off_site _ -> true
+      | Legality.Outside _ | Legality.Overlap _ | Legality.Overlaps_fixed _ -> false)
+    d ~cx ~cy
+
+let legal ?tolerance d ~cx ~cy =
+  audit ?tolerance ~oracle:"legal" ~keep:(fun _ -> true) d ~cx ~cy
+
+let group_integrity ?(tol = 1e-6) d dgroups ~cx ~cy =
+  let acc = ref [] in
+  let owner = Hashtbl.create 256 in
+  List.iter
+    (fun (dg : Dgroup.t) ->
+      let gname = dg.Dgroup.group.Groups.g_name in
+      let subject = Printf.sprintf "group %s" gname in
+      Array.iter
+        (fun c ->
+          (match Hashtbl.find_opt owner c with
+          | Some other when other <> gname ->
+            acc :=
+              Violation.v ~oracle:"groups"
+                ~subject:(Printf.sprintf "cell %s" (cell_name d c))
+                "belongs to both group %s and group %s" other gname
+              :: !acc
+          | _ -> Hashtbl.replace owner c gname);
+          let r =
+            Rect.of_center ~cx:cx.(c) ~cy:cy.(c) ~w:(Design.cell d c).Types.c_width
+              ~h:(Design.cell d c).Types.c_height
+          in
+          if not (Rect.contains_rect (Rect.expand d.Design.die 1e-6) r) then
+            acc :=
+              Violation.v ~oracle:"groups"
+                ~subject:(Printf.sprintf "cell %s" (cell_name d c))
+                "member of group %s lies outside the die" gname
+              :: !acc)
+        dg.Dgroup.cells;
+      let err = Dgroup.alignment_error dg ~cx ~cy in
+      if err > tol then
+        acc :=
+          Violation.v ~oracle:"groups" ~subject
+            "snapped array has alignment error %.3g (tolerance %.3g)" err tol
+          :: !acc)
+    dgroups;
+  List.rev !acc
+
+let netbox_sync ?tol ?(net_name = fun n -> Printf.sprintf "#%d" n) nb =
+  Netbox.audit ?tol nb
+  |> List.map (fun (net, msg) ->
+         match net with
+         | Some n ->
+           Violation.v ~oracle:"netbox" ~subject:(Printf.sprintf "net %s" (net_name n)) "%s"
+             msg
+         | None -> Violation.v ~oracle:"netbox" ~subject:"total" "%s" msg)
+
+let gradient ?(samples = 6) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gamma d =
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let nc = Design.num_cells d in
+  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+  ignore (Model.value_grad model pins ~gamma ~cx ~cy ~gx ~gy);
+  let movable = Design.movable_ids d in
+  let rng = Rng.create seed in
+  let n = min samples (Array.length movable) in
+  let picks =
+    if n = 0 then [||]
+    else
+      Array.map
+        (fun k -> movable.(k))
+        (Rng.sample_without_replacement rng n (Array.length movable))
+  in
+  let acc = ref [] in
+  let check arr g axis i =
+    let saved = arr.(i) in
+    arr.(i) <- saved +. eps;
+    let fp = Model.value model pins ~gamma ~cx ~cy in
+    arr.(i) <- saved -. eps;
+    let fm = Model.value model pins ~gamma ~cx ~cy in
+    arr.(i) <- saved;
+    let numeric = (fp -. fm) /. (2.0 *. eps) in
+    let err = abs_float (numeric -. g.(i)) /. max 1.0 (abs_float numeric) in
+    if err > tol then
+      acc :=
+        Violation.v ~oracle:"gradient"
+          ~subject:(Printf.sprintf "cell %s" (cell_name d i))
+          "%s %s-gradient %.6g disagrees with finite difference %.6g (rel err %.3g)"
+          (Model.kind_to_string model) axis g.(i) numeric err
+        :: !acc
+  in
+  Array.iter
+    (fun i ->
+      check cx gx "x" i;
+      check cy gy "y" i)
+    picks;
+  List.rev !acc
+
+let validate d =
+  Validate.check d |> Validate.errors
+  |> List.map (fun (i : Validate.issue) ->
+         Violation.v ~oracle:"validate" ~subject:i.Validate.subject "%s" i.Validate.message)
+
+(* ----- Bookshelf write -> read -> compare ----- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dpp_check" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* Per net, the multiset of connected endpoints (cell name, pin offset).
+   Offsets pass through the writer at finite decimal precision, so the
+   multisets are matched under a tolerance rather than compared exactly.
+   Unconnected pins are not representable in Bookshelf, so they never
+   enter the comparison. *)
+let net_endpoints d n =
+  Array.to_list (Design.net d n).Types.n_pins
+  |> List.map (fun p ->
+         let pin = Design.pin d p in
+         (cell_name d pin.Types.p_cell, pin.Types.p_dx, pin.Types.p_dy))
+
+let endpoints_match ?(tol = 1e-3) a b =
+  let remaining = ref b in
+  List.length a = List.length b
+  && List.for_all
+       (fun (cn, dx, dy) ->
+         let rec pick acc = function
+           | [] -> false
+           | (cn', dx', dy') :: rest
+             when cn = cn'
+                  && abs_float (dx -. dx') <= tol
+                  && abs_float (dy -. dy') <= tol ->
+             remaining := List.rev_append acc rest;
+             true
+           | e :: rest -> pick (e :: acc) rest
+         in
+         pick [] !remaining)
+       a
+
+let bookshelf_roundtrip d =
+  let oracle = "bookshelf" in
+  let fail =
+    try
+      with_temp_dir (fun dir ->
+          let base = Filename.concat dir "rt" in
+          Bookshelf.write d ~basename:base;
+          Ok (Bookshelf.read ~basename:base))
+    with
+    | Bookshelf.Parse_error msg -> Error (Printf.sprintf "re-read failed: %s" msg)
+    | Sys_error msg -> Error (Printf.sprintf "I/O failed: %s" msg)
+  in
+  match fail with
+  | Error msg -> [ Violation.v ~oracle ~subject:"design" "%s" msg ]
+  | Ok d' ->
+    let acc = ref [] in
+    let add subject fmt = Printf.ksprintf (fun detail ->
+        acc := Violation.v ~oracle ~subject "%s" detail :: !acc) fmt
+    in
+    let check_count what a b = if a <> b then add "design" "%s count %d became %d" what a b in
+    check_count "cell" (Design.num_cells d) (Design.num_cells d');
+    check_count "net" (Design.num_nets d) (Design.num_nets d');
+    check_count "row" d.Design.num_rows d'.Design.num_rows;
+    check_count "group" (List.length d.Design.groups) (List.length d'.Design.groups);
+    if Design.num_cells d = Design.num_cells d' then
+      for i = 0 to Design.num_cells d - 1 do
+        let c = Design.cell d i and c' = Design.cell d' i in
+        let subject = Printf.sprintf "cell %s" c.Types.c_name in
+        if c.Types.c_name <> c'.Types.c_name then
+          add subject "name became %s" c'.Types.c_name;
+        if c.Types.c_master <> c'.Types.c_master then
+          add subject "master %s became %s" c.Types.c_master c'.Types.c_master;
+        if Types.is_fixed_kind c.Types.c_kind <> Types.is_fixed_kind c'.Types.c_kind then
+          add subject "fixedness changed";
+        if abs_float (c.Types.c_width -. c'.Types.c_width) > 1e-3 then
+          add subject "width %.4f became %.4f" c.Types.c_width c'.Types.c_width;
+        if abs_float (c.Types.c_height -. c'.Types.c_height) > 1e-3 then
+          add subject "height %.4f became %.4f" c.Types.c_height c'.Types.c_height;
+        if
+          abs_float (d.Design.x.(i) -. d'.Design.x.(i)) > 1e-3
+          || abs_float (d.Design.y.(i) -. d'.Design.y.(i)) > 1e-3
+        then
+          add subject "position (%.4f, %.4f) became (%.4f, %.4f)" d.Design.x.(i)
+            d.Design.y.(i) d'.Design.x.(i) d'.Design.y.(i)
+      done;
+    if Design.num_nets d = Design.num_nets d' then
+      for n = 0 to Design.num_nets d - 1 do
+        if not (endpoints_match (net_endpoints d n) (net_endpoints d' n)) then
+          add
+            (Printf.sprintf "net %s" (Design.net d n).Types.n_name)
+            "connected pin multiset changed"
+      done;
+    if List.length d.Design.groups = List.length d'.Design.groups then
+      List.iter2
+        (fun g g' ->
+          let subject = Printf.sprintf "group %s" g.Groups.g_name in
+          if g.Groups.g_name <> g'.Groups.g_name then
+            add subject "name became %s" g'.Groups.g_name;
+          if
+            Groups.num_slices g <> Groups.num_slices g'
+            || Groups.num_stages g <> Groups.num_stages g'
+          then add subject "shape changed";
+          if Groups.jaccard g g' < 1.0 then add subject "membership changed")
+        d.Design.groups d'.Design.groups;
+    List.rev !acc

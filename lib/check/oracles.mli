@@ -1,0 +1,84 @@
+(** The oracle library: composable placement invariant checks, each
+    returning a structured {!Violation.t} list (empty = invariant holds).
+
+    Oracles are deliberately independent of the flow's context type so they
+    can be applied to any design + coordinate pair — from the staged
+    pipeline's [--check] mode, from the fuzz harness, or from user
+    debugging sessions.  Coordinates are cell {e centers}, as everywhere in
+    the placer. *)
+
+val finite : Dpp_netlist.Design.t -> cx:float array -> cy:float array -> Violation.t list
+(** Every movable cell's coordinates are finite (NaN/infinity poisoning is
+    the cheapest-to-catch symptom of a numerical bug). *)
+
+val overlap_bounds :
+  ?tolerance:float ->
+  Dpp_netlist.Design.t ->
+  cx:float array ->
+  cy:float array ->
+  Violation.t list
+(** No movable cell overlaps another movable or fixed cell, and every
+    movable cell lies fully inside the die. *)
+
+val row_site :
+  ?tolerance:float ->
+  Dpp_netlist.Design.t ->
+  cx:float array ->
+  cy:float array ->
+  Violation.t list
+(** Every movable cell sits exactly on a row and on the site grid — the
+    post-legalization alignment invariant. *)
+
+val legal :
+  ?tolerance:float ->
+  Dpp_netlist.Design.t ->
+  cx:float array ->
+  cy:float array ->
+  Violation.t list
+(** The full legality invariant: {!overlap_bounds} and {!row_site} in one
+    audit pass. *)
+
+val group_integrity :
+  ?tol:float ->
+  Dpp_netlist.Design.t ->
+  Dpp_structure.Dgroup.t list ->
+  cx:float array ->
+  cy:float array ->
+  Violation.t list
+(** Each given (snapped) datapath group is an exact rigid array: members
+    sit at their idealized offsets from a common origin (alignment error
+    below [tol], default 1e-6), no member appears in two groups, and every
+    member is inside the die. *)
+
+val netbox_sync :
+  ?tol:float -> ?net_name:(int -> string) -> Dpp_wirelen.Netbox.t -> Violation.t list
+(** The incremental HPWL cache agrees with a fresh rescan of the live
+    coordinates: every committed per-net box and the running total
+    ({!Dpp_wirelen.Netbox.audit}).  This is the oracle that catches stages
+    writing to the shared coordinate arrays behind the cache's back. *)
+
+val gradient :
+  ?samples:int ->
+  ?eps:float ->
+  ?tol:float ->
+  seed:int ->
+  model:Dpp_wirelen.Model.kind ->
+  gamma:float ->
+  Dpp_netlist.Design.t ->
+  Violation.t list
+(** The analytic gradient of the chosen smooth wirelength model matches a
+    central finite difference on [samples] randomly chosen movable
+    coordinates (relative error below [tol], default 1e-3).  Deterministic
+    in [seed].  Evaluates at the design's current placement. *)
+
+val validate : Dpp_netlist.Design.t -> Violation.t list
+(** {!Dpp_netlist.Validate} errors lifted to violations, carrying the
+    validator's named subjects (cell/net/group names, not bare indices). *)
+
+val bookshelf_roundtrip : Dpp_netlist.Design.t -> Violation.t list
+(** Write the design to a temporary directory in Bookshelf format, read it
+    back, and compare: entity counts, per-cell name/master/kind/shape and
+    position, per-net connected-pin multisets, and group membership.
+    Unconnected pins are excluded from the comparison (the format cannot
+    represent them; see {!Dpp_netlist.Bookshelf}).  Temporary files are
+    always removed. *)

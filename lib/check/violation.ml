@@ -1,0 +1,15 @@
+type t = { oracle : string; subject : string; detail : string }
+
+let v ~oracle ~subject fmt =
+  Printf.ksprintf (fun detail -> { oracle; subject; detail }) fmt
+
+let to_string t = Printf.sprintf "%s: %s: %s" t.oracle t.subject t.detail
+
+let strings vs = List.map to_string vs
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let summary = function
+  | [] -> "ok"
+  | [ x ] -> to_string x
+  | x :: rest -> Printf.sprintf "%s (+%d more)" (to_string x) (List.length rest)

@@ -1,0 +1,24 @@
+(** Structured violation reports — what every oracle returns instead of a
+    bare bool, so a failure carries enough context to act on: which oracle
+    fired, which named entity it fired on, and what exactly disagreed. *)
+
+type t = {
+  oracle : string;  (** oracle identifier, e.g. ["legal"] or ["netbox"] *)
+  subject : string;  (** named entity, e.g. ["cell a12"] or ["net n_sum_3"] *)
+  detail : string;  (** human-readable description of the disagreement *)
+}
+
+val v : oracle:string -> subject:string -> ('a, unit, string, t) format4 -> 'a
+(** [v ~oracle ~subject fmt ...] builds one violation with a formatted
+    detail string. *)
+
+val to_string : t -> string
+(** ["oracle: subject: detail"]. *)
+
+val strings : t list -> string list
+
+val pp : Format.formatter -> t -> unit
+
+val summary : t list -> string
+(** ["ok"] for an empty list; otherwise the first violation plus a count of
+    the rest — the one-line form stage traces embed. *)

@@ -1,0 +1,40 @@
+module Check = Dpp_check
+module Trace = Dpp_report.Trace
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Dgroup = Dpp_structure.Dgroup
+
+(* Stages from legalization onward must maintain full legality; earlier
+   stages work on intermediate (overlapping, off-grid) placements. *)
+let legality_from = [ "legal"; "detail"; "flip"; "metrics" ]
+
+let snapped_dgroups (ctx : Ctx.t) =
+  List.filter
+    (fun (dg : Dgroup.t) -> Array.for_all ctx.Ctx.skip dg.Dgroup.cells)
+    (ctx.Ctx.dgroups @ ctx.Ctx.macro_dgs)
+
+let run ~stage (ctx : Ctx.t) =
+  let d = ctx.Ctx.design in
+  let cx = ctx.Ctx.cx and cy = ctx.Ctx.cy in
+  let oracles = ref [] and violations = ref [] in
+  let oracle name vs =
+    oracles := name :: !oracles;
+    violations := !violations @ vs
+  in
+  oracle "finite" (Check.finite d ~cx ~cy);
+  (match ctx.Ctx.netbox with
+  | Some nb ->
+    oracle "netbox"
+      (Check.netbox_sync ~net_name:(fun n -> (Design.net d n).Types.n_name) nb)
+  | None -> ());
+  if List.mem stage legality_from then begin
+    oracle "legal" (Check.legal d ~cx ~cy);
+    match snapped_dgroups ctx with
+    | [] -> ()
+    | snapped -> oracle "groups" (Check.group_integrity d snapped ~cx ~cy)
+  end;
+  {
+    Trace.ok = !violations = [];
+    oracles = List.rev !oracles;
+    violations = Check.Violation.strings !violations;
+  }

@@ -1,0 +1,17 @@
+(** Stage-boundary invariant checking: the policy mapping each pipeline
+    stage to the {!Dpp_check} oracles that must hold when it finishes.
+
+    Every boundary checks coordinate finiteness and, whenever the context
+    carries a live {!Dpp_wirelen.Netbox}, its agreement with a fresh
+    rescan.  From legalization onward the full legality audit and the
+    snapped-group rigidity oracle join in.  Earlier stages (init, gp, snap)
+    legitimately hold overlapping or off-grid intermediate placements, so
+    legality is not asserted there.
+
+    Used by {!Flow.run} in check mode; a failing verdict there raises
+    {!Flow.Check_failed} attributed to the stage that introduced it. *)
+
+val run : stage:string -> Ctx.t -> Dpp_report.Trace.check
+(** Run the oracles configured for the named stage against the context's
+    current state.  Never raises; the verdict carries rendered violation
+    reports. *)

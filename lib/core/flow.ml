@@ -18,6 +18,8 @@ module Trace = Dpp_report.Trace
 
 exception Invalid_design of Validate.issue list
 
+exception Check_failed of { stage : string; violations : string list }
+
 type result = {
   design : Design.t;
   config : Config.t;
@@ -254,7 +256,8 @@ let stages (cfg : Config.t) =
 
 (* ----- driver ----- *)
 
-let run ?observer (input : Design.t) (cfg : Config.t) =
+let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
+    (cfg : Config.t) =
   let issues = Validate.check input in
   if not (Validate.is_clean issues) then raise (Invalid_design (Validate.errors issues));
   List.iter
@@ -277,19 +280,28 @@ let run ?observer (input : Design.t) (cfg : Config.t) =
         if stage.name = "gp" then Option.map (fun g -> g.Gp.final_overflow) ctx.Ctx.gp
         else None
       in
+      let verdict = if check then Some (Checkpoint.run ~stage:stage.name ctx) else None in
       let rep =
         {
           Trace.name = stage.name;
           wall_s = wall;
+          t_s = Unix.gettimeofday () -. t_start;
           hpwl_before = !hpwl_before;
           hpwl_after;
           overflow;
+          check = verdict;
         }
       in
       reports := rep :: !reports;
       (match observer with Some f -> f rep | None -> ());
+      (* attribute the first violation to the stage that introduced it:
+         every earlier boundary was checked clean *)
+      (match verdict with
+      | Some { Trace.ok = false; violations; _ } ->
+        raise (Check_failed { stage = stage.name; violations })
+      | _ -> ());
       hpwl_before := hpwl_after)
-    (stages cfg);
+    stage_list;
   let stage_trace = List.rev !reports in
   let d = ctx.Ctx.design in
   let fx = ctx.Ctx.cx and fy = ctx.Ctx.cy in
@@ -322,6 +334,9 @@ let run ?observer (input : Design.t) (cfg : Config.t) =
     total_time = Unix.gettimeofday () -. t_start;
   }
 
+let run ?observer ?check (input : Design.t) (cfg : Config.t) =
+  run_stages ?observer ?check ~stages:(stages cfg) input cfg
+
 let trace_of_result (r : result) =
   {
     Trace.design = r.design.Design.name;
@@ -330,7 +345,7 @@ let trace_of_result (r : result) =
     stages = r.stage_trace;
   }
 
-let run_both input cfg =
-  let base = run input { cfg with Config.mode = Config.Baseline } in
-  let sa = run input { cfg with Config.mode = Config.Structure_aware } in
+let run_both ?check input cfg =
+  let base = run ?check input { cfg with Config.mode = Config.Baseline } in
+  let sa = run ?check input { cfg with Config.mode = Config.Structure_aware } in
   base, sa

@@ -18,6 +18,13 @@
 exception Invalid_design of Dpp_netlist.Validate.issue list
 (** Raised when validation reports errors. *)
 
+exception Check_failed of { stage : string; violations : string list }
+(** Raised in check mode when a stage boundary fails its {!Checkpoint}
+    oracles.  [stage] is the stage that {e introduced} the violation —
+    every earlier boundary was checked clean — so a corrupted cache or an
+    illegal placement is attributed where it happened, not three stages
+    later as a mysteriously worse HPWL. *)
+
 type result = {
   design : Dpp_netlist.Design.t;  (** placed copy of the input *)
   config : Config.t;
@@ -48,14 +55,35 @@ val stages : Config.t -> stage list
 (** The stage list the driver executes for a given configuration (the
     extract stage is present only in [Structure_aware] mode). *)
 
-val run : ?observer:(Dpp_report.Trace.stage -> unit) -> Dpp_netlist.Design.t -> Config.t -> result
+val run :
+  ?observer:(Dpp_report.Trace.stage -> unit) ->
+  ?check:bool ->
+  Dpp_netlist.Design.t ->
+  Config.t ->
+  result
 (** [observer] fires after each stage completes, with that stage's trace
-    record (name, wall time, HPWL before/after, overflow when tracked). *)
+    record (name, wall time, HPWL before/after, overflow when tracked).
+    With [~check:true] the {!Checkpoint} oracles validate the context at
+    every stage boundary (verdicts land in the trace records, including
+    the one handed to [observer]) and the first violation raises
+    {!Check_failed}. *)
+
+val run_stages :
+  ?observer:(Dpp_report.Trace.stage -> unit) ->
+  ?check:bool ->
+  stages:stage list ->
+  Dpp_netlist.Design.t ->
+  Config.t ->
+  result
+(** Like {!run} but over an explicit stage list — the hook the mutation
+    tests and the fuzz harness use to splice fault-injection stages into
+    the pipeline.  The list must still produce a complete context (gp and
+    metrics stages present) for the result to be assembled. *)
 
 val trace_of_result : result -> Dpp_report.Trace.t
 (** The result's stage trace bundled for {!Dpp_report.Trace.write}. *)
 
-val run_both : Dpp_netlist.Design.t -> Config.t -> result * result
+val run_both : ?check:bool -> Dpp_netlist.Design.t -> Config.t -> result * result
 (** Baseline and structure-aware on the same design with otherwise equal
     settings — the Table 3 comparison.  The given config's [mode] is
     ignored. *)

@@ -1,0 +1,212 @@
+module Rng = Dpp_util.Rng
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Design = Dpp_netlist.Design
+module Validate = Dpp_netlist.Validate
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Netbox = Dpp_wirelen.Netbox
+module Model = Dpp_wirelen.Model
+module Check = Dpp_check
+
+type case = { seed : int; cells : int; nets : int; moves : int; dp_fraction : float }
+
+type failure = { case : case; kind : string; stage : string; detail : string list }
+
+let case_of_seed seed =
+  let rng = Rng.create seed in
+  {
+    seed;
+    cells = 120 + Rng.int rng 280;
+    nets = 40 + Rng.int rng 120;
+    moves = 160 + Rng.int rng 340;
+    dp_fraction = float_of_int (Rng.int rng 8) /. 10.0;
+  }
+
+let replay_command c =
+  Printf.sprintf "dpp_fuzz --seed %d --cells %d --nets %d --moves %d --dp-fraction %g" c.seed
+    c.cells c.nets c.moves c.dp_fraction
+
+let pp_failure ppf f =
+  Format.fprintf ppf "seed %d failed [%s] at %s:@\n" f.case.seed f.kind f.stage;
+  List.iter (fun line -> Format.fprintf ppf "  %s@\n" line) f.detail;
+  Format.fprintf ppf "replay: %s" (replay_command f.case)
+
+(* ----- the adversarial micro-design generator -----
+
+   Deliberately nastier than the benchmark generator: degenerate single-pin
+   nets, unconnected pins, fixed blockers, coincident pin offsets — the
+   corners the incremental cache's extreme-multiplicity bookkeeping and the
+   Bookshelf round trip must survive. *)
+
+let random_design ~seed ~cells ~nets =
+  let cells = max 8 cells and nets = max 2 nets in
+  let rng = Rng.create (seed lxor 0x5f3759df) in
+  let widths = Array.init cells (fun _ -> float_of_int (2 + Rng.int rng 5)) in
+  let rows = max 4 (int_of_float (sqrt (float_of_int cells)) + 1) in
+  let row_height = 10.0 in
+  let total_w = Array.fold_left ( +. ) 0.0 widths in
+  (* ~50% utilization, and never narrower than the widest cell *)
+  let die_w =
+    max (Array.fold_left max 8.0 widths) (2.0 *. total_w /. float_of_int rows)
+  in
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:die_w ~yh:(row_height *. float_of_int rows) in
+  let b = Builder.create ~name:(Printf.sprintf "fz%d" seed) ~die ~row_height ~site_width:1.0 () in
+  let pin_pool = ref [] in
+  for k = 0 to cells - 1 do
+    let w = widths.(k) in
+    let kind = if Rng.bernoulli rng 0.1 then Types.Fixed else Types.Movable in
+    let id =
+      Builder.add_cell b ~name:(Printf.sprintf "c%d" k) ~master:"X" ~w ~h:row_height ~kind
+    in
+    let npins = 1 + Rng.int rng 3 in
+    for _ = 1 to npins do
+      (* coincident offsets (the die corner of the cell) are common on
+         purpose: equal extremes exercise the multiplicity counters *)
+      let dx = if Rng.bool rng then 0.0 else Rng.float rng w in
+      let dy = if Rng.bool rng then 0.0 else Rng.float rng row_height in
+      let dir = if Rng.bool rng then Types.Input else Types.Output in
+      pin_pool := Builder.add_pin b ~cell:id ~dir ~dx ~dy () :: !pin_pool
+    done;
+    Builder.set_position b id
+      ~x:(Rng.float rng (die_w -. w))
+      ~y:(float_of_int (Rng.int rng rows) *. row_height)
+  done;
+  let pool = Array.of_list !pin_pool in
+  Rng.shuffle rng pool;
+  let cursor = ref 0 in
+  let take () =
+    if !cursor < Array.length pool then begin
+      let p = pool.(!cursor) in
+      incr cursor;
+      Some p
+    end
+    else None
+  in
+  for _ = 1 to nets do
+    (* ~10% degenerate single-pin nets; leftovers stay unconnected *)
+    let deg = if Rng.bernoulli rng 0.1 then 1 else 2 + Rng.int rng 5 in
+    let ps = List.filter_map (fun _ -> take ()) (List.init deg Fun.id) in
+    if ps <> [] then ignore (Builder.add_net b ps)
+  done;
+  Builder.finish b
+
+(* ----- differential move/flip/commit/rollback sequences ----- *)
+
+let netbox_differential (c : case) d =
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let nb = Netbox.build pins ~cx ~cy in
+  let rng = Rng.create ((c.seed * 31) + 7) in
+  let die = d.Design.die in
+  let movable = Design.movable_ids d in
+  if Array.length movable = 0 then None
+  else begin
+    let fail = ref None in
+    let ops = ref 0 in
+    while !fail = None && !ops < c.moves do
+      incr ops;
+      let staged = 1 + Rng.int rng 3 in
+      for _ = 1 to staged do
+        let i = Rng.choose rng movable in
+        if Rng.bernoulli rng 0.2 then Netbox.flip_cell nb i
+        else
+          Netbox.move_cell nb i
+            (Rng.float_in rng die.Rect.xl die.Rect.xh)
+            (Rng.float_in rng die.Rect.yl die.Rect.yh)
+      done;
+      let before = Netbox.total nb in
+      let delta = Netbox.delta nb in
+      if Rng.bool rng then begin
+        Netbox.commit nb;
+        let expected = before +. delta in
+        if abs_float (Netbox.total nb -. expected) > 1e-6 *. (1.0 +. abs_float expected)
+        then
+          fail :=
+            Some
+              (Printf.sprintf "op %d: total after commit %.9g <> pre-commit total+delta %.9g"
+                 !ops (Netbox.total nb) expected)
+      end
+      else Netbox.rollback nb;
+      if !fail = None && (!ops mod 16 = 0 || !ops = c.moves) then begin
+        let fresh = Hpwl.total pins ~cx ~cy in
+        if abs_float (Netbox.total nb -. fresh) > 1e-6 *. (1.0 +. abs_float fresh) then
+          fail :=
+            Some
+              (Printf.sprintf "op %d: netbox total %.9g <> fresh rescan total %.9g" !ops
+                 (Netbox.total nb) fresh)
+        else
+          match Netbox.audit nb with
+          | [] -> ()
+          | (_, msg) :: _ -> fail := Some (Printf.sprintf "op %d: %s" !ops msg)
+      end
+    done;
+    !fail
+  end
+
+let unit_checks (c : case) =
+  let d = random_design ~seed:c.seed ~cells:(c.cells / 4) ~nets:c.nets in
+  match Check.bookshelf_roundtrip d with
+  | _ :: _ as vs -> Some ("bookshelf", "roundtrip", Check.Violation.strings vs)
+  | [] -> (
+    let gamma = max 1.0 (0.02 *. Rect.width d.Design.die) in
+    let grad model = Check.gradient ~samples:4 ~seed:c.seed ~model ~gamma d in
+    match grad Model.Lse @ grad Model.Wa with
+    | _ :: _ as vs -> Some ("gradient", "finite-difference", Check.Violation.strings vs)
+    | [] -> (
+      match netbox_differential c d with
+      | Some msg -> Some ("netbox", "differential", [ msg ])
+      | None -> None))
+
+let flow_config seed =
+  {
+    Config.structure_aware with
+    Config.gp_rounds = 6;
+    gp_inner_iters = 20;
+    detail_passes = 2;
+    seed;
+  }
+
+let flow_checks (c : case) =
+  let spec =
+    Dpp_gen.Presets.scaled
+      ~name:(Printf.sprintf "fuzz%d" c.seed)
+      ~seed:c.seed ~cells:(max 100 c.cells) ~dp_fraction:c.dp_fraction
+  in
+  let d = Dpp_gen.Compose.build spec in
+  try
+    ignore (Flow.run_both ~check:true d (flow_config c.seed));
+    None
+  with
+  | Flow.Check_failed { stage; violations } -> Some (stage, violations)
+  | Flow.Invalid_design issues ->
+    Some
+      ( "validate",
+        List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
+
+let run_case ?(flow = true) (c : case) =
+  match unit_checks c with
+  | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
+  | None ->
+    if not flow then None
+    else (
+      match flow_checks c with
+      | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
+      | None -> None)
+
+let shrink rerun failure =
+  let rec go (f : failure) =
+    let c = f.case in
+    let candidates =
+      [
+        (* Presets.scaled refuses designs under 100 cells *)
+        { c with cells = max 100 (c.cells / 2) };
+        { c with nets = max 1 (c.nets / 2) };
+        { c with moves = max 1 (c.moves / 2) };
+      ]
+      |> List.filter (fun c' -> c' <> c)
+    in
+    match List.find_map rerun candidates with Some f' -> go f' | None -> f
+  in
+  go failure

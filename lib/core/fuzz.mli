@@ -1,0 +1,59 @@
+(** Seeded differential fuzzing of the placement flow and its incremental
+    caches — the engine behind [bin/dpp_fuzz] and [test/test_fuzz].
+
+    A {!case} is derived deterministically from a single integer seed
+    ({!case_of_seed}), so every failure replays from one command line.
+    Each case runs three layers of checks, cheapest first:
+
+    - {b unit}: an adversarial micro-design (single-pin nets, unconnected
+      pins, fixed blockers, coincident pin offsets) goes through the
+      Bookshelf round-trip oracle and the WA/LSE
+      gradient-vs-finite-difference oracle;
+    - {b differential}: random move/flip/commit/rollback sequences against
+      the {!Dpp_wirelen.Netbox} incremental cache, cross-checked against
+      the fresh-rescan HPWL evaluator and the cache's own audit;
+    - {b flow}: a generated benchmark ({!Dpp_gen.Presets.scaled} across the
+      case's size/regularity point) is placed by both the baseline and the
+      structure-aware pipeline with stage checking on; any
+      {!Flow.Check_failed} becomes a failure attributed to its stage.
+
+    On failure, {!shrink} greedily halves the case (fewer cells, fewer
+    nets, shorter move sequence) while the failure reproduces, yielding a
+    minimal reproducer. *)
+
+type case = {
+  seed : int;
+  cells : int;  (** flow design size (the micro-design scales with it) *)
+  nets : int;  (** extra random nets in the micro-design *)
+  moves : int;  (** length of the move/flip/commit/rollback sequence *)
+  dp_fraction : float;  (** datapath fraction of the flow design *)
+}
+
+type failure = {
+  case : case;
+  kind : string;  (** ["bookshelf"], ["gradient"], ["netbox"] or ["flow"] *)
+  stage : string;  (** offending pipeline stage, or the sub-check name *)
+  detail : string list;  (** rendered violation reports *)
+}
+
+val case_of_seed : int -> case
+(** Deterministic: equal seeds yield equal cases. *)
+
+val replay_command : case -> string
+(** The one-command reproducer, e.g.
+    ["dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3"]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val random_design : seed:int -> cells:int -> nets:int -> Dpp_netlist.Design.t
+(** The adversarial micro-design generator (also used directly by tests).
+    Deterministic in [seed]; at least 8 cells and 2 nets. *)
+
+val run_case : ?flow:bool -> case -> failure option
+(** Run every check layer on one case; [~flow:false] skips the (orders of
+    magnitude slower) full-pipeline layer. *)
+
+val shrink : (case -> failure option) -> failure -> failure
+(** [shrink rerun f] greedily halves [cells] / [nets] / [moves] while
+    [rerun] keeps failing, returning the smallest still-failing case's
+    failure.  [rerun] is typically [run_case] with the original layers. *)

@@ -2,9 +2,19 @@ module Rect = Dpp_geom.Rect
 
 type severity = Warning | Error
 
-type issue = { severity : severity; message : string }
+type issue = { severity : severity; subject : string; message : string }
 
-let issue severity fmt = Printf.ksprintf (fun message -> { severity; message }) fmt
+let issue severity subject fmt =
+  Printf.ksprintf (fun message -> { severity; subject; message }) fmt
+
+let net_subject (n : Types.net) = Printf.sprintf "net %s" n.n_name
+
+(* A pin has no name of its own; identify it by its owning cell when the
+   cell reference is valid, falling back to the raw pin id. *)
+let pin_subject d (p : Types.pin) =
+  if p.p_cell >= 0 && p.p_cell < Design.num_cells d then
+    Printf.sprintf "pin %d of cell %s" p.p_id (Design.cell d p.p_cell).Types.c_name
+  else Printf.sprintf "pin %d" p.p_id
 
 let check_references d acc =
   let acc = ref acc in
@@ -12,23 +22,28 @@ let check_references d acc =
   Array.iter
     (fun (p : Types.pin) ->
       if p.p_cell < 0 || p.p_cell >= nc then
-        acc := issue Error "pin %d references bad cell %d" p.p_id p.p_cell :: !acc
+        acc := issue Error (pin_subject d p) "references bad cell %d" p.p_cell :: !acc
       else begin
         let c = Design.cell d p.p_cell in
         if not (Array.exists (fun q -> q = p.p_id) c.c_pins) then
-          acc := issue Error "pin %d missing from cell %s pin list" p.p_id c.c_name :: !acc
+          acc :=
+            issue Error (pin_subject d p) "missing from cell %s pin list" c.c_name :: !acc
       end;
-      if p.p_net >= nn then acc := issue Error "pin %d references bad net %d" p.p_id p.p_net :: !acc;
-      if p.p_net < 0 then acc := issue Warning "pin %d is unconnected" p.p_id :: !acc)
+      if p.p_net >= nn then
+        acc := issue Error (pin_subject d p) "references bad net %d" p.p_net :: !acc;
+      if p.p_net < 0 then acc := issue Warning (pin_subject d p) "is unconnected" :: !acc)
     d.Design.pins;
   Array.iter
     (fun (n : Types.net) ->
       Array.iter
         (fun p ->
           if p < 0 || p >= np then
-            acc := issue Error "net %s references bad pin %d" n.n_name p :: !acc
+            acc := issue Error (net_subject n) "references bad pin %d" p :: !acc
           else if (Design.pin d p).p_net <> n.n_id then
-            acc := issue Error "net %s lists pin %d owned by another net" n.n_name p :: !acc)
+            acc :=
+              issue Error (net_subject n) "lists %s owned by another net"
+                (pin_subject d (Design.pin d p))
+              :: !acc)
         n.n_pins)
     d.Design.nets;
   !acc
@@ -37,8 +52,8 @@ let check_net_degrees d acc =
   Array.fold_left
     (fun acc (n : Types.net) ->
       match Array.length n.n_pins with
-      | 0 -> issue Error "net %s has no pins" n.n_name :: acc
-      | 1 -> issue Warning "net %s has a single pin" n.n_name :: acc
+      | 0 -> issue Error (net_subject n) "has no pins" :: acc
+      | 1 -> issue Warning (net_subject n) "has a single pin" :: acc
       | _ -> acc)
     acc d.Design.nets
 
@@ -46,7 +61,8 @@ let check_names d acc =
   let seen = Hashtbl.create (Design.num_cells d) in
   Array.fold_left
     (fun acc (c : Types.cell) ->
-      if Hashtbl.mem seen c.c_name then issue Error "duplicate cell name %s" c.c_name :: acc
+      if Hashtbl.mem seen c.c_name then
+        issue Error (Printf.sprintf "cell %s" c.c_name) "duplicate cell name" :: acc
       else begin
         Hashtbl.add seen c.c_name ();
         acc
@@ -57,11 +73,12 @@ let check_geometry d acc =
   let die = d.Design.die in
   Array.fold_left
     (fun acc (c : Types.cell) ->
+      let subject = Printf.sprintf "cell %s" c.c_name in
       let acc =
         if Types.is_fixed_kind c.c_kind then begin
           let r = Design.cell_rect d c.c_id in
           if not (Rect.overlaps r (Rect.expand die 1e-9)) && not (Rect.contains_rect die r) then
-            issue Warning "fixed cell %s lies outside the die" c.c_name :: acc
+            issue Warning subject "fixed cell lies outside the die" :: acc
           else acc
         end
         else acc
@@ -70,23 +87,23 @@ let check_geometry d acc =
       | Types.Movable ->
         let acc =
           if c.c_width > Rect.width die then
-            issue Error "movable cell %s wider than the die" c.c_name :: acc
+            issue Error subject "movable cell wider than the die" :: acc
           else acc
         in
         (* multi-row movable macros are allowed when row-aligned in height *)
         let rows = c.c_height /. d.Design.row_height in
         if c.c_height > Rect.height die then
-          issue Error "movable cell %s taller than the die" c.c_name :: acc
+          issue Error subject "movable cell taller than the die" :: acc
         else if abs_float (rows -. Float.round rows) > 1e-6 then
-          issue Error "movable cell %s height is not a row multiple" c.c_name :: acc
+          issue Error subject "movable cell height is not a row multiple" :: acc
         else acc
       | Types.Fixed | Types.Pad -> acc)
     acc d.Design.cells
 
 let check_utilization d acc =
   let u = Design.utilization d in
-  if u > 1.0 then issue Error "utilization %.3f exceeds capacity" u :: acc
-  else if u > 0.95 then issue Warning "utilization %.3f is very high" u :: acc
+  if u > 1.0 then issue Error "design" "utilization %.3f exceeds capacity" u :: acc
+  else if u > 0.95 then issue Warning "design" "utilization %.3f is very high" u :: acc
   else acc
 
 let check_groups d acc =
@@ -94,23 +111,28 @@ let check_groups d acc =
   let owner = Hashtbl.create 64 in
   List.fold_left
     (fun acc g ->
+      let subject = Printf.sprintf "group %s" g.Groups.g_name in
       Array.fold_left
         (fun acc row ->
           Array.fold_left
             (fun acc c ->
               if c < 0 then acc
-              else if c >= nc then
-                issue Error "group %s references bad cell %d" g.Groups.g_name c :: acc
+              else if c >= nc then issue Error subject "references bad cell %d" c :: acc
               else begin
+                let cname = (Design.cell d c).Types.c_name in
                 let acc =
                   if Types.is_fixed_kind (Design.cell d c).c_kind then
-                    issue Error "group %s contains fixed cell %d" g.Groups.g_name c :: acc
+                    issue Error subject "contains fixed cell %s" cname :: acc
                   else acc
                 in
                 match Hashtbl.find_opt owner c with
                 | Some other when other <> g.Groups.g_name ->
-                  issue Error "cell %d is in groups %s and %s" c other g.Groups.g_name :: acc
-                | Some _ -> issue Error "cell %d appears twice in group %s" c g.Groups.g_name :: acc
+                  issue Error
+                    (Printf.sprintf "cell %s" cname)
+                    "is in groups %s and %s" other g.Groups.g_name
+                  :: acc
+                | Some _ ->
+                  issue Error subject "cell %s appears twice in the group" cname :: acc
                 | None ->
                   Hashtbl.add owner c g.Groups.g_name;
                   acc
@@ -135,4 +157,4 @@ let is_clean issues = errors issues = []
 
 let pp_issue ppf i =
   let tag = match i.severity with Warning -> "warning" | Error -> "error" in
-  Format.fprintf ppf "[%s] %s" tag i.message
+  Format.fprintf ppf "[%s] %s: %s" tag i.subject i.message

@@ -3,7 +3,15 @@
 
 type severity = Warning | Error
 
-type issue = { severity : severity; message : string }
+type issue = {
+  severity : severity;
+  subject : string;
+      (** the named entity the issue is about — ["cell <name>"],
+          ["net <name>"], ["group <name>"], ["pin <id> of cell <name>"], or
+          ["design"] — so downstream reports (e.g. [Dpp_check] violations)
+          can attribute failures without re-deriving names from indices *)
+  message : string;
+}
 
 val check : Design.t -> issue list
 (** Runs every check:
@@ -23,3 +31,4 @@ val is_clean : issue list -> bool
 (** No [Error]-severity issues. *)
 
 val pp_issue : Format.formatter -> issue -> unit
+(** ["[severity] subject: message"]. *)

@@ -1,0 +1,34 @@
+(** Minimal JSON reader — just enough to parse back what this library
+    writes ({!Trace}, bench dumps), so schema tests and downstream tools do
+    not need an external JSON dependency.  Full RFC 8259 grammar for
+    values; strings support the standard escapes plus [\uXXXX] (decoded as
+    a raw byte for code points below 256, ['?'] otherwise). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised with ["offset N: message"] on malformed input. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] ([None] on missing field or non-object). *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]. @raise Parse_error on any other constructor. *)
+
+val to_float : t -> float
+(** @raise Parse_error unless [Num]. *)
+
+val to_string : t -> string
+(** @raise Parse_error unless [Str]. *)
+
+val to_bool : t -> bool
+(** @raise Parse_error unless [Bool]. *)

@@ -1,9 +1,13 @@
+type check = { ok : bool; oracles : string list; violations : string list }
+
 type stage = {
   name : string;
   wall_s : float;
+  t_s : float;
   hpwl_before : float;
   hpwl_after : float;
   overflow : float option;
+  check : check option;
 }
 
 type t = { design : string; mode : string; total_s : float; stages : stage list }
@@ -24,11 +28,19 @@ let escape s =
 
 let num v = if Float.is_finite v then Printf.sprintf "%.12g" v else "null"
 
+let string_array ss =
+  Printf.sprintf "[%s]" (String.concat "," (List.map (fun s -> "\"" ^ escape s ^ "\"") ss))
+
+let check_to_json c =
+  Printf.sprintf {|{"ok":%b,"oracles":%s,"violations":%s}|} c.ok (string_array c.oracles)
+    (string_array c.violations)
+
 let stage_to_json s =
   Printf.sprintf
-    {|{"name":"%s","wall_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s}|}
-    (escape s.name) (num s.wall_s) (num s.hpwl_before) (num s.hpwl_after)
+    {|{"name":"%s","wall_s":%s,"t_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s,"check":%s}|}
+    (escape s.name) (num s.wall_s) (num s.t_s) (num s.hpwl_before) (num s.hpwl_after)
     (match s.overflow with Some v -> num v | None -> "null")
+    (match s.check with Some c -> check_to_json c | None -> "null")
 
 let to_json t =
   Printf.sprintf {|{"design":"%s","mode":"%s","total_s":%s,"stages":[%s]}|}

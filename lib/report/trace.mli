@@ -8,19 +8,36 @@
       [ { "design": "<name>", "mode": "baseline|structure-aware",
           "total_s": <float>,
           "stages": [ { "name": "<stage>", "wall_s": <float>,
+                        "t_s": <float>,
                         "hpwl_before": <float>, "hpwl_after": <float>,
-                        "overflow": <float|null> }, ... ] }, ... ]
+                        "overflow": <float|null>,
+                        "check": null | { "ok": <bool>,
+                                          "oracles": [<string>...],
+                                          "violations": [<string>...] } },
+                      ... ] }, ... ]
     v}
 
     [overflow] is [null] for stages where no density evaluation happens
-    (every stage except global placement). *)
+    (every stage except global placement).  [check] is [null] unless the
+    run was made in [--check] mode, in which case it carries the verdict of
+    the invariant oracles that ran at this stage boundary. *)
+
+type check = {
+  ok : bool;  (** no oracle reported a violation *)
+  oracles : string list;  (** which oracles ran at this boundary *)
+  violations : string list;  (** rendered violation reports, empty when ok *)
+}
 
 type stage = {
   name : string;
   wall_s : float;  (** wall-clock seconds spent in the stage *)
+  t_s : float;
+      (** wall-clock offset of the stage's completion from the start of the
+          run — monotonically non-decreasing across a run's stages *)
   hpwl_before : float;  (** weighted HPWL entering the stage *)
   hpwl_after : float;
   overflow : float option;  (** density overflow, when the stage tracks it *)
+  check : check option;  (** oracle verdict, when the run checks stages *)
 }
 
 type t = { design : string; mode : string; total_s : float; stages : stage list }

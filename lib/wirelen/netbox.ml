@@ -342,6 +342,52 @@ let commit t =
     finish t
   end
 
+let audit ?(tol = 1e-6) t =
+  if t.active then [ None, "audit called inside an open transaction" ]
+  else begin
+    let pin_cell = t.pins.Pins.pin_cell in
+    let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+    let mismatches = ref [] in
+    let fresh_total = ref 0.0 in
+    for n = Design.num_nets t.pins.Pins.design - 1 downto 0 do
+      if t.degree.(n) >= 2 then begin
+        let xmin = ref infinity and xmax = ref neg_infinity in
+        let ymin = ref infinity and ymax = ref neg_infinity in
+        for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+          let p = t.net_pin.(i) in
+          let c = pin_cell.(p) in
+          let x = t.cx.(c) +. off_x.(p) and y = t.cy.(c) +. off_y.(p) in
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y
+        done;
+        let span = !xmax -. !xmin +. !ymax -. !ymin in
+        fresh_total := !fresh_total +. (t.weight.(n) *. span);
+        let slack = tol *. (1.0 +. abs_float span) in
+        let bad got want tag =
+          if abs_float (got -. want) > slack then
+            mismatches :=
+              ( Some n,
+                Printf.sprintf "cached %s %.9g but a fresh rescan finds %.9g" tag got want )
+              :: !mismatches
+        in
+        bad t.xmin.(n) !xmin "xmin";
+        bad t.xmax.(n) !xmax "xmax";
+        bad t.ymin.(n) !ymin "ymin";
+        bad t.ymax.(n) !ymax "ymax"
+      end
+    done;
+    let slack = tol *. (1.0 +. abs_float !fresh_total) in
+    if abs_float (t.total -. !fresh_total) > slack then
+      mismatches :=
+        ( None,
+          Printf.sprintf "cached total %.9g but a fresh rescan finds %.9g" t.total
+            !fresh_total )
+        :: !mismatches;
+    !mismatches
+  end
+
 let rollback t =
   if t.active then begin
     for k = 0 to t.n_moved - 1 do

@@ -52,3 +52,14 @@ val commit : t -> unit
 val rollback : t -> unit
 (** Discard the staged moves, restoring coordinates and pin offsets.
     No-op outside a transaction. *)
+
+val audit : ?tol:float -> t -> (int option * string) list
+(** Compare every committed per-net box and the committed total against a
+    fresh rescan of the live coordinates and pin offsets.  Returns one
+    [(Some net, message)] entry per disagreeing box and a [(None, message)]
+    entry when the running total disagrees, empty when the cache is
+    consistent.  [tol] (default 1e-6) is scaled by the magnitude compared.
+    Must be called outside a transaction (an open transaction is itself
+    reported as a mismatch).  This is the oracle behind the flow's
+    [--check] mode: any write to the coordinate arrays that bypasses
+    {!move_cell} shows up here. *)

@@ -100,6 +100,50 @@ let test_roundtrip_validates () =
   Alcotest.(check bool) "round-tripped design validates" true
     (Validate.is_clean (Validate.check d'))
 
+(* ----- property tests over generated designs (oracle-driven) -----
+
+   The same comparison the flow's check mode uses: write, re-read, and let
+   Dpp_check.bookshelf_roundtrip report any structural difference.  Specs
+   include movable macros (Ram blocks) and mixed regular structure. *)
+
+let test_roundtrip_property () =
+  List.iter
+    (fun seed ->
+      let d =
+        Dpp_gen.Compose.build
+          {
+            Dpp_gen.Compose.sp_name = Printf.sprintf "bs_prop%d" seed;
+            sp_seed = seed;
+            sp_blocks = [ Dpp_gen.Compose.Ram (24, 4, 8); Adder 8; Regbank 8 ];
+            sp_random_cells = 100 + (seed * 13 mod 60);
+            sp_utilization = 0.6;
+          }
+      in
+      match Dpp_check.bookshelf_roundtrip d with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "seed %d: %s" seed
+          (String.concat "; " (Dpp_check.Violation.strings vs)))
+    [ 3; 5; 7 ]
+
+(* Degenerate corners the writer and reader must both survive: fixed
+   blockers, single-pin nets, coincident pin offsets.  (Unconnected pins
+   are not representable in Bookshelf; the oracle excludes them.) *)
+let test_roundtrip_adversarial () =
+  let single_pin = ref false in
+  List.iter
+    (fun seed ->
+      let d = Dpp_core.Fuzz.random_design ~seed ~cells:60 ~nets:20 in
+      if Array.exists (fun (n : Types.net) -> Array.length n.Types.n_pins = 1) d.Design.nets
+      then single_pin := true;
+      match Dpp_check.bookshelf_roundtrip d with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "seed %d: %s" seed
+          (String.concat "; " (Dpp_check.Violation.strings vs)))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "the sweep covered a single-pin net" true !single_pin
+
 let test_missing_file () =
   Alcotest.(check bool) "missing aux raises" true
     (try
@@ -130,6 +174,8 @@ let suite =
     Alcotest.test_case "roundtrip nets" `Quick test_roundtrip_net_structure;
     Alcotest.test_case "roundtrip groups" `Quick test_roundtrip_groups;
     Alcotest.test_case "roundtrip validates" `Quick test_roundtrip_validates;
+    Alcotest.test_case "roundtrip property (macros)" `Quick test_roundtrip_property;
+    Alcotest.test_case "roundtrip adversarial corners" `Quick test_roundtrip_adversarial;
     Alcotest.test_case "missing file" `Quick test_missing_file;
     Alcotest.test_case "malformed aux" `Quick test_malformed;
   ]

@@ -1,0 +1,112 @@
+(* Tests for the seeded differential fuzz engine: case derivation and the
+   micro-design generator are deterministic, clean seeds stay clean, and
+   the shrinker converges to a minimal reproducer. *)
+
+module Design = Dpp_netlist.Design
+module Fuzz = Dpp_core.Fuzz
+
+let test_case_of_seed_deterministic () =
+  Alcotest.(check bool) "equal seeds, equal cases" true
+    (Fuzz.case_of_seed 42 = Fuzz.case_of_seed 42);
+  Alcotest.(check bool) "different seeds, different cases" true
+    (Fuzz.case_of_seed 42 <> Fuzz.case_of_seed 43)
+
+let test_case_bounds () =
+  List.iter
+    (fun s ->
+      let c = Fuzz.case_of_seed s in
+      Alcotest.(check bool) "cells in range" true (c.Fuzz.cells >= 120 && c.Fuzz.cells < 400);
+      Alcotest.(check bool) "nets in range" true (c.Fuzz.nets >= 40 && c.Fuzz.nets < 160);
+      Alcotest.(check bool) "moves in range" true (c.Fuzz.moves >= 160 && c.Fuzz.moves < 500);
+      Alcotest.(check bool) "dp fraction in range" true
+        (c.Fuzz.dp_fraction >= 0.0 && c.Fuzz.dp_fraction <= 0.7))
+    [ 1; 2; 3; 100; 12345 ]
+
+let test_replay_command () =
+  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3 } in
+  Alcotest.(check string) "one-command reproducer"
+    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3"
+    (Fuzz.replay_command c)
+
+let test_random_design_deterministic () =
+  let build () = Fuzz.random_design ~seed:9 ~cells:50 ~nets:15 in
+  let d1 = build () and d2 = build () in
+  Alcotest.(check int) "cells" (Design.num_cells d1) (Design.num_cells d2);
+  Alcotest.(check int) "nets" (Design.num_nets d1) (Design.num_nets d2);
+  Alcotest.(check int) "pins" (Design.num_pins d1) (Design.num_pins d2);
+  Alcotest.(check bool) "positions" true (d1.Design.x = d2.Design.x && d1.Design.y = d2.Design.y)
+
+let test_random_design_is_adversarial () =
+  let d = Fuzz.random_design ~seed:4 ~cells:80 ~nets:30 in
+  let module Types = Dpp_netlist.Types in
+  let has_fixed =
+    Array.exists (fun (c : Types.cell) -> Types.is_fixed_kind c.Types.c_kind) d.Design.cells
+  in
+  let has_single_pin =
+    Array.exists (fun (n : Types.net) -> Array.length n.Types.n_pins = 1) d.Design.nets
+  in
+  let has_unconnected =
+    Array.exists (fun (p : Types.pin) -> p.Types.p_net < 0) d.Design.pins
+  in
+  Alcotest.(check bool) "has fixed blockers" true has_fixed;
+  Alcotest.(check bool) "has single-pin nets" true has_single_pin;
+  Alcotest.(check bool) "has unconnected pins" true has_unconnected
+
+let test_clean_seeds () =
+  List.iter
+    (fun s ->
+      match Fuzz.run_case ~flow:false (Fuzz.case_of_seed s) with
+      | None -> ()
+      | Some f -> Alcotest.failf "seed %d failed: %s" s (Format.asprintf "%a" Fuzz.pp_failure f))
+    [ 1; 2; 3; 4 ]
+
+let test_clean_flow_case () =
+  match Fuzz.run_case (Fuzz.case_of_seed 1) with
+  | None -> ()
+  | Some f -> Alcotest.failf "flow case failed: %s" (Format.asprintf "%a" Fuzz.pp_failure f)
+
+(* Shrinking against a synthetic predicate: the failure depends only on the
+   move count, so the shrinker must drive cells and nets to their floors
+   and moves to the smallest still-failing power-of-two fraction. *)
+let test_shrink_minimizes () =
+  let rerun (c : Fuzz.case) =
+    if c.Fuzz.moves >= 64 then
+      Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
+    else None
+  in
+  let start = { Fuzz.seed = 1; cells = 300; nets = 80; moves = 500; dp_fraction = 0.5 } in
+  let failure = Option.get (rerun start) in
+  let minimal = Fuzz.shrink rerun failure in
+  let c = minimal.Fuzz.case in
+  Alcotest.(check int) "cells at the generator floor" 100 c.Fuzz.cells;
+  Alcotest.(check int) "nets at the floor" 1 c.Fuzz.nets;
+  Alcotest.(check bool)
+    (Printf.sprintf "moves minimal: %d in [64, 128)" c.Fuzz.moves)
+    true
+    (c.Fuzz.moves >= 64 && c.Fuzz.moves < 128);
+  Alcotest.(check bool) "minimal case still fails" true (rerun c <> None)
+
+let test_shrink_keeps_nonshrinkable () =
+  let rerun (c : Fuzz.case) =
+    if c.Fuzz.cells >= 100 then
+      Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
+    else None
+  in
+  let start = { Fuzz.seed = 2; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0 } in
+  let failure = Option.get (rerun start) in
+  let minimal = Fuzz.shrink rerun failure in
+  Alcotest.(check bool) "already-minimal case unchanged" true
+    (minimal.Fuzz.case = start)
+
+let suite =
+  [
+    Alcotest.test_case "case derivation deterministic" `Quick test_case_of_seed_deterministic;
+    Alcotest.test_case "case parameter bounds" `Quick test_case_bounds;
+    Alcotest.test_case "replay command format" `Quick test_replay_command;
+    Alcotest.test_case "micro-design deterministic" `Quick test_random_design_deterministic;
+    Alcotest.test_case "micro-design is adversarial" `Quick test_random_design_is_adversarial;
+    Alcotest.test_case "clean seeds stay clean" `Quick test_clean_seeds;
+    Alcotest.test_case "clean flow case" `Slow test_clean_flow_case;
+    Alcotest.test_case "shrinker minimizes" `Quick test_shrink_minimizes;
+    Alcotest.test_case "shrinker keeps minimal case" `Quick test_shrink_keeps_nonshrinkable;
+  ]

@@ -19,6 +19,8 @@ let () =
       "structure", Test_structure.suite;
       "place", Test_place.suite;
       "flow", Test_flow.suite;
+      "check", Test_check.suite;
+      "fuzz", Test_fuzz.suite;
       "report", Test_report.suite;
       "congest", Test_congest.suite;
       "timing", Test_timing.suite;

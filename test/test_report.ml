@@ -59,6 +59,44 @@ let test_sparkline () =
   (* constant series does not crash (zero range) *)
   Alcotest.(check bool) "constant ok" true (String.length (Series.sparkline [ 2.0; 2.0 ]) > 0)
 
+(* ----- the minimal JSON reader used by the trace schema tests ----- *)
+
+module Json = Dpp_report.Json
+
+let test_json_values () =
+  let p = Json.parse in
+  Alcotest.(check bool) "null" true (p "null" = Json.Null);
+  Alcotest.(check bool) "bools" true (p "true" = Json.Bool true && p "false" = Json.Bool false);
+  Alcotest.(check (float 1e-12)) "number" (-12.5e2) (Json.to_float (p "-12.5e2"));
+  Alcotest.(check string) "string escapes" "a\"b\n\t\\" (Json.to_string (p {|"a\"b\n\t\\"|}));
+  Alcotest.(check int) "array" 3 (List.length (Json.to_list (p "[1, 2, 3]")));
+  Alcotest.(check bool) "empty array" true (Json.to_list (p "[]") = []);
+  Alcotest.(check bool) "empty object" true (p "{}" = Json.Obj [])
+
+let test_json_nested () =
+  let v = Json.parse {|{"a": [1, {"b": true}], "c": null}|} in
+  (match Json.member "a" v with
+  | Some (Json.Arr [ Json.Num n; inner ]) ->
+    Alcotest.(check (float 0.0)) "first element" 1.0 n;
+    Alcotest.(check bool) "nested member" true
+      (Json.member "b" inner = Some (Json.Bool true))
+  | _ -> Alcotest.fail "array member lost");
+  Alcotest.(check bool) "null member present" true (Json.member "c" v = Some Json.Null);
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" v = None)
+
+let test_json_errors () =
+  let rejects s =
+    try
+      ignore (Json.parse s);
+      false
+    with Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "unterminated string" true (rejects {|"abc|});
+  Alcotest.(check bool) "trailing garbage" true (rejects "1 2");
+  Alcotest.(check bool) "bare word" true (rejects "nope");
+  Alcotest.(check bool) "unclosed array" true (rejects "[1, 2");
+  Alcotest.(check bool) "empty input" true (rejects "")
+
 let suite =
   [
     Alcotest.test_case "table render" `Quick test_table_render;
@@ -68,4 +106,7 @@ let suite =
     Alcotest.test_case "series arity" `Quick test_series_make_checks_arity;
     Alcotest.test_case "series csv" `Quick test_series_csv;
     Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "json values" `Quick test_json_values;
+    Alcotest.test_case "json nested" `Quick test_json_nested;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
   ]
