@@ -195,6 +195,118 @@ let run_detail_bench () =
   say "  written BENCH_detail.json"
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel kernel sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pooled cost kernels at 1/2/4/8 worker domains.  Before timing,
+   the 4-domain gradients are checked bit-for-bit against the serial
+   kernels — a wrong parallel kernel benchmarked fast is worse than no
+   benchmark.  Throughput numbers are whatever this machine gives
+   (single-core containers show ~1x; the point of the sweep is the
+   equivalence plus honest scaling data).  Emits BENCH_par.json. *)
+let run_par_bench () =
+  let module Design = Dpp_netlist.Design in
+  let module Pins = Dpp_wirelen.Pins in
+  let module Model = Dpp_wirelen.Model in
+  let module Par_grad = Dpp_wirelen.Par_grad in
+  let module Netbox = Dpp_wirelen.Netbox in
+  let module Grid = Dpp_density.Grid in
+  let module Bell = Dpp_density.Bell in
+  let module Rudy = Dpp_congest.Rudy in
+  let module Pool = Dpp_par.Pool in
+  let d = Lazy.force micro_design in
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  let n = Design.num_cells d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let gx' = Array.make n 0.0 and gy' = Array.make n 0.0 in
+  let nx, ny = Grid.default_dims d in
+  let grid = Grid.build d ~nx ~ny in
+  let bell = Bell.create d ~grid ~target_density:0.9 in
+  (* equivalence gate: pooled gradients at 4 domains vs the serial kernels *)
+  Pool.with_pool ~nworkers:4 (fun pool ->
+      let pg = Par_grad.create pool pins in
+      List.iter
+        (fun kind ->
+          Array.fill gx 0 n 0.0;
+          Array.fill gy 0 n 0.0;
+          Array.fill gx' 0 n 0.0;
+          Array.fill gy' 0 n 0.0;
+          let vs = Model.value_grad kind pins ~gamma:5.0 ~cx ~cy ~gx ~gy in
+          let vp = Par_grad.value_grad pg pool kind ~gamma:5.0 ~cx ~cy ~gx:gx' ~gy:gy' in
+          let same =
+            Float.equal vs vp
+            && Array.for_all2 Float.equal gx gx'
+            && Array.for_all2 Float.equal gy gy'
+          in
+          if not same then begin
+            say "PAR: MISMATCH: %s pooled gradient differs from serial"
+              (Model.kind_to_string kind);
+            exit 1
+          end)
+        [ Model.Lse; Model.Wa ]);
+  say "PAR: pooled gradients bit-identical to serial (LSE, WA) at 4 domains";
+  let rate f =
+    f ();
+    f ();
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.4 do
+      f ();
+      incr iters
+    done;
+    float_of_int !iters /. (Unix.gettimeofday () -. t0)
+  in
+  let levels =
+    List.map
+      (fun jobs ->
+        Pool.with_pool ~nworkers:jobs @@ fun pool ->
+        let pg = Par_grad.create pool pins in
+        let bp = Bell.par_create bell in
+        let nb = Netbox.build ~pool pins ~cx ~cy in
+        let wa =
+          rate (fun () ->
+              ignore (Par_grad.value_grad pg pool Model.Wa ~gamma:5.0 ~cx ~cy ~gx ~gy))
+        in
+        let lse =
+          rate (fun () ->
+              ignore (Par_grad.value_grad pg pool Model.Lse ~gamma:5.0 ~cx ~cy ~gx ~gy))
+        in
+        let bellr = rate (fun () -> ignore (Bell.par_value_grad bp pool ~cx ~cy ~gx ~gy)) in
+        let rudy = rate (fun () -> ignore (Rudy.compute ~pool d ~cx ~cy)) in
+        let audit = rate (fun () -> ignore (Netbox.audit ~pool nb)) in
+        say
+          "  jobs %d: wa %8.1f/s  lse %8.1f/s  bell %8.1f/s  rudy %8.1f/s  audit %8.1f/s"
+          jobs wa lse bellr rudy audit;
+        jobs, wa, lse, bellr, rudy, audit)
+      [ 1; 2; 4; 8 ]
+  in
+  let wa_at j =
+    let _, wa, _, _, _, _ = List.find (fun (jobs, _, _, _, _, _) -> jobs = j) levels in
+    wa
+  in
+  let speedup = wa_at 4 /. wa_at 1 in
+  say "PAR: WA gradient speedup at 4 domains vs 1: %.2fx (machine has %d core%s)" speedup
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    {|{"design":"%s","cells":%d,"nets":%d,"chunk_count":%d,"cores":%d,"levels":[%s],"grad_speedup_4v1":%.3f}
+|}
+    d.Design.name (Design.num_cells d) (Design.num_nets d) Pool.chunk_count
+    (Domain.recommended_domain_count ())
+    (String.concat ","
+       (List.map
+          (fun (jobs, wa, lse, bellr, rudy, audit) ->
+            Printf.sprintf
+              {|{"jobs":%d,"wa_grad_per_sec":%.1f,"lse_grad_per_sec":%.1f,"bell_grad_per_sec":%.1f,"rudy_per_sec":%.1f,"netbox_audit_per_sec":%.1f}|}
+              jobs wa lse bellr rudy audit)
+          levels))
+    speedup;
+  close_out oc;
+  say "  written BENCH_par.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -223,6 +335,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("F5", "extraction noise robustness", fun () -> Series.print (Experiment.figure5 ()));
     ("BM", "kernel micro-benchmarks", run_micro);
     ("DP", "detailed-placement move-evaluation microbenchmark", run_detail_bench);
+    ("PAR", "domain-parallel kernel sweep (1/2/4/8 worker domains)", run_par_bench);
   ]
 
 let matches selector (id, _, _) =

@@ -15,17 +15,18 @@ let setup_logs verbose =
 
 let override v field c = match v with None -> c | Some x -> field c x
 
-let build_case ~cells ~nets ~moves ~dp seed =
+let build_case ~cells ~nets ~moves ~dp ~jobs seed =
   Fuzz.case_of_seed seed
   |> override cells (fun c cells -> { c with Fuzz.cells })
   |> override nets (fun c nets -> { c with Fuzz.nets })
   |> override moves (fun c moves -> { c with Fuzz.moves })
   |> override dp (fun c dp_fraction -> { c with Fuzz.dp_fraction })
+  |> fun c -> { c with Fuzz.jobs }
 
-let run verbose seed base_seed count budget skip_flow cells nets moves dp =
+let run verbose seed base_seed count budget skip_flow cells nets moves dp jobs =
   setup_logs verbose;
   let flow = not skip_flow in
-  let case_of = build_case ~cells ~nets ~moves ~dp in
+  let case_of = build_case ~cells ~nets ~moves ~dp ~jobs in
   let seeds =
     match seed with Some s -> [ s ] | None -> List.init count (fun i -> base_seed + i)
   in
@@ -88,10 +89,13 @@ let cmd =
   let dp =
     Arg.(value & opt (some float) None & info [ "dp-fraction" ] ~docv:"F" ~doc:"Override the case's datapath fraction.")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains. Above 1 adds a parallel-vs-serial differential layer (bit-exact kernel equivalence plus whole-flow determinism across worker counts).")
+  in
   let term =
     Term.(
       const run $ verbose $ seed $ base_seed $ count $ budget $ skip_flow $ cells $ nets
-      $ moves $ dp)
+      $ moves $ dp $ jobs)
   in
   Cmd.v
     (Cmd.info "dpp_fuzz"

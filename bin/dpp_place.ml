@@ -26,7 +26,7 @@ let load ~preset ~bookshelf =
   | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
   | None, None -> Error "give --preset <name> or --bookshelf <basename>"
 
-let run verbose preset bookshelf mode beta density seed out svg compare trace check =
+let run verbose preset bookshelf mode beta density seed jobs out svg compare trace check =
   setup_logs verbose;
   match load ~preset ~bookshelf with
   | Error msg ->
@@ -39,6 +39,7 @@ let run verbose preset bookshelf mode beta density seed out svg compare trace ch
         Dpp_core.Config.beta;
         target_density = density;
         seed;
+        jobs;
       }
     in
     let report tag (r : Dpp_core.Flow.result) =
@@ -121,6 +122,9 @@ let cmd =
   let beta = Arg.(value & opt float 1.0 & info [ "beta" ] ~doc:"Soft-alignment weight knob.") in
   let density = Arg.(value & opt float 0.9 & info [ "density" ] ~doc:"Target placement density.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Flow random seed.") in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains for the cost kernels. The resulting placement is identical at every value.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"BASE" ~doc:"Write the placed design as Bookshelf BASE.*.")
   in
@@ -135,7 +139,7 @@ let cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate invariant oracles (legality, group rigidity, incremental-cache consistency) at every stage boundary; the first violation aborts with exit code 2 and names the offending stage.")
   in
   let term =
-    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ out $ svg $ compare $ trace $ check)
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ jobs $ out $ svg $ compare $ trace $ check)
   in
   Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
 

@@ -7,6 +7,7 @@ module Groups = Dpp_netlist.Groups
 module Pins = Dpp_wirelen.Pins
 module Netbox = Dpp_wirelen.Netbox
 module Model = Dpp_wirelen.Model
+module Par_grad = Dpp_wirelen.Par_grad
 module Dgroup = Dpp_structure.Dgroup
 module Legality = Dpp_place.Legality
 module Rng = Dpp_util.Rng
@@ -98,8 +99,8 @@ let group_integrity ?(tol = 1e-6) d dgroups ~cx ~cy =
     dgroups;
   List.rev !acc
 
-let netbox_sync ?tol ?(net_name = fun n -> Printf.sprintf "#%d" n) nb =
-  Netbox.audit ?tol nb
+let netbox_sync ?pool ?tol ?(net_name = fun n -> Printf.sprintf "#%d" n) nb =
+  Netbox.audit ?pool ?tol nb
   |> List.map (fun (net, msg) ->
          match net with
          | Some n ->
@@ -107,12 +108,16 @@ let netbox_sync ?tol ?(net_name = fun n -> Printf.sprintf "#%d" n) nb =
              msg
          | None -> Violation.v ~oracle:"netbox" ~subject:"total" "%s" msg)
 
-let gradient ?(samples = 6) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gamma d =
+let gradient ?pool ?(samples = 12) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gamma d =
   let pins = Pins.build d in
   let cx, cy = Pins.centers_of_design d in
   let nc = Design.num_cells d in
   let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
-  ignore (Model.value_grad model pins ~gamma ~cx ~cy ~gx ~gy);
+  (match pool with
+  | Some pool ->
+    let pg = Par_grad.create pool pins in
+    ignore (Par_grad.value_grad pg pool model ~gamma ~cx ~cy ~gx ~gy)
+  | None -> ignore (Model.value_grad model pins ~gamma ~cx ~cy ~gx ~gy));
   let movable = Design.movable_ids d in
   let rng = Rng.create seed in
   let n = min samples (Array.length movable) in
@@ -123,15 +128,75 @@ let gradient ?(samples = 6) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gamma d =
         (fun k -> movable.(k))
         (Rng.sample_without_replacement rng n (Array.length movable))
   in
+  (* Only nets incident to the perturbed cell change under the
+     perturbation, so the central difference is taken over those nets
+     alone — O(local degree) per sample instead of a full objective
+     evaluation, and better conditioned (no cancellation against the
+     unchanged rest of the design).  Samples are batched over the pool;
+     each lands in its own slot and nothing shared is mutated. *)
+  let axis =
+    match model with
+    | Model.Lse -> Dpp_wirelen.Lse.axis_value_grad
+    | Model.Wa -> Dpp_wirelen.Wa.axis_value_grad
+  in
+  let incident_nets i =
+    let nets = ref [] in
+    Array.iter
+      (fun p ->
+        let nid = (Design.pin d p).Types.p_net in
+        if
+          nid >= 0
+          && Array.length (Design.net d nid).Types.n_pins >= 2
+          && not (List.mem nid !nets)
+        then nets := nid :: !nets)
+      (Design.cell d i).Types.c_pins;
+    List.rev !nets
+  in
+  let eval_nets (view : Pins.t) nets ~pert ~dx ~dy =
+    List.fold_left
+      (fun acc nid ->
+        let np = (Design.net d nid).Types.n_pins in
+        let k = Array.length np in
+        for idx = 0 to k - 1 do
+          let p = np.(idx) in
+          let c = view.Pins.pin_cell.(p) in
+          let px = if c = pert then cx.(c) +. dx else cx.(c) in
+          let py = if c = pert then cy.(c) +. dy else cy.(c) in
+          view.Pins.scratch_x.(idx) <- px +. view.Pins.off_x.(p);
+          view.Pins.scratch_y.(idx) <- py +. view.Pins.off_y.(p)
+        done;
+        let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~want_grad:false in
+        let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~want_grad:false in
+        acc +. ((Design.net d nid).Types.n_weight *. (vx +. vy)))
+      0.0 nets
+  in
+  let num_x = Array.make (max 1 n) 0.0 and num_y = Array.make (max 1 n) 0.0 in
+  let sample_range (view : Pins.t) lo hi =
+    for s = lo to hi - 1 do
+      let i = picks.(s) in
+      let nets = incident_nets i in
+      num_x.(s) <-
+        (eval_nets view nets ~pert:i ~dx:eps ~dy:0.0
+        -. eval_nets view nets ~pert:i ~dx:(-.eps) ~dy:0.0)
+        /. (2.0 *. eps);
+      num_y.(s) <-
+        (eval_nets view nets ~pert:i ~dx:0.0 ~dy:eps
+        -. eval_nets view nets ~pert:i ~dx:0.0 ~dy:(-.eps))
+        /. (2.0 *. eps)
+    done
+  in
+  (match pool with
+  | None -> sample_range pins 0 n
+  | Some pool ->
+    let views =
+      Array.init
+        (Dpp_par.Pool.nworkers pool)
+        (fun w -> if w = 0 then pins else Pins.clone_scratch pins)
+    in
+    Dpp_par.Pool.iter_chunks pool ~n (fun ~worker ~chunk:_ ~lo ~hi ->
+        sample_range views.(worker) lo hi));
   let acc = ref [] in
-  let check arr g axis i =
-    let saved = arr.(i) in
-    arr.(i) <- saved +. eps;
-    let fp = Model.value model pins ~gamma ~cx ~cy in
-    arr.(i) <- saved -. eps;
-    let fm = Model.value model pins ~gamma ~cx ~cy in
-    arr.(i) <- saved;
-    let numeric = (fp -. fm) /. (2.0 *. eps) in
+  let check numeric g axis i =
     let err = abs_float (numeric -. g.(i)) /. max 1.0 (abs_float numeric) in
     if err > tol then
       acc :=
@@ -141,10 +206,10 @@ let gradient ?(samples = 6) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gamma d =
           (Model.kind_to_string model) axis g.(i) numeric err
         :: !acc
   in
-  Array.iter
-    (fun i ->
-      check cx gx "x" i;
-      check cy gy "y" i)
+  Array.iteri
+    (fun s i ->
+      check num_x.(s) gx "x" i;
+      check num_y.(s) gy "y" i)
     picks;
   List.rev !acc
 

@@ -51,13 +51,18 @@ val group_integrity :
     member is inside the die. *)
 
 val netbox_sync :
-  ?tol:float -> ?net_name:(int -> string) -> Dpp_wirelen.Netbox.t -> Violation.t list
+  ?pool:Dpp_par.Pool.t ->
+  ?tol:float ->
+  ?net_name:(int -> string) ->
+  Dpp_wirelen.Netbox.t ->
+  Violation.t list
 (** The incremental HPWL cache agrees with a fresh rescan of the live
     coordinates: every committed per-net box and the running total
     ({!Dpp_wirelen.Netbox.audit}).  This is the oracle that catches stages
     writing to the shared coordinate arrays behind the cache's back. *)
 
 val gradient :
+  ?pool:Dpp_par.Pool.t ->
   ?samples:int ->
   ?eps:float ->
   ?tol:float ->
@@ -67,9 +72,15 @@ val gradient :
   Dpp_netlist.Design.t ->
   Violation.t list
 (** The analytic gradient of the chosen smooth wirelength model matches a
-    central finite difference on [samples] randomly chosen movable
-    coordinates (relative error below [tol], default 1e-3).  Deterministic
-    in [seed].  Evaluates at the design's current placement. *)
+    central finite difference on [samples] (default 12) randomly chosen
+    movable coordinates (relative error below [tol], default 1e-3).
+    Deterministic in [seed] — and in the pool size: samples land in
+    per-sample slots reduced in a fixed order.  The difference is taken
+    over the perturbed cell's incident nets only (everything else cancels
+    exactly), so cost is O(local degree) per sample rather than a full
+    objective evaluation; with [pool], the analytic gradient and the
+    sample batch both fan out over the workers.  Evaluates at the
+    design's current placement. *)
 
 val validate : Dpp_netlist.Design.t -> Violation.t list
 (** {!Dpp_netlist.Validate} errors lifted to violations, carrying the

@@ -18,7 +18,9 @@ let default_dims (d : Design.t) =
   let side = max 8 (min 256 side) in
   side, side
 
-let compute ?nx ?ny (d : Design.t) ~cx ~cy =
+module Pool = Dpp_par.Pool
+
+let compute ?pool ?nx ?ny (d : Design.t) ~cx ~cy =
   let dnx, dny = default_dims d in
   let nx = Option.value nx ~default:dnx and ny = Option.value ny ~default:dny in
   let die = d.Design.die in
@@ -28,13 +30,13 @@ let compute ?nx ?ny (d : Design.t) ~cx ~cy =
   let pins = Pins.build d in
   let clamp_ix v = max 0 (min (nx - 1) v) in
   let clamp_iy v = max 0 (min (ny - 1) v) in
-  for n = 0 to Design.num_nets d - 1 do
-    let k = Pins.load_net pins ~cx ~cy n in
+  let scatter_net (view : Pins.t) grid n =
+    let k = Pins.load_net view ~cx ~cy n in
     if k >= 2 then begin
-      let xmin = ref pins.Pins.scratch_x.(0) and xmax = ref pins.Pins.scratch_x.(0) in
-      let ymin = ref pins.Pins.scratch_y.(0) and ymax = ref pins.Pins.scratch_y.(0) in
+      let xmin = ref view.Pins.scratch_x.(0) and xmax = ref view.Pins.scratch_x.(0) in
+      let ymin = ref view.Pins.scratch_y.(0) and ymax = ref view.Pins.scratch_y.(0) in
       for i = 1 to k - 1 do
-        let x = pins.Pins.scratch_x.(i) and y = pins.Pins.scratch_y.(i) in
+        let x = view.Pins.scratch_x.(i) and y = view.Pins.scratch_y.(i) in
         if x < !xmin then xmin := x;
         if x > !xmax then xmax := x;
         if y < !ymin then ymin := y;
@@ -59,11 +61,37 @@ let compute ?nx ?ny (d : Design.t) ~cx ~cy =
               ~yh:(die.Rect.yl +. (float_of_int (iy + 1) *. bin_h))
           in
           let ov = Rect.overlap_area box bin in
-          if ov > 0.0 then demand.((iy * nx) + ix) <- demand.((iy * nx) + ix) +. (density *. ov)
+          if ov > 0.0 then grid.((iy * nx) + ix) <- grid.((iy * nx) + ix) +. (density *. ov)
         done
       done
     end
-  done;
+  in
+  (match pool with
+  | None ->
+    for n = 0 to Design.num_nets d - 1 do
+      scatter_net pins demand n
+    done
+  | Some pool ->
+    (* Chunk-local demand grids merged per bin in ascending chunk order:
+       the chunk layout is fixed, so the map is bit-stable across worker
+       counts (though not bit-equal to the serial scatter). *)
+    let views =
+      Array.init (Pool.nworkers pool) (fun w -> if w = 0 then pins else Pins.clone_scratch pins)
+    in
+    let chunk_demand = Array.init Pool.chunk_count (fun _ -> Array.make (nx * ny) 0.0) in
+    Pool.iter_chunks pool ~n:(Design.num_nets d) (fun ~worker ~chunk ~lo ~hi ->
+        let grid = chunk_demand.(chunk) in
+        for n = lo to hi - 1 do
+          scatter_net views.(worker) grid n
+        done);
+    Pool.iter_chunks pool ~n:(nx * ny) (fun ~worker:_ ~chunk:_ ~lo ~hi ->
+        for b = lo to hi - 1 do
+          let acc = ref 0.0 in
+          for c = 0 to Pool.chunk_count - 1 do
+            acc := !acc +. chunk_demand.(c).(b)
+          done;
+          demand.(b) <- acc.contents
+        done));
   (* express demand as density per area unit: divide by bin area *)
   let bin_area = bin_w *. bin_h in
   Array.iteri (fun i v -> demand.(i) <- v /. bin_area) demand;

@@ -21,6 +21,7 @@ type t = {
 }
 
 val compute :
+  ?pool:Dpp_par.Pool.t ->
   ?nx:int ->
   ?ny:int ->
   Dpp_netlist.Design.t ->
@@ -33,7 +34,12 @@ val compute :
     designs: [supply = total demand / die area] would always average 1, so
     instead the supply is [2 * sqrt(total cell area) / die area]-free:
     we use the simple convention [supply = 1.0] wiring unit per unit area,
-    leaving interpretation to the ratio statistics below. *)
+    leaving interpretation to the ratio statistics below.
+
+    With [pool], nets scatter into {!Dpp_par.Pool.chunk_count} fixed
+    chunk-local grids merged per bin in ascending chunk order: the map is
+    bit-stable across worker counts (but not bit-equal to the serial
+    scatter, whose single grid accumulates in net order). *)
 
 type stats = {
   max_ratio : float;  (** hottest bin demand / supply *)

@@ -25,7 +25,9 @@ let run ~stage (ctx : Ctx.t) =
   (match ctx.Ctx.netbox with
   | Some nb ->
     oracle "netbox"
-      (Check.netbox_sync ~net_name:(fun n -> (Design.net d n).Types.n_name) nb)
+      (Check.netbox_sync ~pool:ctx.Ctx.pool
+         ~net_name:(fun n -> (Design.net d n).Types.n_name)
+         nb)
   | None -> ());
   if List.mem stage legality_from then begin
     oracle "legal" (Check.legal d ~cx ~cy);

@@ -19,6 +19,7 @@ type t = {
   detail_passes : int;
   extract : Dpp_extract.Slicer.config;
   seed : int;
+  jobs : int;
 }
 
 let baseline =
@@ -37,6 +38,7 @@ let baseline =
     detail_passes = 3;
     extract = Dpp_extract.Slicer.default_config;
     seed = 1;
+    jobs = 1;
   }
 
 let structure_aware = { baseline with mode = Structure_aware }

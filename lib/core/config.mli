@@ -38,6 +38,9 @@ type t = {
   detail_passes : int;
   extract : Dpp_extract.Slicer.config;
   seed : int;
+  jobs : int;
+      (** worker domains for the cost kernels (default 1).  The placement
+          trajectory is independent of this value — see [Dpp_par.Pool]. *)
 }
 
 val baseline : t

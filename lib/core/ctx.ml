@@ -8,6 +8,7 @@ module Hpwl = Dpp_wirelen.Hpwl
 type t = {
   design : Design.t;
   config : Config.t;
+  pool : Dpp_par.Pool.t;
   pins : Pins.t;
   hypergraph : Hypergraph.t Lazy.t;
   mutable cx : float array;
@@ -37,6 +38,7 @@ let create design config =
   {
     design;
     config;
+    pool = Dpp_par.Pool.create ~nworkers:config.Config.jobs;
     pins = Pins.build design;
     hypergraph = lazy (Hypergraph.build design);
     cx;
@@ -70,7 +72,7 @@ let netbox t =
   match t.netbox with
   | Some nb -> nb
   | None ->
-    let nb = Netbox.build t.pins ~cx:t.cx ~cy:t.cy in
+    let nb = Netbox.build ~pool:t.pool t.pins ~cx:t.cx ~cy:t.cy in
     t.netbox <- Some nb;
     nb
 

@@ -12,6 +12,9 @@
 type t = {
   design : Dpp_netlist.Design.t;  (** the placed copy being optimized *)
   config : Config.t;
+  pool : Dpp_par.Pool.t;
+      (** worker pool sized from [config.jobs], shared by every stage's
+          cost kernels; {!Flow.run} shuts it down when the flow ends *)
   pins : Dpp_wirelen.Pins.t;  (** built once at context creation *)
   hypergraph : Dpp_netlist.Hypergraph.t Lazy.t;
   mutable cx : float array;  (** live cell centers — the current best placement *)

@@ -141,6 +141,7 @@ let gp_stage =
               | Config.Structure_aware -> cfg.Config.beta);
             groups = ctx.Ctx.soft_dgs;
             rigid_groups = ctx.Ctx.rigid_dgs @ ctx.Ctx.macro_dgs;
+            pool = Some ctx.Ctx.pool;
           }
         in
         let gp = Gp.run ctx.Ctx.design gp_cfg ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy in
@@ -240,7 +241,7 @@ let metrics_stage =
         let d = ctx.Ctx.design in
         let cx = ctx.Ctx.cx and cy = ctx.Ctx.cy in
         ctx.Ctx.steiner_final <- Rsmt.total ctx.Ctx.pins ~cx ~cy;
-        let rudy = Dpp_congest.Rudy.compute d ~cx ~cy in
+        let rudy = Dpp_congest.Rudy.compute ~pool:ctx.Ctx.pool d ~cx ~cy in
         ctx.Ctx.congestion <- Some (Dpp_congest.Rudy.stats rudy);
         let sta = Dpp_timing.Sta.build d in
         let timing = Dpp_timing.Sta.analyze sta ~cx ~cy in
@@ -268,6 +269,8 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
     issues;
   let t_start = Unix.gettimeofday () in
   let ctx = Ctx.create (copy_design input) cfg in
+  (* the worker pool must not outlive the flow, even on Check_failed *)
+  Fun.protect ~finally:(fun () -> Dpp_par.Pool.shutdown ctx.Ctx.pool) @@ fun () ->
   let reports = ref [] in
   let hpwl_before = ref (Ctx.hpwl ctx) in
   List.iter

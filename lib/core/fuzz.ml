@@ -8,9 +8,21 @@ module Pins = Dpp_wirelen.Pins
 module Hpwl = Dpp_wirelen.Hpwl
 module Netbox = Dpp_wirelen.Netbox
 module Model = Dpp_wirelen.Model
+module Par_grad = Dpp_wirelen.Par_grad
+module Pool = Dpp_par.Pool
+module Grid = Dpp_density.Grid
+module Bell = Dpp_density.Bell
+module Rudy = Dpp_congest.Rudy
 module Check = Dpp_check
 
-type case = { seed : int; cells : int; nets : int; moves : int; dp_fraction : float }
+type case = {
+  seed : int;
+  cells : int;
+  nets : int;
+  moves : int;
+  dp_fraction : float;
+  jobs : int;
+}
 
 type failure = { case : case; kind : string; stage : string; detail : string list }
 
@@ -22,11 +34,13 @@ let case_of_seed seed =
     nets = 40 + Rng.int rng 120;
     moves = 160 + Rng.int rng 340;
     dp_fraction = float_of_int (Rng.int rng 8) /. 10.0;
+    jobs = 1;
   }
 
 let replay_command c =
-  Printf.sprintf "dpp_fuzz --seed %d --cells %d --nets %d --moves %d --dp-fraction %g" c.seed
-    c.cells c.nets c.moves c.dp_fraction
+  Printf.sprintf "dpp_fuzz --seed %d --cells %d --nets %d --moves %d --dp-fraction %g%s"
+    c.seed c.cells c.nets c.moves c.dp_fraction
+    (if c.jobs = 1 then "" else Printf.sprintf " --jobs %d" c.jobs)
 
 let pp_failure ppf f =
   Format.fprintf ppf "seed %d failed [%s] at %s:@\n" f.case.seed f.kind f.stage;
@@ -159,13 +173,111 @@ let unit_checks (c : case) =
       | Some msg -> Some ("netbox", "differential", [ msg ])
       | None -> None))
 
-let flow_config seed =
+(* ----- parallel-vs-serial differentials (jobs > 1) -----
+
+   The wirelength and netbox kernels promise bit-identity with the serial
+   code; the chunk-merged bell/RUDY kernels promise bit-stability across
+   worker counts (jobs-N vs jobs-1 over the same pooled kernel).  Both
+   promises are checked here with [Float.equal] — no tolerance. *)
+
+let first_mismatch ~what a b =
+  let bad = ref None in
+  for i = Array.length a - 1 downto 0 do
+    if not (Float.equal a.(i) b.(i)) then bad := Some i
+  done;
+  Option.map
+    (fun i -> Printf.sprintf "%s[%d]: %.17g vs %.17g" what i a.(i) b.(i))
+    !bad
+
+let par_checks (c : case) =
+  if c.jobs <= 1 then None
+  else begin
+    let d = random_design ~seed:c.seed ~cells:(c.cells / 4) ~nets:c.nets in
+    let pins = Pins.build d in
+    let cx, cy = Pins.centers_of_design d in
+    let nc = Design.num_cells d in
+    let gamma = max 1.0 (0.02 *. Rect.width d.Design.die) in
+    Pool.with_pool ~nworkers:c.jobs @@ fun pool ->
+    Pool.with_pool ~nworkers:1 @@ fun pool1 ->
+    let fail = ref None in
+    let record stage msg = if !fail = None then fail := Some (stage, [ msg ]) in
+    (* wirelength: pooled kernel must equal the serial kernel exactly *)
+    List.iter
+      (fun kind ->
+        let name = Model.kind_to_string kind in
+        let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+        let v = Model.value_grad kind pins ~gamma ~cx ~cy ~gx ~gy in
+        let pg = Par_grad.create pool pins in
+        let gx' = Array.make nc 0.0 and gy' = Array.make nc 0.0 in
+        let v' = Par_grad.value_grad pg pool kind ~gamma ~cx ~cy ~gx:gx' ~gy:gy' in
+        if not (Float.equal v v') then
+          record "gradient"
+            (Printf.sprintf "%s value: serial %.17g vs %d-worker %.17g" name v c.jobs v');
+        Option.iter (record "gradient")
+          (first_mismatch ~what:(name ^ " gx") gx gx');
+        Option.iter (record "gradient")
+          (first_mismatch ~what:(name ^ " gy") gy gy'))
+      [ Model.Lse; Model.Wa ];
+    (* density: the pooled kernel must not depend on the worker count *)
+    if !fail = None then begin
+      let nx, ny = Grid.default_dims d in
+      let grid = Grid.build d ~nx ~ny in
+      let bell = Bell.create d ~grid ~target_density:0.9 in
+      let run p =
+        let bp = Bell.par_create bell in
+        let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+        let v = Bell.par_value_grad bp p ~cx ~cy ~gx ~gy in
+        v, gx, gy
+      in
+      let v, gx, gy = run pool1 in
+      let v', gx', gy' = run pool in
+      if not (Float.equal v v') then
+        record "bell"
+          (Printf.sprintf "penalty: 1-worker %.17g vs %d-worker %.17g" v c.jobs v');
+      Option.iter (record "bell") (first_mismatch ~what:"gx" gx gx');
+      Option.iter (record "bell") (first_mismatch ~what:"gy" gy gy')
+    end;
+    (* RUDY: same worker-count independence over the pooled scatter *)
+    if !fail = None then begin
+      let r1 = Rudy.compute ~pool:pool1 d ~cx ~cy in
+      let rn = Rudy.compute ~pool d ~cx ~cy in
+      Option.iter (record "rudy")
+        (first_mismatch ~what:"demand" r1.Rudy.demand rn.Rudy.demand)
+    end;
+    (* netbox: pooled build/audit must equal the serial ones exactly *)
+    if !fail = None then begin
+      let nb = Netbox.build pins ~cx ~cy in
+      let nbp = Netbox.build ~pool pins ~cx ~cy in
+      if not (Float.equal (Netbox.total nb) (Netbox.total nbp)) then
+        record "netbox"
+          (Printf.sprintf "total: serial %.17g vs %d-worker %.17g" (Netbox.total nb)
+             c.jobs (Netbox.total nbp));
+      for n = 0 to Design.num_nets d - 1 do
+        if Array.length (Design.net d n).Types.n_pins >= 2 then begin
+          let a0, a1, a2, a3 = Netbox.net_box nb n in
+          let b0, b1, b2, b3 = Netbox.net_box nbp n in
+          if
+            not
+              (Float.equal a0 b0 && Float.equal a1 b1 && Float.equal a2 b2
+             && Float.equal a3 b3)
+          then record "netbox" (Printf.sprintf "net %d box differs under pooled build" n)
+        end
+      done;
+      match Netbox.audit ~pool nbp with
+      | [] -> ()
+      | (_, msg) :: _ -> record "netbox" (Printf.sprintf "pooled audit: %s" msg)
+    end;
+    Option.map (fun (stage, detail) -> "par", stage, detail) !fail
+  end
+
+let flow_config (c : case) =
   {
     Config.structure_aware with
     Config.gp_rounds = 6;
     gp_inner_iters = 20;
     detail_passes = 2;
-    seed;
+    seed = c.seed;
+    jobs = c.jobs;
   }
 
 let flow_checks (c : case) =
@@ -176,8 +288,27 @@ let flow_checks (c : case) =
   in
   let d = Dpp_gen.Compose.build spec in
   try
-    ignore (Flow.run_both ~check:true d (flow_config c.seed));
-    None
+    ignore (Flow.run_both ~check:true d (flow_config c));
+    (* whole-flow determinism differential: the headline guarantee is that
+       the trajectory does not depend on the worker count, so the final
+       coordinates at jobs-N must equal those at jobs-1 bit for bit *)
+    if c.jobs <= 1 then None
+    else begin
+      let cfg = flow_config c in
+      let r1 = Flow.run d { cfg with Config.jobs = 1 } in
+      let rn = Flow.run d { cfg with Config.jobs = c.jobs } in
+      let diff axis a b =
+        Option.map
+          (fun m -> Printf.sprintf "final %s coordinates diverge: %s" axis m)
+          (first_mismatch ~what:axis a b)
+      in
+      match
+        ( diff "x" r1.Flow.design.Design.x rn.Flow.design.Design.x,
+          diff "y" r1.Flow.design.Design.y rn.Flow.design.Design.y )
+      with
+      | None, None -> None
+      | Some m, _ | _, Some m -> Some ("par-determinism", [ m ])
+    end
   with
   | Flow.Check_failed { stage; violations } -> Some (stage, violations)
   | Flow.Invalid_design issues ->
@@ -188,12 +319,15 @@ let flow_checks (c : case) =
 let run_case ?(flow = true) (c : case) =
   match unit_checks c with
   | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
-  | None ->
-    if not flow then None
-    else (
-      match flow_checks c with
-      | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
-      | None -> None)
+  | None -> (
+    match par_checks c with
+    | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
+    | None ->
+      if not flow then None
+      else (
+        match flow_checks c with
+        | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
+        | None -> None))
 
 let shrink rerun failure =
   let rec go (f : failure) =
@@ -204,6 +338,7 @@ let shrink rerun failure =
         { c with cells = max 100 (c.cells / 2) };
         { c with nets = max 1 (c.nets / 2) };
         { c with moves = max 1 (c.moves / 2) };
+        { c with jobs = (if c.jobs > 2 then c.jobs / 2 else 1) };
       ]
       |> List.filter (fun c' -> c' <> c)
     in

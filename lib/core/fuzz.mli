@@ -27,17 +27,24 @@ type case = {
   nets : int;  (** extra random nets in the micro-design *)
   moves : int;  (** length of the move/flip/commit/rollback sequence *)
   dp_fraction : float;  (** datapath fraction of the flow design *)
+  jobs : int;
+      (** worker domains; above 1 a fourth layer runs parallel-vs-serial
+          differentials on every pooled kernel, plus a jobs-N vs jobs-1
+          whole-flow determinism differential — all with [Float.equal],
+          no tolerance *)
 }
 
 type failure = {
   case : case;
-  kind : string;  (** ["bookshelf"], ["gradient"], ["netbox"] or ["flow"] *)
+  kind : string;
+      (** ["bookshelf"], ["gradient"], ["netbox"], ["par"] or ["flow"] *)
   stage : string;  (** offending pipeline stage, or the sub-check name *)
   detail : string list;  (** rendered violation reports *)
 }
 
 val case_of_seed : int -> case
-(** Deterministic: equal seeds yield equal cases. *)
+(** Deterministic: equal seeds yield equal cases.  [jobs] is always 1;
+    callers raise it explicitly (e.g. from [dpp_fuzz --jobs]). *)
 
 val replay_command : case -> string
 (** The one-command reproducer, e.g.

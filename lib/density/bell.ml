@@ -144,3 +144,73 @@ let value_grad t ~cx ~cy ~gx ~gy =
 let bin_potential t ~cx ~cy =
   fill_phi t ~cx ~cy;
   Array.copy t.phi
+
+module Pool = Dpp_par.Pool
+
+type par = {
+  bell : t;
+  chunk_phi : float array array;  (** [Pool.chunk_count] local bin fields *)
+}
+
+let par_create bell =
+  {
+    bell;
+    chunk_phi =
+      Array.init Pool.chunk_count (fun _ -> Array.make (Array.length bell.phi) 0.0);
+  }
+
+(* Chunked phi accumulation: each of the [Pool.chunk_count] fixed chunks
+   of the movable list lands in its own local bin field, and every bin is
+   then folded over the chunks in ascending chunk order.  The chunk
+   layout never depends on the worker count, so the result is bit-stable
+   across pool sizes — though not bit-equal to [fill_phi], whose single
+   accumulator sums contributions in movable order. *)
+let fill_phi_par p pool ~cx ~cy =
+  let t = p.bell in
+  let nbins = Array.length t.phi in
+  Pool.iter_chunks pool ~n:(Array.length t.movable) (fun ~worker:_ ~chunk ~lo ~hi ->
+      let local = p.chunk_phi.(chunk) in
+      Array.fill local 0 nbins 0.0;
+      for k = lo to hi - 1 do
+        let i = t.movable.(k) in
+        let cv = t.normalizer.(i) in
+        iter_window t i cx.(i) cy.(i) (fun ix iy tx ty ->
+            let b = Grid.index t.grid ix iy in
+            local.(b) <- local.(b) +. (cv *. tx *. ty))
+      done);
+  Pool.iter_chunks pool ~n:nbins (fun ~worker:_ ~chunk:_ ~lo ~hi ->
+      for b = lo to hi - 1 do
+        let acc = ref 0.0 in
+        for c = 0 to Pool.chunk_count - 1 do
+          acc := !acc +. p.chunk_phi.(c).(b)
+        done;
+        t.phi.(b) <- acc.contents
+      done)
+
+let par_value p pool ~cx ~cy =
+  fill_phi_par p pool ~cx ~cy;
+  penalty p.bell
+
+let par_value_grad p pool ~cx ~cy ~gx ~gy =
+  fill_phi_par p pool ~cx ~cy;
+  let t = p.bell in
+  let g = t.grid in
+  (* Each movable cell owns its gx/gy slots and reads the (now frozen)
+     phi field, so the fan-out is write-disjoint and the per-cell window
+     walk keeps the serial accumulation order — deterministic under any
+     partition. *)
+  Pool.iter_chunks pool ~n:(Array.length t.movable) (fun ~worker:_ ~chunk:_ ~lo ~hi ->
+      for k = lo to hi - 1 do
+        let i = t.movable.(k) in
+        let cv = t.normalizer.(i) in
+        let x = cx.(i) and y = cy.(i) in
+        let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
+        iter_window t i x y (fun ix iy tx ty ->
+            let b = Grid.index g ix iy in
+            let e = 2.0 *. (t.phi.(b) -. t.target.(b)) in
+            let dtx = theta_deriv ~r:rx (x -. Grid.bin_center_x g ix) in
+            let dty = theta_deriv ~r:ry (y -. Grid.bin_center_y g iy) in
+            gx.(i) <- gx.(i) +. (e *. cv *. dtx *. ty);
+            gy.(i) <- gy.(i) +. (e *. cv *. tx *. dty))
+      done);
+  penalty t

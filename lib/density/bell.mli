@@ -45,3 +45,33 @@ val theta : r:float -> float -> float
 
 val theta_deriv : r:float -> float -> float
 (** d(theta)/dd, exposed for gradient tests. *)
+
+(** {2 Domain-parallel evaluation}
+
+    The bell field is a scatter (many cells hit the same bin), so the
+    parallel kernel accumulates into {!Dpp_par.Pool.chunk_count} fixed
+    chunk-local bin fields and folds them per bin in ascending chunk
+    order.  That makes {!par_value} / {!par_value_grad} {e bit-stable
+    across worker counts} (the chunk layout never depends on the pool
+    size) but not bit-equal to the serial {!value} / {!value_grad}, whose
+    single accumulator sums in movable-cell order — which is why the flow
+    always routes through the [par] kernels once a pool exists, even with
+    one worker. *)
+
+type par
+
+val par_create : t -> par
+(** Allocates the chunk-local bin fields ([chunk_count * nbins] floats). *)
+
+val par_value : par -> Dpp_par.Pool.t -> cx:float array -> cy:float array -> float
+
+val par_value_grad :
+  par ->
+  Dpp_par.Pool.t ->
+  cx:float array ->
+  cy:float array ->
+  gx:float array ->
+  gy:float array ->
+  float
+(** Same accumulate-into-[gx]/[gy] contract as {!value_grad}; per-cell
+    slots are write-disjoint across workers. *)

@@ -3,6 +3,7 @@ module Types = Dpp_netlist.Types
 module Rect = Dpp_geom.Rect
 module Pins = Dpp_wirelen.Pins
 module Model = Dpp_wirelen.Model
+module Par_grad = Dpp_wirelen.Par_grad
 module Hpwl = Dpp_wirelen.Hpwl
 module Grid = Dpp_density.Grid
 module Bell = Dpp_density.Bell
@@ -24,6 +25,7 @@ type config = {
   beta : float;
   groups : Dgroup.t list;  (** soft groups: alignment penalty *)
   rigid_groups : Dgroup.t list;  (** rigid groups: one macro variable each *)
+  pool : Dpp_par.Pool.t option;  (** worker pool for the cost kernels *)
 }
 
 let default_config =
@@ -40,6 +42,7 @@ let default_config =
     beta = 0.0;
     groups = [];
     rigid_groups = [];
+    pool = None;
   }
 
 type round_info = {
@@ -101,6 +104,33 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   let util_eff = if total_cap > 0.0 then load_area /. total_cap else 1.0 in
   let target_density = min 1.0 (max cfg.target_density (util_eff +. 0.05)) in
   let bell = Bell.create ~frozen d ~grid ~target_density in
+  (* Kernel selection: with a pool, wirelength goes through Par_grad
+     (bit-identical to the serial kernels) and density through the
+     chunk-merged Bell kernels (bit-stable across worker counts).  Both
+     are used even when the pool has one worker, so a flow's trajectory
+     depends only on whether a pool was supplied — never on its size. *)
+  let par = Option.map (fun pool -> Par_grad.create pool pins) cfg.pool in
+  let bell_par = Option.map (fun _ -> Bell.par_create bell) cfg.pool in
+  let model_value ~gamma ~cx ~cy =
+    match cfg.pool, par with
+    | Some pool, Some pg -> Par_grad.value pg pool cfg.model ~gamma ~cx ~cy
+    | _ -> Model.value cfg.model pins ~gamma ~cx ~cy
+  in
+  let model_value_grad ~gamma ~cx ~cy ~gx ~gy =
+    match cfg.pool, par with
+    | Some pool, Some pg -> Par_grad.value_grad pg pool cfg.model ~gamma ~cx ~cy ~gx ~gy
+    | _ -> Model.value_grad cfg.model pins ~gamma ~cx ~cy ~gx ~gy
+  in
+  let bell_value ~cx ~cy =
+    match cfg.pool, bell_par with
+    | Some pool, Some bp -> Bell.par_value bp pool ~cx ~cy
+    | _ -> Bell.value bell ~cx ~cy
+  in
+  let bell_value_grad ~cx ~cy ~gx ~gy =
+    match cfg.pool, bell_par with
+    | Some pool, Some bp -> Bell.par_value_grad bp pool ~cx ~cy ~gx ~gy
+    | _ -> Bell.value_grad bell ~cx ~cy ~gx ~gy
+  in
   (* working copies of the full center arrays; fixed/frozen entries never
      change *)
   let wx = Array.copy cx and wy = Array.copy cy in
@@ -153,8 +183,8 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   let soft = cfg.groups in
   let eval v =
     scatter v;
-    let w = Model.value cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy in
-    let dv = if !lambda > 0.0 then Bell.value bell ~cx:wx ~cy:wy else 0.0 in
+    let w = model_value ~gamma:!gamma ~cx:wx ~cy:wy in
+    let dv = if !lambda > 0.0 then bell_value ~cx:wx ~cy:wy else 0.0 in
     let av = if !beta > 0.0 && soft <> [] then Alignment.value soft ~cx:wx ~cy:wy else 0.0 in
     w +. (!lambda *. dv) +. (!beta *. av)
   in
@@ -178,10 +208,10 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   let fill_gradients () =
     Array.fill gx 0 nc 0.0;
     Array.fill gy 0 nc 0.0;
-    ignore (Model.value_grad cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+    ignore (model_value_grad ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
     Array.fill gxd 0 nc 0.0;
     Array.fill gyd 0 nc 0.0;
-    if !lambda > 0.0 then ignore (Bell.value_grad bell ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
+    if !lambda > 0.0 then ignore (bell_value_grad ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
     Array.fill gxa 0 nc 0.0;
     Array.fill gya 0 nc 0.0;
     if !beta > 0.0 && soft <> [] then
@@ -208,11 +238,11 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   (* lambda / beta normalisation at the start point *)
   Array.fill gx 0 nc 0.0;
   Array.fill gy 0 nc 0.0;
-  ignore (Model.value_grad cfg.model pins ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+  ignore (model_value_grad ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
   let wl_grad_norm = grad_l1 gx +. grad_l1 gy in
   Array.fill gxd 0 nc 0.0;
   Array.fill gyd 0 nc 0.0;
-  ignore (Bell.value_grad bell ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
+  ignore (bell_value_grad ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
   let dens_grad_norm = grad_l1 gxd +. grad_l1 gyd in
   lambda := if dens_grad_norm > 0.0 then wl_grad_norm /. dens_grad_norm else 1.0;
   if cfg.beta > 0.0 && soft <> [] then begin

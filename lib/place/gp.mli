@@ -32,6 +32,14 @@ type config = {
           sit at exact array offsets from one movable origin, wirelength
           and density gradients summing onto that origin.  The primary
           structure-aware mode; [groups]+[beta] is the soft ablation. *)
+  pool : Dpp_par.Pool.t option;
+      (** worker pool for the wirelength/density kernels.  [None] (the
+          default) keeps the original serial code path bit-for-bit.  With
+          a pool — of {e any} size, including one worker — wirelength uses
+          {!Dpp_wirelen.Par_grad} (bit-identical to serial) and density
+          the chunk-merged {!Dpp_density.Bell} kernels (bit-stable across
+          worker counts), so the trajectory is the same at every [jobs]
+          value. *)
 }
 
 val default_config : config

@@ -25,3 +25,12 @@ val value_grad :
 val upper_bound_gap : gamma:float -> degree:int -> float
 (** Theoretical per-net, per-axis gap bound [gamma * log(degree)]:
     [hpwl <= lse <= hpwl + 2 * gap].  Used by tests. *)
+
+val axis_value_grad :
+  float array -> int -> gamma:float -> w:float array -> want_grad:bool -> float
+(** The per-net, per-axis building block over the first [k] entries of a
+    scratch buffer; with [want_grad] the softmax weights land in [w].
+    Exposed for {!Par_grad} (which runs it per net on worker domains) and
+    the batched finite-difference oracle — the per-net arithmetic is
+    {e exactly} what {!value_grad} runs, which is what makes the parallel
+    path bit-identical to the serial one. *)

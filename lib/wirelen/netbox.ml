@@ -1,5 +1,6 @@
 module Design = Dpp_netlist.Design
 module Types = Dpp_netlist.Types
+module Pool = Dpp_par.Pool
 
 type t = {
   pins : Pins.t;
@@ -80,7 +81,7 @@ let scan_into t n ~bxmin ~bxmax ~bymin ~bymax ~cxmin ~cxmax ~cymin ~cymax =
   cymin.(n) <- !nymin;
   cymax.(n) <- !nymax
 
-let build (pins : Pins.t) ~cx ~cy =
+let build ?pool (pins : Pins.t) ~cx ~cy =
   let d = pins.Pins.design in
   let nn = Design.num_nets d in
   let np = Design.num_pins d in
@@ -134,17 +135,28 @@ let build (pins : Pins.t) ~cx ~cy =
       active = false;
     }
   in
+  (* Per-net scans write disjoint slots, so they can fan out over a pool;
+     the total is then folded serially in ascending net order, which makes
+     the pooled build bit-identical to the serial one. *)
+  let scan_range lo hi =
+    for n = lo to hi - 1 do
+      let net = Design.net d n in
+      t.weight.(n) <- net.Types.n_weight;
+      t.degree.(n) <- Array.length net.Types.n_pins;
+      if t.degree.(n) >= 2 then
+        scan_into t n ~bxmin:t.xmin ~bxmax:t.xmax ~bymin:t.ymin ~bymax:t.ymax ~cxmin:t.nxmin
+          ~cxmax:t.nxmax ~cymin:t.nymin ~cymax:t.nymax
+    done
+  in
+  (match pool with
+  | None -> scan_range 0 nn
+  | Some pool ->
+    Pool.iter_chunks pool ~n:nn (fun ~worker:_ ~chunk:_ ~lo ~hi -> scan_range lo hi));
   for n = 0 to nn - 1 do
-    let net = Design.net d n in
-    t.weight.(n) <- net.Types.n_weight;
-    t.degree.(n) <- Array.length net.Types.n_pins;
-    if t.degree.(n) >= 2 then begin
-      scan_into t n ~bxmin:t.xmin ~bxmax:t.xmax ~bymin:t.ymin ~bymax:t.ymax ~cxmin:t.nxmin
-        ~cxmax:t.nxmax ~cymin:t.nymin ~cymax:t.nymax;
+    if t.degree.(n) >= 2 then
       t.total <-
         t.total
         +. (t.weight.(n) *. (t.xmax.(n) -. t.xmin.(n) +. t.ymax.(n) -. t.ymin.(n)))
-    end
   done;
   t
 
@@ -342,27 +354,47 @@ let commit t =
     finish t
   end
 
-let audit ?(tol = 1e-6) t =
+let audit ?pool ?(tol = 1e-6) t =
   if t.active then [ None, "audit called inside an open transaction" ]
   else begin
     let pin_cell = t.pins.Pins.pin_cell in
     let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+    let nn = Design.num_nets t.pins.Pins.design in
+    (* Fresh boxes land in per-net slots (parallel-safe); the compare /
+       total pass below then runs serially in the legacy [downto] order,
+       so the pooled audit reports exactly what the serial one does. *)
+    let fxmin = Array.make (max 1 nn) 0.0 and fxmax = Array.make (max 1 nn) 0.0 in
+    let fymin = Array.make (max 1 nn) 0.0 and fymax = Array.make (max 1 nn) 0.0 in
+    let rescan_range lo hi =
+      for n = lo to hi - 1 do
+        if t.degree.(n) >= 2 then begin
+          let xmin = ref infinity and xmax = ref neg_infinity in
+          let ymin = ref infinity and ymax = ref neg_infinity in
+          for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+            let p = t.net_pin.(i) in
+            let c = pin_cell.(p) in
+            let x = t.cx.(c) +. off_x.(p) and y = t.cy.(c) +. off_y.(p) in
+            if x < !xmin then xmin := x;
+            if x > !xmax then xmax := x;
+            if y < !ymin then ymin := y;
+            if y > !ymax then ymax := y
+          done;
+          fxmin.(n) <- !xmin;
+          fxmax.(n) <- !xmax;
+          fymin.(n) <- !ymin;
+          fymax.(n) <- !ymax
+        end
+      done
+    in
+    (match pool with
+    | None -> rescan_range 0 nn
+    | Some pool ->
+      Pool.iter_chunks pool ~n:nn (fun ~worker:_ ~chunk:_ ~lo ~hi -> rescan_range lo hi));
     let mismatches = ref [] in
     let fresh_total = ref 0.0 in
-    for n = Design.num_nets t.pins.Pins.design - 1 downto 0 do
+    for n = nn - 1 downto 0 do
       if t.degree.(n) >= 2 then begin
-        let xmin = ref infinity and xmax = ref neg_infinity in
-        let ymin = ref infinity and ymax = ref neg_infinity in
-        for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
-          let p = t.net_pin.(i) in
-          let c = pin_cell.(p) in
-          let x = t.cx.(c) +. off_x.(p) and y = t.cy.(c) +. off_y.(p) in
-          if x < !xmin then xmin := x;
-          if x > !xmax then xmax := x;
-          if y < !ymin then ymin := y;
-          if y > !ymax then ymax := y
-        done;
-        let span = !xmax -. !xmin +. !ymax -. !ymin in
+        let span = fxmax.(n) -. fxmin.(n) +. fymax.(n) -. fymin.(n) in
         fresh_total := !fresh_total +. (t.weight.(n) *. span);
         let slack = tol *. (1.0 +. abs_float span) in
         let bad got want tag =
@@ -372,10 +404,10 @@ let audit ?(tol = 1e-6) t =
                 Printf.sprintf "cached %s %.9g but a fresh rescan finds %.9g" tag got want )
               :: !mismatches
         in
-        bad t.xmin.(n) !xmin "xmin";
-        bad t.xmax.(n) !xmax "xmax";
-        bad t.ymin.(n) !ymin "ymin";
-        bad t.ymax.(n) !ymax "ymax"
+        bad t.xmin.(n) fxmin.(n) "xmin";
+        bad t.xmax.(n) fxmax.(n) "xmax";
+        bad t.ymin.(n) fymin.(n) "ymin";
+        bad t.ymax.(n) fymax.(n) "ymax"
       end
     done;
     let slack = tol *. (1.0 +. abs_float !fresh_total) in

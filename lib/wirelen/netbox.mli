@@ -16,9 +16,11 @@
 
 type t
 
-val build : Pins.t -> cx:float array -> cy:float array -> t
+val build : ?pool:Dpp_par.Pool.t -> Pins.t -> cx:float array -> cy:float array -> t
 (** Scans every net once.  [cx]/[cy] are captured, not copied: the cache
-    owns coordinate updates from here on (move through {!move_cell}). *)
+    owns coordinate updates from here on (move through {!move_cell}).
+    With [pool], the per-net scans fan out over the worker domains; the
+    result is bit-identical to the serial build at any worker count. *)
 
 val total : t -> float
 (** Committed weighted HPWL (ignores any open transaction). *)
@@ -53,7 +55,7 @@ val rollback : t -> unit
 (** Discard the staged moves, restoring coordinates and pin offsets.
     No-op outside a transaction. *)
 
-val audit : ?tol:float -> t -> (int option * string) list
+val audit : ?pool:Dpp_par.Pool.t -> ?tol:float -> t -> (int option * string) list
 (** Compare every committed per-net box and the committed total against a
     fresh rescan of the live coordinates and pin offsets.  Returns one
     [(Some net, message)] entry per disagreeing box and a [(None, message)]
@@ -62,4 +64,6 @@ val audit : ?tol:float -> t -> (int option * string) list
     Must be called outside a transaction (an open transaction is itself
     reported as a mismatch).  This is the oracle behind the flow's
     [--check] mode: any write to the coordinate arrays that bypasses
-    {!move_cell} shows up here. *)
+    {!move_cell} shows up here.  With [pool], the fresh per-net rescans
+    fan out over the worker domains while the comparison and total keep
+    the serial order — same report, bit for bit, at any worker count. *)

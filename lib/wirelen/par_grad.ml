@@ -1,0 +1,90 @@
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Pool = Dpp_par.Pool
+
+type t = {
+  pins : Pins.t;
+  views : Pins.t array;  (* per-worker scratch views over the shared geometry *)
+  net_val : float array;  (* per net: weighted smooth value, 0 for degree < 2 *)
+  pin_gx : float array;  (* per pin: weighted x-gradient contribution *)
+  pin_gy : float array;
+}
+
+let create pool pins =
+  let d = pins.Pins.design in
+  {
+    pins;
+    views = Array.init (Pool.nworkers pool) (fun w -> if w = 0 then pins else Pins.clone_scratch pins);
+    net_val = Array.make (max 1 (Design.num_nets d)) 0.0;
+    pin_gx = Array.make (max 1 (Design.num_pins d)) 0.0;
+    pin_gy = Array.make (max 1 (Design.num_pins d)) 0.0;
+  }
+
+let axis_kernel = function
+  | Model.Lse -> Lse.axis_value_grad
+  | Model.Wa -> Wa.axis_value_grad
+
+(* Fan-out: each worker evaluates whole nets into slots owned by exactly
+   one net (net_val) or one pin (pin_gx / pin_gy), so the stored values
+   are independent of how nets were partitioned across workers. *)
+let scan t pool kind ~gamma ~cx ~cy ~want_grad =
+  let d = t.pins.Pins.design in
+  let axis = axis_kernel kind in
+  Pool.iter_chunks pool ~n:(Design.num_nets d) (fun ~worker ~chunk:_ ~lo ~hi ->
+      let view = t.views.(worker) in
+      for n = lo to hi - 1 do
+        let pins = (Design.net d n).Types.n_pins in
+        let k = Pins.load_net view ~cx ~cy n in
+        if k >= 2 then begin
+          let wn = (Design.net d n).Types.n_weight in
+          let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~want_grad in
+          if want_grad then
+            for i = 0 to k - 1 do
+              t.pin_gx.(pins.(i)) <- wn *. view.Pins.scratch_w.(i)
+            done;
+          let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~want_grad in
+          if want_grad then
+            for i = 0 to k - 1 do
+              t.pin_gy.(pins.(i)) <- wn *. view.Pins.scratch_w.(i)
+            done;
+          t.net_val.(n) <- wn *. (vx +. vy)
+        end
+        else t.net_val.(n) <- 0.0
+      done)
+
+(* Reduce on the calling domain, in exactly the serial kernel's order:
+   the value folds nets ascending, and each cell's gradient slot receives
+   its pins' contributions ordered by (net, pin position) — the same
+   addition sequence Lse.value_grad / Wa.value_grad perform, so the
+   result is bit-identical to the serial path at every worker count. *)
+let reduce t ~want_grad ~gx ~gy =
+  let d = t.pins.Pins.design in
+  let pin_cell = t.pins.Pins.pin_cell in
+  let acc = ref 0.0 in
+  for n = 0 to Design.num_nets d - 1 do
+    let pins = (Design.net d n).Types.n_pins in
+    if Array.length pins >= 2 then begin
+      if want_grad then begin
+        for i = 0 to Array.length pins - 1 do
+          let p = pins.(i) in
+          gx.(pin_cell.(p)) <- gx.(pin_cell.(p)) +. t.pin_gx.(p)
+        done;
+        for i = 0 to Array.length pins - 1 do
+          let p = pins.(i) in
+          gy.(pin_cell.(p)) <- gy.(pin_cell.(p)) +. t.pin_gy.(p)
+        done
+      end;
+      acc := !acc +. t.net_val.(n)
+    end
+  done;
+  !acc
+
+let no_grad = [||]
+
+let value t pool kind ~gamma ~cx ~cy =
+  scan t pool kind ~gamma ~cx ~cy ~want_grad:false;
+  reduce t ~want_grad:false ~gx:no_grad ~gy:no_grad
+
+let value_grad t pool kind ~gamma ~cx ~cy ~gx ~gy =
+  scan t pool kind ~gamma ~cx ~cy ~want_grad:true;
+  reduce t ~want_grad:true ~gx ~gy

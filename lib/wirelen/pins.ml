@@ -50,6 +50,19 @@ let build (d : Design.t) =
 
 let max_net_degree t = Array.length t.scratch_x
 
+(* Scratch buffers are the only mutable per-evaluation state, so a view
+   with fresh buffers is all another domain needs to evaluate nets
+   concurrently against the shared geometry. *)
+let clone_scratch t =
+  let k = Array.length t.scratch_x in
+  {
+    t with
+    scratch_x = Array.make k 0.0;
+    scratch_y = Array.make k 0.0;
+    scratch_w = Array.make k 0.0;
+    scratch_w2 = Array.make k 0.0;
+  }
+
 let pin_x t ~cx p = cx.(t.pin_cell.(p)) +. t.off_x.(p)
 let pin_y t ~cy p = cy.(t.pin_cell.(p)) +. t.off_y.(p)
 

@@ -22,6 +22,12 @@ val build : Dpp_netlist.Design.t -> t
 
 val max_net_degree : t -> int
 
+val clone_scratch : t -> t
+(** A view sharing the design, pin-ownership and offset arrays but owning
+    fresh scratch buffers — one per worker domain, so parallel kernels can
+    evaluate different nets concurrently.  Offsets stay shared on purpose:
+    the flip stage's in-place mirroring remains visible to every view. *)
+
 val pin_x : t -> cx:float array -> int -> float
 (** Pin absolute x given cell centers [cx]. *)
 

@@ -24,3 +24,9 @@ val error_bound : gamma:float -> float
 (** Per-net, per-axis worst-case deviation from HPWL: the WA model error is
     bounded by [gamma] times a small constant; we use the loose bound
     [4 * gamma] from the TCAD analysis for tests. *)
+
+val axis_value_grad :
+  float array -> int -> gamma:float -> w:float array -> want_grad:bool -> float
+(** Same contract as {!Lse.axis_value_grad}: the per-net, per-axis kernel,
+    exposed so {!Par_grad} and the batched gradient oracle reuse the exact
+    serial arithmetic. *)

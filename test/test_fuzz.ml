@@ -23,9 +23,15 @@ let test_case_bounds () =
     [ 1; 2; 3; 100; 12345 ]
 
 let test_replay_command () =
-  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3 } in
+  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 1 } in
   Alcotest.(check string) "one-command reproducer"
     "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3"
+    (Fuzz.replay_command c)
+
+let test_replay_command_jobs () =
+  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 4 } in
+  Alcotest.(check string) "reproducer carries the worker count"
+    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3 --jobs 4"
     (Fuzz.replay_command c)
 
 let test_random_design_deterministic () =
@@ -60,6 +66,18 @@ let test_clean_seeds () =
       | Some f -> Alcotest.failf "seed %d failed: %s" s (Format.asprintf "%a" Fuzz.pp_failure f))
     [ 1; 2; 3; 4 ]
 
+(* jobs > 1 adds the parallel-vs-serial differential layer: clean seeds
+   must stay clean there too (the layer itself asserts bit-exact kernel
+   equivalence across worker counts) *)
+let test_clean_par_seeds () =
+  List.iter
+    (fun s ->
+      let c = { (Fuzz.case_of_seed s) with Fuzz.jobs = 3 } in
+      match Fuzz.run_case ~flow:false c with
+      | None -> ()
+      | Some f -> Alcotest.failf "seed %d failed: %s" s (Format.asprintf "%a" Fuzz.pp_failure f))
+    [ 1; 2 ]
+
 let test_clean_flow_case () =
   match Fuzz.run_case (Fuzz.case_of_seed 1) with
   | None -> ()
@@ -74,7 +92,7 @@ let test_shrink_minimizes () =
       Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
     else None
   in
-  let start = { Fuzz.seed = 1; cells = 300; nets = 80; moves = 500; dp_fraction = 0.5 } in
+  let start = { Fuzz.seed = 1; cells = 300; nets = 80; moves = 500; dp_fraction = 0.5; jobs = 1 } in
   let failure = Option.get (rerun start) in
   let minimal = Fuzz.shrink rerun failure in
   let c = minimal.Fuzz.case in
@@ -86,13 +104,27 @@ let test_shrink_minimizes () =
     (c.Fuzz.moves >= 64 && c.Fuzz.moves < 128);
   Alcotest.(check bool) "minimal case still fails" true (rerun c <> None)
 
+(* A failure that needs at least two workers must shrink to jobs = 2, not
+   jobs = 1 (where the parallel layer would no longer run at all). *)
+let test_shrink_jobs () =
+  let rerun (c : Fuzz.case) =
+    if c.Fuzz.jobs >= 2 then
+      Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
+    else None
+  in
+  let start = { Fuzz.seed = 3; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 8 } in
+  let failure = Option.get (rerun start) in
+  let minimal = Fuzz.shrink rerun failure in
+  Alcotest.(check int) "jobs shrunk to the smallest failing count" 2
+    minimal.Fuzz.case.Fuzz.jobs
+
 let test_shrink_keeps_nonshrinkable () =
   let rerun (c : Fuzz.case) =
     if c.Fuzz.cells >= 100 then
       Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
     else None
   in
-  let start = { Fuzz.seed = 2; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0 } in
+  let start = { Fuzz.seed = 2; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 1 } in
   let failure = Option.get (rerun start) in
   let minimal = Fuzz.shrink rerun failure in
   Alcotest.(check bool) "already-minimal case unchanged" true
@@ -103,10 +135,13 @@ let suite =
     Alcotest.test_case "case derivation deterministic" `Quick test_case_of_seed_deterministic;
     Alcotest.test_case "case parameter bounds" `Quick test_case_bounds;
     Alcotest.test_case "replay command format" `Quick test_replay_command;
+    Alcotest.test_case "replay command carries jobs" `Quick test_replay_command_jobs;
     Alcotest.test_case "micro-design deterministic" `Quick test_random_design_deterministic;
     Alcotest.test_case "micro-design is adversarial" `Quick test_random_design_is_adversarial;
     Alcotest.test_case "clean seeds stay clean" `Quick test_clean_seeds;
+    Alcotest.test_case "clean seeds stay clean in parallel" `Quick test_clean_par_seeds;
     Alcotest.test_case "clean flow case" `Slow test_clean_flow_case;
     Alcotest.test_case "shrinker minimizes" `Quick test_shrink_minimizes;
+    Alcotest.test_case "shrinker minimizes jobs" `Quick test_shrink_jobs;
     Alcotest.test_case "shrinker keeps minimal case" `Quick test_shrink_keeps_nonshrinkable;
   ]
