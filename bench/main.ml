@@ -307,6 +307,253 @@ let run_par_bench () =
   say "  written BENCH_par.json"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel legalization & detailed placement                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements behind one bit-exactness gate. (1) The gate:
+   Legal+Detail+Flip on a fresh design at 1/2/4/8 worker domains must
+   produce identical assignment, coordinates and orientations — a wrong
+   parallel stage benchmarked fast is worse than no benchmark. (2) The
+   headline serial win: the move pass's gap queries through the sorted
+   Occ index against the old per-row list walk (List.filter + re-sort on
+   every accepted move), same operation stream, costs verified equal
+   first. (3) The 1/2/4/8-domain sweep of the full stages. Emits
+   BENCH_legal.json. *)
+let run_legal_bench () =
+  let module Design = Dpp_netlist.Design in
+  let module Types = Dpp_netlist.Types in
+  let module Pins = Dpp_wirelen.Pins in
+  let module Netbox = Dpp_wirelen.Netbox in
+  let module Hypergraph = Dpp_netlist.Hypergraph in
+  let module Rect = Dpp_geom.Rect in
+  let module Pool = Dpp_par.Pool in
+  let module Legal = Dpp_place.Legal in
+  let module Occ = Dpp_place.Occ in
+  let module Rng = Dpp_util.Rng in
+  let build () =
+    Dpp_gen.Compose.build
+      (Dpp_gen.Presets.scaled ~name:"micro" ~seed:42 ~cells:2000 ~dp_fraction:0.5)
+  in
+  (* --- bit-exactness gate: the three stages across worker counts --- *)
+  let backend jobs =
+    let d = build () in
+    let cx, cy = Pins.centers_of_design d in
+    Pool.with_pool ~nworkers:jobs @@ fun pool ->
+    let legal = Legal.run d ~pool ~cx ~cy () in
+    let nb = Netbox.build (Pins.build d) ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+    let h = Hypergraph.build d in
+    ignore (Dpp_place.Detail.run d ~pool ~netbox:nb ~hypergraph:h ~legal ());
+    ignore (Dpp_place.Flip.run d ~pool ~netbox:nb ~cx:legal.Legal.cx ~cy:legal.Legal.cy ());
+    legal.Legal.assignment, legal.Legal.cx, legal.Legal.cy, Array.copy d.Design.orient
+  in
+  let a1, x1, y1, o1 = backend 1 in
+  List.iter
+    (fun jobs ->
+      let a, x, y, o = backend jobs in
+      if
+        not
+          (a = a1
+          && Array.for_all2 Float.equal x x1
+          && Array.for_all2 Float.equal y y1
+          && o = o1)
+      then begin
+        say "LG: MISMATCH: Legal+Detail+Flip at %d domains differs from 1" jobs;
+        exit 1
+      end)
+    [ 2; 4; 8 ];
+  say "LG: Legal+Detail+Flip bit-identical at 1/2/4/8 worker domains";
+  (* --- occupancy: sorted index vs the old per-row list walk --- *)
+  let d = build () in
+  let cx, cy = Pins.centers_of_design d in
+  let legal = Legal.run d ~cx ~cy () in
+  let lcx = legal.Legal.cx in
+  let die = d.Design.die in
+  let nrows = d.Design.num_rows in
+  let site = d.Design.site_width in
+  let align v = die.Rect.xl +. (ceil (((v -. die.Rect.xl) /. site) -. 1e-9) *. site) in
+  let movable =
+    Array.to_list (Design.movable_ids d)
+    |> List.filter (fun i ->
+           legal.Legal.assignment.(i) >= 0
+           && (Design.cell d i).Types.c_height <= d.Design.row_height +. 1e-9)
+    |> Array.of_list
+  in
+  let rng = Rng.create 11 in
+  let n_ops = 200_000 in
+  let ops =
+    Array.init n_ops (fun q ->
+        let i = movable.(Rng.int rng (Array.length movable)) in
+        let w = (Design.cell d i).Types.c_width in
+        let tx =
+          min (max (lcx.(i) +. Rng.float_in rng (-40.0 *. w) (40.0 *. w)) die.Rect.xl)
+            die.Rect.xh
+        in
+        i, tx, Rng.int rng 3 - 1, q mod 4 = 0)
+  in
+  let width i = (Design.cell d i).Types.c_width in
+  (* the old move_pass gap walk over a sorted (xl, xh, cell) list *)
+  let list_best_gap rows r ~w ~tx =
+    let cursor = ref die.Rect.xl in
+    let best = ref None in
+    let consider_gap lo hi =
+      if hi -. lo >= w then begin
+        let xl = align (min (max (tx -. (w /. 2.0)) lo) (hi -. w)) in
+        if xl >= lo -. 1e-9 && xl +. w <= hi +. 1e-9 then begin
+          let cand_cx = xl +. (w /. 2.0) in
+          let cost = abs_float (cand_cx -. tx) in
+          match !best with
+          | Some (bc, _) when bc <= cost -> ()
+          | Some _ | None -> best := Some (cost, cand_cx)
+        end
+      end
+    in
+    List.iter
+      (fun (lo, hi, _) ->
+        if lo > !cursor then consider_gap !cursor lo;
+        cursor := max !cursor hi)
+      rows.(r);
+    if die.Rect.xh > !cursor then consider_gap !cursor die.Rect.xh;
+    !best
+  in
+  let fresh_rows () =
+    let occ = Occ.build d ~cx:lcx ~cy:legal.Legal.cy in
+    Array.init nrows (Occ.row_entries occ)
+  in
+  let clamp_row r = max 0 (min (nrows - 1) r) in
+  (* correctness first: both backends must price every op identically *)
+  begin
+    let rows = fresh_rows () in
+    let occ = Occ.build d ~cx:lcx ~cy:legal.Legal.cy in
+    let cur_row = Array.copy legal.Legal.assignment in
+    Array.iteri
+      (fun q (i, tx, dr, accept) ->
+        let w = width i in
+        let r = clamp_row (cur_row.(i) + dr) in
+        let bl = list_best_gap rows r ~w ~tx in
+        let bo = Occ.best_gap occ r ~w ~tx ~align in
+        (match bl, bo with
+        | None, None -> ()
+        | Some (cl, _), Some (co, _) when Float.equal cl co -> ()
+        | _ ->
+          say "LG: MISMATCH: op %d list and indexed gap queries disagree" q;
+          exit 1);
+        match bo with
+        | Some (_, cand_cx) when accept ->
+          (* apply the same move to both so the states stay comparable *)
+          let orow = cur_row.(i) in
+          rows.(orow) <- List.filter (fun (_, _, c) -> c <> i) rows.(orow);
+          rows.(r) <-
+            List.sort compare
+              ((cand_cx -. (w /. 2.0), cand_cx +. (w /. 2.0), i) :: rows.(r));
+          Occ.remove occ ~row:orow ~cell:i;
+          Occ.insert occ ~row:r ~cell:i ~xl:(cand_cx -. (w /. 2.0))
+            ~xh:(cand_cx +. (w /. 2.0));
+          cur_row.(i) <- r
+        | Some _ | None -> ())
+      ops;
+    say "LG: list and indexed occupancy agree on all %d gap queries" n_ops
+  end;
+  let time_list () =
+    let rows = fresh_rows () in
+    let cur_row = Array.copy legal.Legal.assignment in
+    let acc = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (i, tx, dr, accept) ->
+        let w = width i in
+        let r = clamp_row (cur_row.(i) + dr) in
+        match list_best_gap rows r ~w ~tx with
+        | Some (cost, cand_cx) ->
+          acc := !acc +. cost;
+          if accept then begin
+            let orow = cur_row.(i) in
+            rows.(orow) <- List.filter (fun (_, _, c) -> c <> i) rows.(orow);
+            rows.(r) <-
+              List.sort compare
+                ((cand_cx -. (w /. 2.0), cand_cx +. (w /. 2.0), i) :: rows.(r));
+            cur_row.(i) <- r
+          end
+        | None -> ())
+      ops;
+    ignore !acc;
+    float_of_int n_ops /. (Unix.gettimeofday () -. t0)
+  in
+  let time_occ () =
+    let occ = Occ.build d ~cx:lcx ~cy:legal.Legal.cy in
+    let cur_row = Array.copy legal.Legal.assignment in
+    let acc = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (i, tx, dr, accept) ->
+        let w = width i in
+        let r = clamp_row (cur_row.(i) + dr) in
+        match Occ.best_gap occ r ~w ~tx ~align with
+        | Some (cost, cand_cx) ->
+          acc := !acc +. cost;
+          if accept then begin
+            Occ.remove occ ~row:cur_row.(i) ~cell:i;
+            Occ.insert occ ~row:r ~cell:i ~xl:(cand_cx -. (w /. 2.0))
+              ~xh:(cand_cx +. (w /. 2.0));
+            cur_row.(i) <- r
+          end
+        | None -> ())
+      ops;
+    ignore !acc;
+    float_of_int n_ops /. (Unix.gettimeofday () -. t0)
+  in
+  ignore (time_list ());
+  ignore (time_occ ());
+  let list_rate = time_list () in
+  let occ_rate = time_occ () in
+  let occ_speedup = occ_rate /. list_rate in
+  say "LG: %d gap queries (1 in 4 accepted) on %s (%d rows)" n_ops d.Design.name nrows;
+  say "  list     %12.0f ops/sec" list_rate;
+  say "  indexed  %12.0f ops/sec" occ_rate;
+  say "  speedup  %12.2fx" occ_speedup;
+  (* --- the full stages at 1/2/4/8 worker domains --- *)
+  let rate f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.4 do
+      f ();
+      incr iters
+    done;
+    float_of_int !iters /. (Unix.gettimeofday () -. t0)
+  in
+  let levels =
+    List.map
+      (fun jobs ->
+        let d = build () in
+        let cx, cy = Pins.centers_of_design d in
+        Pool.with_pool ~nworkers:jobs @@ fun pool ->
+        let legal_rate = rate (fun () -> ignore (Legal.run d ~pool ~cx ~cy ())) in
+        let legal = Legal.run d ~pool ~cx ~cy () in
+        let nb = Netbox.build (Pins.build d) ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+        let h = Hypergraph.build d in
+        let t0 = Unix.gettimeofday () in
+        ignore (Dpp_place.Detail.run d ~pool ~netbox:nb ~hypergraph:h ~legal ());
+        let detail_s = Unix.gettimeofday () -. t0 in
+        say "  jobs %d: legal %8.2f runs/s  detail %6.3f s" jobs legal_rate detail_s;
+        jobs, legal_rate, detail_s)
+      [ 1; 2; 4; 8 ]
+  in
+  let oc = open_out "BENCH_legal.json" in
+  Printf.fprintf oc
+    {|{"design":"%s","cells":%d,"nets":%d,"rows":%d,"occ_ops":%d,"occ_list_ops_per_sec":%.0f,"occ_indexed_ops_per_sec":%.0f,"occ_speedup":%.3f,"levels":[%s]}
+|}
+    d.Design.name (Design.num_cells d) (Design.num_nets d) nrows n_ops list_rate occ_rate
+    occ_speedup
+    (String.concat ","
+       (List.map
+          (fun (jobs, lr, ds) ->
+            Printf.sprintf {|{"jobs":%d,"legal_runs_per_sec":%.2f,"detail_s":%.3f}|} jobs
+              lr ds)
+          levels));
+  close_out oc;
+  say "  written BENCH_legal.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -336,6 +583,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("BM", "kernel micro-benchmarks", run_micro);
     ("DP", "detailed-placement move-evaluation microbenchmark", run_detail_bench);
     ("PAR", "domain-parallel kernel sweep (1/2/4/8 worker domains)", run_par_bench);
+    ( "LG",
+      "parallel legalization & detailed placement (indexed occupancy, 1/2/4/8 domains)",
+      run_legal_bench );
   ]
 
 let matches selector (id, _, _) =

@@ -188,8 +188,8 @@ let legal_stage =
       (fun (ctx : Ctx.t) ->
         let d = ctx.Ctx.design in
         let l =
-          Legal.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx
-            ~cy:ctx.Ctx.cy ()
+          Legal.run d ~pool:ctx.Ctx.pool ~extra_obstacles:ctx.Ctx.obstacles
+            ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
         in
         Abacus.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip
           ~target_cx:ctx.Ctx.cx ~legal:l ();
@@ -208,7 +208,8 @@ let detail_stage =
       (fun (ctx : Ctx.t) ->
         let legal = Option.get ctx.Ctx.legal in
         let stats =
-          Detail.run ctx.Ctx.design ~max_passes:ctx.Ctx.config.Config.detail_passes
+          Detail.run ctx.Ctx.design ~pool:ctx.Ctx.pool
+            ~max_passes:ctx.Ctx.config.Config.detail_passes
             ~skip:ctx.Ctx.skip ~netbox:(Ctx.netbox ctx)
             ~hypergraph:(Lazy.force ctx.Ctx.hypergraph) ~legal ()
         in
@@ -226,8 +227,8 @@ let flip_stage =
            through the netbox, so the pin view built at context creation
            stays valid — no rebuild. *)
         let stats =
-          Dpp_place.Flip.run ctx.Ctx.design ~netbox:(Ctx.netbox ctx) ~cx:ctx.Ctx.cx
-            ~cy:ctx.Ctx.cy ()
+          Dpp_place.Flip.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~netbox:(Ctx.netbox ctx)
+            ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
         in
         ctx.Ctx.flip_stats <- Some stats;
         ctx);

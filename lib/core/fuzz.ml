@@ -270,6 +270,47 @@ let par_checks (c : case) =
     Option.map (fun (stage, detail) -> "par", stage, detail) !fail
   end
 
+(* ----- back-end stage determinism (jobs > 1) -----
+
+   Legal, Detail and Flip run evaluate-parallel/commit-serial on the
+   pool; their promise is that assignment, coordinates and orientations
+   do not depend on the worker count.  Each run rebuilds the design from
+   the seed (Flip mutates orientations and the shared pin view's
+   offsets, so runs must not share state). *)
+
+let backend_checks (c : case) =
+  if c.jobs <= 1 then None
+  else begin
+    let run_backend jobs =
+      let d = random_design ~seed:c.seed ~cells:(c.cells / 4) ~nets:c.nets in
+      let cx, cy = Pins.centers_of_design d in
+      Pool.with_pool ~nworkers:jobs @@ fun pool ->
+      let legal = Dpp_place.Legal.run d ~pool ~cx ~cy () in
+      let nb =
+        Netbox.build (Pins.build d) ~cx:legal.Dpp_place.Legal.cx
+          ~cy:legal.Dpp_place.Legal.cy
+      in
+      let h = Dpp_netlist.Hypergraph.build d in
+      ignore (Dpp_place.Detail.run d ~pool ~max_passes:2 ~netbox:nb ~hypergraph:h ~legal ());
+      ignore
+        (Dpp_place.Flip.run d ~pool ~netbox:nb ~cx:legal.Dpp_place.Legal.cx
+           ~cy:legal.Dpp_place.Legal.cy ());
+      ( legal.Dpp_place.Legal.assignment,
+        legal.Dpp_place.Legal.cx,
+        legal.Dpp_place.Legal.cy,
+        Array.copy d.Design.orient )
+    in
+    let a1, x1, y1, o1 = run_backend 1 in
+    let an, xn, yn, on_ = run_backend c.jobs in
+    let fail = ref None in
+    let record msg = if !fail = None then fail := Some msg in
+    if a1 <> an then record "row assignment depends on the worker count";
+    Option.iter record (first_mismatch ~what:"cx" x1 xn);
+    Option.iter record (first_mismatch ~what:"cy" y1 yn);
+    if o1 <> on_ then record "orientations depend on the worker count";
+    Option.map (fun msg -> "backend", [ msg ]) !fail
+  end
+
 let flow_config (c : case) =
   {
     Config.structure_aware with
@@ -302,12 +343,31 @@ let flow_checks (c : case) =
           (fun m -> Printf.sprintf "final %s coordinates diverge: %s" axis m)
           (first_mismatch ~what:axis a b)
       in
+      (* the per-stage HPWL trace pins down which stage diverged first;
+         now that Legal/Detail/Flip are pooled it covers them too *)
+      let trace r =
+        List.map (fun (s : Dpp_report.Trace.stage) -> s.Dpp_report.Trace.hpwl_after)
+          r.Flow.stage_trace
+        |> Array.of_list
+      in
+      let names r =
+        List.map (fun (s : Dpp_report.Trace.stage) -> s.Dpp_report.Trace.name)
+          r.Flow.stage_trace
+      in
+      let trace_diff =
+        if names r1 <> names rn then Some "stage lists diverge across worker counts"
+        else
+          Option.map
+            (fun m -> Printf.sprintf "per-stage HPWL trace diverges: %s" m)
+            (first_mismatch ~what:"hpwl_after" (trace r1) (trace rn))
+      in
       match
         ( diff "x" r1.Flow.design.Design.x rn.Flow.design.Design.x,
-          diff "y" r1.Flow.design.Design.y rn.Flow.design.Design.y )
+          diff "y" r1.Flow.design.Design.y rn.Flow.design.Design.y,
+          trace_diff )
       with
-      | None, None -> None
-      | Some m, _ | _, Some m -> Some ("par-determinism", [ m ])
+      | None, None, None -> None
+      | Some m, _, _ | _, Some m, _ | _, _, Some m -> Some ("par-determinism", [ m ])
     end
   with
   | Flow.Check_failed { stage; violations } -> Some (stage, violations)
@@ -322,12 +382,15 @@ let run_case ?(flow = true) (c : case) =
   | None -> (
     match par_checks c with
     | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
-    | None ->
-      if not flow then None
-      else (
-        match flow_checks c with
-        | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
-        | None -> None))
+    | None -> (
+      match backend_checks c with
+      | Some (stage, detail) -> Some { case = c; kind = "par"; stage; detail }
+      | None ->
+        if not flow then None
+        else (
+          match flow_checks c with
+          | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
+          | None -> None)))
 
 let shrink rerun failure =
   let rec go (f : failure) =

@@ -10,14 +10,20 @@
     - {b global move}: a cell outside the median interval of its incident
       nets is moved into a free gap near that interval.
 
-    Every candidate is evaluated through {!Dpp_wirelen.Netbox}
-    transactions — an O(pins-of-the-moved-cells) delta instead of
-    rescanning every pin of every touched net — and committed only when
-    strictly improving, so the weighted HPWL is monotonically
-    non-increasing.
+    Every pass is evaluate-parallel/commit-serial: worker domains score
+    candidates with the read-only {!Dpp_wirelen.Netbox.eval_moves}
+    against the committed coordinate snapshot (rows chunked for reorder,
+    candidate pairs/cells chunked for swap and move), then a serial phase
+    re-stages proposals transactionally in ascending chunk order and
+    re-checks the delta against the then-current state, committing only
+    the still-improving ones — so the weighted HPWL is monotonically
+    non-increasing and the result is bit-identical at every worker
+    count.  The move pass finds gaps through the sorted {!Occ} occupancy
+    index instead of walking per-row lists.
 
     Cells matched by [skip] (snapped datapath group members in the
-    structure-aware flow) are never moved. *)
+    structure-aware flow) are never moved; neither are movable cells
+    taller than one row (they would overlap the adjacent row). *)
 
 type stats = {
   passes : int;
@@ -28,6 +34,7 @@ type stats = {
 
 val run :
   Dpp_netlist.Design.t ->
+  ?pool:Dpp_par.Pool.t ->
   ?max_passes:int ->
   ?skip:(int -> bool) ->
   ?netbox:Dpp_wirelen.Netbox.t ->

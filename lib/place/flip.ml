@@ -3,29 +3,46 @@ module Types = Dpp_netlist.Types
 module Orient = Dpp_geom.Orient
 module Pins = Dpp_wirelen.Pins
 module Netbox = Dpp_wirelen.Netbox
+module Pool = Dpp_par.Pool
 
 type stats = { flips : int; gain : float; flipped : int list }
 
-let run (d : Design.t) ?netbox ~cx ~cy () =
+let run (d : Design.t) ?(pool = Pool.serial) ?netbox ~cx ~cy () =
   let nb = match netbox with Some nb -> nb | None -> Netbox.build (Pins.build d) ~cx ~cy in
+  (* evaluate-parallel/commit-serial: workers score every candidate flip
+     with the read-only {!Netbox.eval_flip} against the committed state;
+     the serial phase re-checks each proposal transactionally in
+     ascending chunk (= ascending id) order, since an earlier committed
+     flip of a net neighbour can change the sign of a later delta. *)
+  let cands =
+    Array.to_list (Design.movable_ids d)
+    |> List.filter (fun i ->
+           (Design.cell d i).Types.c_height <= d.Design.row_height +. 1e-9)
+    |> Array.of_list
+  in
+  let proposals = Array.make Pool.chunk_count [] in
+  Pool.iter_chunks pool ~n:(Array.length cands) (fun ~worker:_ ~chunk ~lo ~hi ->
+      let props = ref [] in
+      for q = lo to hi - 1 do
+        let i = cands.(q) in
+        if Netbox.eval_flip nb i < -1e-9 then props := i :: !props
+      done;
+      proposals.(chunk) <- List.rev !props);
   let flips = ref 0 and gain = ref 0.0 and flipped = ref [] in
   Array.iter
-    (fun i ->
-      let c = Design.cell d i in
-      if c.Types.c_height <= d.Design.row_height +. 1e-9 then begin
-        (* mirror this cell's pin x-offsets in the shared pin view; the
-           netbox keeps the offsets and its boxes consistent on commit,
-           so no caller ever rebuilds the pin structure after flipping *)
-        Netbox.flip_cell nb i;
-        let delta = Netbox.delta nb in
-        if delta < -1e-9 then begin
-          Netbox.commit nb;
-          d.Design.orient.(i) <- Orient.flip_x d.Design.orient.(i);
-          incr flips;
-          gain := !gain -. delta;
-          flipped := i :: !flipped
-        end
-        else Netbox.rollback nb
-      end)
-    (Design.movable_ids d);
+    (List.iter (fun i ->
+         (* mirror this cell's pin x-offsets in the shared pin view; the
+            netbox keeps the offsets and its boxes consistent on commit,
+            so no caller ever rebuilds the pin structure after flipping *)
+         Netbox.flip_cell nb i;
+         let delta = Netbox.delta nb in
+         if delta < -1e-9 then begin
+           Netbox.commit nb;
+           d.Design.orient.(i) <- Orient.flip_x d.Design.orient.(i);
+           incr flips;
+           gain := !gain -. delta;
+           flipped := i :: !flipped
+         end
+         else Netbox.rollback nb))
+    proposals;
   { flips = !flips; gain = !gain; flipped = !flipped }

@@ -18,6 +18,7 @@ type stats = {
 
 val run :
   Dpp_netlist.Design.t ->
+  ?pool:Dpp_par.Pool.t ->
   ?netbox:Dpp_wirelen.Netbox.t ->
   cx:float array ->
   cy:float array ->
@@ -27,4 +28,8 @@ val run :
     mutates [design.orient] (and the pin view's x-offsets) for accepted
     flips.  Multi-row macros (RAMs) are skipped — their pin symmetry
     assumptions do not hold.  [netbox], when given, must be live over
-    [cx]/[cy]; when absent a private one is built. *)
+    [cx]/[cy]; when absent a private one is built.  [pool] (default
+    {!Dpp_par.Pool.serial}) fans the candidate evaluation out over
+    worker domains (read-only {!Dpp_wirelen.Netbox.eval_flip}); commits
+    stay serial in ascending id order, so the flipped set is
+    bit-identical at every worker count. *)

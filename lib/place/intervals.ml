@@ -1,0 +1,119 @@
+(* A sorted-array store of disjoint free x-intervals — the legalizer's
+   per-row capacity structure.  Replaces the former (lo, hi) list: queries
+   binary-search to the target and expand outward with distance pruning
+   instead of scanning every interval, and allocations split exactly the
+   queried interval (indexed, so two intervals with identical bounds can
+   never be confused). *)
+
+type t = {
+  mutable lo : float array;
+  mutable hi : float array;
+  mutable len : int;
+}
+
+let create () = { lo = Array.make 8 0.0; hi = Array.make 8 0.0; len = 0 }
+
+let length t = t.len
+
+let get t k =
+  if k < 0 || k >= t.len then invalid_arg "Intervals.get";
+  t.lo.(k), t.hi.(k)
+
+let to_list t = List.init t.len (fun k -> t.lo.(k), t.hi.(k))
+
+let ensure t n =
+  if n > Array.length t.lo then begin
+    let cap = max n (2 * Array.length t.lo) in
+    let lo = Array.make cap 0.0 and hi = Array.make cap 0.0 in
+    Array.blit t.lo 0 lo 0 t.len;
+    Array.blit t.hi 0 hi 0 t.len;
+    t.lo <- lo;
+    t.hi <- hi
+  end
+
+let reset t segments =
+  t.len <- 0;
+  List.iter
+    (fun (l, h) ->
+      ensure t (t.len + 1);
+      t.lo.(t.len) <- l;
+      t.hi.(t.len) <- h;
+      t.len <- t.len + 1)
+    segments
+
+let of_segments segments =
+  let t = create () in
+  reset t segments;
+  t
+
+(* Rightmost interval with lo <= target, or -1. *)
+let locate t target =
+  let l = ref 0 and r = ref (t.len - 1) and ans = ref (-1) in
+  while !l <= !r do
+    let m = (!l + !r) / 2 in
+    if t.lo.(m) <= target then begin
+      ans := m;
+      l := m + 1
+    end
+    else r := m - 1
+  done;
+  !ans
+
+let best_fit t ~w ~target =
+  (* least |xl - target| over intervals that fit a width-w cell; strict
+     improvement with a center-outward scan, pruned by the distance lower
+     bounds the sorted order provides.  [target] is the desired left
+     edge. *)
+  let best = ref None in
+  let best_cost = ref infinity in
+  let consider k =
+    let lo = t.lo.(k) and hi = t.hi.(k) in
+    if hi -. lo >= w -. 1e-9 then begin
+      let xl = min (max target lo) (hi -. w) in
+      let cost = abs_float (xl -. target) in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Some (cost, k, xl)
+      end
+    end
+  in
+  let k0 = locate t target in
+  if k0 >= 0 then consider k0;
+  (* rightward: feasible xl >= lo.(k) > target, so cost >= lo.(k) - target *)
+  let k = ref (k0 + 1) in
+  while !k < t.len && t.lo.(!k) -. target < !best_cost do
+    consider !k;
+    incr k
+  done;
+  (* leftward: feasible xl <= hi.(k) - w < target, so cost >= target - hi + w *)
+  let k = ref (k0 - 1) in
+  while !k >= 0 && target -. t.hi.(!k) +. w < !best_cost do
+    consider !k;
+    decr k
+  done;
+  !best
+
+let remove t k =
+  Array.blit t.lo (k + 1) t.lo k (t.len - k - 1);
+  Array.blit t.hi (k + 1) t.hi k (t.len - k - 1);
+  t.len <- t.len - 1
+
+let insert_at t k ~lo ~hi =
+  ensure t (t.len + 1);
+  Array.blit t.lo k t.lo (k + 1) (t.len - k);
+  Array.blit t.hi k t.hi (k + 1) (t.len - k);
+  t.lo.(k) <- lo;
+  t.hi.(k) <- hi;
+  t.len <- t.len + 1
+
+let alloc t k ~xl ~w =
+  if k < 0 || k >= t.len then invalid_arg "Intervals.alloc";
+  let lo = t.lo.(k) and hi = t.hi.(k) in
+  let left = xl -. lo > 1e-9 and right = hi -. (xl +. w) > 1e-9 in
+  match left, right with
+  | true, true ->
+    t.hi.(k) <- xl;
+    insert_at t (k + 1) ~lo:(xl +. w) ~hi
+  | true, false -> t.hi.(k) <- xl
+  | false, true -> t.lo.(k) <- xl +. w
+  | false, false -> remove t k

@@ -1,0 +1,43 @@
+(** Sorted-array store of disjoint free x-intervals — the legalizer's
+    per-row capacity structure.
+
+    Intervals are kept sorted by left edge in two parallel float arrays.
+    {!best_fit} binary-searches to the target and expands outward with
+    distance pruning (O(log n + scanned)), replacing the former full-list
+    walk; {!alloc} splits the interval {e by index}, so two intervals that
+    happen to share identical [(lo, hi)] bounds are never confused (the
+    old list rewrite matched on float equality and split both). *)
+
+type t
+
+val create : unit -> t
+(** An empty store. *)
+
+val reset : t -> (float * float) list -> unit
+(** Reload the store from a list of [(lo, hi)] segments, assumed disjoint
+    and sorted ascending (as {!Legal.row_segments} produces).  Reuses the
+    backing arrays. *)
+
+val of_segments : (float * float) list -> t
+
+val length : t -> int
+
+val get : t -> int -> float * float
+(** [(lo, hi)] of the interval at an index, as last returned by
+    {!best_fit}.  Indices are invalidated by {!alloc} and {!reset}. *)
+
+val to_list : t -> (float * float) list
+(** All intervals, ascending. *)
+
+val best_fit : t -> w:float -> target:float -> (float * int * float) option
+(** [best_fit t ~w ~target] finds the interval that can hold a width-[w]
+    cell with left edge nearest [target]: [Some (cost, idx, xl)] where
+    [xl] is the clamped placement and [cost = |xl - target|], or [None]
+    if no interval fits.  Ties resolve to the interval nearest the
+    binary-search start, deterministically — the scan order depends only
+    on the store contents, never on worker count. *)
+
+val alloc : t -> int -> xl:float -> w:float -> unit
+(** Carve [\[xl, xl + w)] out of the interval at index [idx], keeping any
+    left/right remnant wider than 1e-9.  The segment must lie inside the
+    interval (as {!best_fit} guarantees). *)

@@ -1,8 +1,7 @@
 module Design = Dpp_netlist.Design
 module Types = Dpp_netlist.Types
 module Rect = Dpp_geom.Rect
-
-type segment = { seg_lo : float; seg_hi : float; mutable cursor : float }
+module Pool = Dpp_par.Pool
 
 type t = {
   assignment : int array;
@@ -15,7 +14,8 @@ let src = Logs.Src.create "dpp.legal" ~doc:"legalization"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Free segments of row [r]: the die span minus obstacle x-intervals. *)
+(* Free segments of row [r]: the die span minus obstacle x-intervals,
+   as ascending (lo, hi) pairs. *)
 let row_segments (d : Design.t) obstacles r =
   let die = d.Design.die in
   let y_lo = Design.row_y d r and y_hi = Design.row_y d r +. d.Design.row_height in
@@ -32,26 +32,37 @@ let row_segments (d : Design.t) obstacles r =
   let cursor = ref die.Rect.xl in
   List.iter
     (fun (lo, hi) ->
-      if lo > !cursor then
-        segments := { seg_lo = !cursor; seg_hi = lo; cursor = !cursor } :: !segments;
+      if lo > !cursor then segments := (!cursor, lo) :: !segments;
       cursor := max !cursor hi)
     blocked;
-  if !cursor < die.Rect.xh then
-    segments := { seg_lo = !cursor; seg_hi = die.Rect.xh; cursor = !cursor } :: !segments;
+  if !cursor < die.Rect.xh then segments := (!cursor, die.Rect.xh) :: !segments;
   List.rev !segments
 
-let row_segments_for_test d obstacles r =
-  List.map (fun s -> s.seg_lo, s.seg_hi) (row_segments d obstacles r)
+let row_segments_for_test = row_segments
 
-(* Greedy free-list legalization: rows hold mutable free-interval lists;
-   each cell (in ascending target-x order) takes the least-cost feasible
-   interval position, splitting the interval.  Unlike cursor-based Tetris
-   this never strands capacity behind a cursor, so it only fails when the
-   die is genuinely overfull.  The row scan expands outward from the
-   target row and stops once the vertical displacement alone exceeds the
-   best cost found (the usual pruning). *)
-let run (d : Design.t) ?(extra_obstacles = []) ?(skip = fun _ -> false) ~cx ~cy () =
+(* Greedy free-interval legalization, parallel over row chunks.
+
+   Rows are split into the pool's fixed 16 chunks; each chunk owns its
+   rows' {!Intervals} stores and legalizes the cells whose target row
+   falls inside it, in ascending (target_x, id) order.  A cell is
+   committed chunk-locally only when no row {e outside} the chunk could
+   beat or tie the local best (the vertical distance to the nearest
+   foreign row alone already costs more); otherwise it is spilled.
+   Spills are resolved in a serial merge pass, ascending chunk order,
+   searching every row.  Chunk boundaries depend only on the row count,
+   chunk-local work only on the chunk's own rows and bucket, and the
+   merge order is fixed — so the assignment is bit-identical at every
+   worker count.
+
+   Unlike cursor-based Tetris this never strands capacity behind a
+   cursor, so it only fails when the die is genuinely overfull.  Within
+   a row set, the search expands outward from the target row and stops
+   once the vertical displacement alone exceeds the best cost found. *)
+let run (d : Design.t) ?(pool = Pool.serial) ?(extra_obstacles = []) ?(skip = fun _ -> false)
+    ~cx ~cy () =
   let nc = Design.num_cells d in
+  let nrows = d.Design.num_rows in
+  let rh = d.Design.row_height in
   let obstacles =
     extra_obstacles
     @ (Array.to_list (Design.fixed_ids d)
@@ -59,11 +70,6 @@ let run (d : Design.t) ?(extra_obstacles = []) ?(skip = fun _ -> false) ~cx ~cy 
              match (Design.cell d i).Types.c_kind with
              | Types.Fixed -> Rect.intersection (Design.cell_rect d i) d.Design.die
              | Types.Pad | Types.Movable -> None))
-  in
-  (* free intervals per row, as (lo, hi) lists sorted by lo *)
-  let free =
-    Array.init d.Design.num_rows (fun r ->
-        ref (List.map (fun s -> s.seg_lo, s.seg_hi) (row_segments d obstacles r)))
   in
   let out_cx = Array.copy cx and out_cy = Array.copy cy in
   let assignment = Array.make nc (-1) in
@@ -75,80 +81,106 @@ let run (d : Design.t) ?(extra_obstacles = []) ?(skip = fun _ -> false) ~cx ~cy 
            cx.(i) -. (w /. 2.0), i)
     |> List.sort compare
   in
-  let failed = ref [] in
-  let place_in_row r w target_xl =
-    (* best interval of row [r]: minimal |xl - target| with xl feasible *)
-    let best = ref None in
-    List.iter
-      (fun (lo, hi) ->
-        if hi -. lo >= w -. 1e-9 then begin
-          let xl = min (max target_xl lo) (hi -. w) in
-          let cost = abs_float (xl -. target_xl) in
-          match !best with
-          | Some (bc, _, _, _) when bc <= cost -> ()
-          | Some _ | None -> best := Some (cost, lo, hi, xl)
-        end)
-      !(free.(r));
-    !best
-  in
-  List.iter
-    (fun (target_xl, i) ->
-      let c = Design.cell d i in
-      let w = c.Types.c_width in
-      let target_row = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0)) in
-      let rh = d.Design.row_height in
+  if nrows = 0 then
+    { assignment; cx = out_cx; cy = out_cy; failed = List.map snd todo }
+  else begin
+    let stores = Array.init nrows (fun _ -> Intervals.create ()) in
+    (* best (cost, row, interval index, xl) over rows [lo, hi), expanding
+       outward from the target row with the vertical-displacement prune *)
+    let search_rows ~lo ~hi target_row w target_xl =
       let best = ref None in
       let consider r =
-        match place_in_row r w target_xl with
+        match Intervals.best_fit stores.(r) ~w ~target:target_xl with
         | None -> ()
-        | Some (dx, lo, hi, xl) ->
+        | Some (dx, idx, xl) ->
           let dy = abs_float (float_of_int (r - target_row)) *. rh in
           let cost = (dx *. dx) +. (dy *. dy) in
           (match !best with
-          | Some (bc, _, _, _, _, _) when bc <= cost -> ()
-          | Some _ | None -> best := Some (cost, r, lo, hi, xl, dy))
+          | Some (bc, _, _, _) when bc <= cost -> ()
+          | Some _ | None -> best := Some (cost, r, idx, xl))
       in
       let dr = ref 0 in
-      let continue = ref true in
-      while !continue do
+      let continue_ = ref true in
+      while !continue_ do
         let lo_row = target_row - !dr and hi_row = target_row + !dr in
         let any_valid = ref false in
-        if lo_row >= 0 then begin
+        if lo_row >= lo && lo_row < hi then begin
           any_valid := true;
           consider lo_row
         end;
-        if !dr > 0 && hi_row < d.Design.num_rows then begin
+        if !dr > 0 && hi_row < hi && hi_row >= lo then begin
           any_valid := true;
           consider hi_row
         end;
-        (* prune: further rows cost at least (dr * rh)^2 *)
         let vert = float_of_int !dr *. rh in
         (match !best with
-        | Some (bc, _, _, _, _, _) when vert *. vert > bc -> continue := false
+        | Some (bc, _, _, _) when vert *. vert > bc -> continue_ := false
         | Some _ | None -> ());
-        if not !any_valid then continue := false;
+        if not !any_valid then continue_ := false;
         incr dr
       done;
-      match !best with
-      | Some (_, r, lo, hi, xl, _) ->
-        (* split the interval *)
-        let rest =
-          List.concat_map
-            (fun (l, h) ->
-              if l = lo && h = hi then begin
-                let left = if xl -. l > 1e-9 then [ l, xl ] else [] in
-                let right = if h -. (xl +. w) > 1e-9 then [ xl +. w, h ] else [] in
-                left @ right
-              end
-              else [ l, h ])
-            !(free.(r))
-        in
-        free.(r) := rest;
-        assignment.(i) <- r;
-        out_cx.(i) <- xl +. (w /. 2.0);
-        out_cy.(i) <- Design.row_y d r +. (d.Design.row_height /. 2.0)
-      | None ->
-        Log.err (fun m -> m "no row fits cell %s (w=%.1f)" c.Types.c_name w);
-        failed := i :: !failed)
-    todo;
-  { assignment; cx = out_cx; cy = out_cy; failed = List.rev !failed }
+      !best
+    in
+    let accept i r idx xl w =
+      Intervals.alloc stores.(r) idx ~xl ~w;
+      assignment.(i) <- r;
+      out_cx.(i) <- xl +. (w /. 2.0);
+      out_cy.(i) <- Design.row_y d r +. (rh /. 2.0)
+    in
+    (* bucket cells by the chunk owning their target row *)
+    let chunk_of_row = Array.make nrows 0 in
+    for c = 0 to Pool.chunk_count - 1 do
+      let lo, hi = Pool.chunk_bounds ~n:nrows c in
+      for r = lo to hi - 1 do
+        chunk_of_row.(r) <- c
+      done
+    done;
+    let buckets = Array.make Pool.chunk_count [] in
+    List.iter
+      (fun (target_xl, i) ->
+        let c = Design.cell d i in
+        let tr = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0)) in
+        let tr = max 0 (min (nrows - 1) tr) in
+        buckets.(chunk_of_row.(tr)) <- (target_xl, tr, i) :: buckets.(chunk_of_row.(tr)))
+      todo;
+    Array.iteri (fun c b -> buckets.(c) <- List.rev b) buckets;
+    let spills = Array.make Pool.chunk_count [] in
+    Pool.iter_chunks pool ~n:nrows (fun ~worker:_ ~chunk ~lo ~hi ->
+        for r = lo to hi - 1 do
+          Intervals.reset stores.(r) (row_segments d obstacles r)
+        done;
+        let spill = ref [] in
+        List.iter
+          (fun (target_xl, target_row, i) ->
+            let w = (Design.cell d i).Types.c_width in
+            (* cheapest any row outside this chunk could possibly be *)
+            let foreign_vert =
+              let below = if lo > 0 then Some (target_row - lo + 1) else None in
+              let above = if hi < nrows then Some (hi - target_row) else None in
+              match below, above with
+              | None, None -> infinity
+              | Some s, None | None, Some s -> float_of_int s *. rh
+              | Some a, Some b -> float_of_int (min a b) *. rh
+            in
+            match search_rows ~lo ~hi target_row w target_xl with
+            | Some (bc, r, idx, xl) when foreign_vert *. foreign_vert > bc ->
+              accept i r idx xl w
+            | Some _ | None -> spill := (target_xl, target_row, i) :: !spill)
+          buckets.(chunk);
+        spills.(chunk) <- List.rev !spill);
+    (* serial merge: spilled cells see every row, ascending chunk order *)
+    let failed = ref [] in
+    for c = 0 to Pool.chunk_count - 1 do
+      List.iter
+        (fun (target_xl, target_row, i) ->
+          let w = (Design.cell d i).Types.c_width in
+          match search_rows ~lo:0 ~hi:nrows target_row w target_xl with
+          | Some (_, r, idx, xl) -> accept i r idx xl w
+          | None ->
+            Log.err (fun m ->
+                m "no row fits cell %s (w=%.1f)" (Design.cell d i).Types.c_name w);
+            failed := i :: !failed)
+        spills.(c)
+    done;
+    { assignment; cx = out_cx; cy = out_cy; failed = List.rev !failed }
+  end

@@ -2,9 +2,15 @@
     fixed obstacles (and, in the structure-aware flow, around snapped
     datapath groups).
 
-    Cells are processed in ascending target-x order; each is offered every
-    row's free segments and takes the least-displacement feasible slot
-    (squared Euclidean displacement of the cell center).  Site-grid
+    Cells are processed in ascending target-x order; each is offered a
+    set of rows' free intervals ({!Intervals} stores, O(log n) best-gap
+    queries) and takes the least-displacement feasible slot (squared
+    Euclidean displacement of the cell center).  With a multi-worker
+    pool, rows are partitioned into the fixed 16-chunk scheme and
+    legalized chunk-locally in parallel; a cell whose best local slot
+    could be beaten or tied by a row outside its chunk is spilled to a
+    serial ascending-chunk merge pass that searches every row, so the
+    assignment is bit-identical at every worker count.  Site-grid
     snapping is applied by {!Abacus} afterwards. *)
 
 type t = {
@@ -16,6 +22,7 @@ type t = {
 
 val run :
   Dpp_netlist.Design.t ->
+  ?pool:Dpp_par.Pool.t ->
   ?extra_obstacles:Dpp_geom.Rect.t list ->
   ?skip:(int -> bool) ->
   cx:float array ->
@@ -23,7 +30,9 @@ val run :
   unit ->
   t
 (** [skip] marks cells to leave untouched (snapped group members).  Input
-    arrays are not modified. *)
+    arrays are not modified.  [pool] (default {!Dpp_par.Pool.serial})
+    fans the chunk-local phase out over worker domains; the result does
+    not depend on the worker count. *)
 
 val row_segments_for_test : Dpp_netlist.Design.t -> Dpp_geom.Rect.t list -> int -> (float * float) list
 (** The free x-spans of a row given obstacle rectangles — shared with

@@ -420,6 +420,86 @@ let audit ?pool ?(tol = 1e-6) t =
     !mismatches
   end
 
+(* ----- pure candidate evaluation -----
+
+   The evaluate-parallel/commit-serial contract of the detailed-placement
+   stages needs a delta oracle that many worker domains can call at once
+   against the committed state.  These functions never touch [t]'s staged
+   slots, journals, or live arrays: they rescan the candidate's nets with
+   the hypothetical coordinates substituted on the fly and compare against
+   the committed boxes.  Only valid outside a transaction. *)
+
+let eval_moves t ~k cells xs ys =
+  let d = t.pins.Pins.design in
+  let pin_cell = t.pins.Pins.pin_cell in
+  let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
+  (* distinct incident nets of the k moved cells; k is tiny (<= 3), so a
+     list with linear membership is cheaper than any hashing *)
+  let nets = ref [] in
+  for j = 0 to k - 1 do
+    let cpins = (Design.cell d cells.(j)).Types.c_pins in
+    for q = 0 to Array.length cpins - 1 do
+      let n = t.pin_net.(cpins.(q)) in
+      if n >= 0 && t.degree.(n) >= 2 && not (List.mem n !nets) then nets := n :: !nets
+    done
+  done;
+  let moved_index c =
+    let j = ref (-1) in
+    for q = 0 to k - 1 do
+      if cells.(q) = c then j := q
+    done;
+    !j
+  in
+  let acc = ref 0.0 in
+  List.iter
+    (fun n ->
+      let xmin = ref infinity and xmax = ref neg_infinity in
+      let ymin = ref infinity and ymax = ref neg_infinity in
+      for i = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+        let p = t.net_pin.(i) in
+        let c = pin_cell.(p) in
+        let j = moved_index c in
+        let bx = if j >= 0 then xs.(j) else t.cx.(c) in
+        let by = if j >= 0 then ys.(j) else t.cy.(c) in
+        let x = bx +. off_x.(p) and y = by +. off_y.(p) in
+        if x < !xmin then xmin := x;
+        if x > !xmax then xmax := x;
+        if y < !ymin then ymin := y;
+        if y > !ymax then ymax := y
+      done;
+      let staged = !xmax -. !xmin +. !ymax -. !ymin in
+      let committed = t.xmax.(n) -. t.xmin.(n) +. t.ymax.(n) -. t.ymin.(n) in
+      acc := !acc +. (t.weight.(n) *. (staged -. committed)))
+    !nets;
+  !acc
+
+let eval_flip t i =
+  let d = t.pins.Pins.design in
+  let pin_cell = t.pins.Pins.pin_cell in
+  let off_x = t.pins.Pins.off_x in
+  let nets = ref [] in
+  let cpins = (Design.cell d i).Types.c_pins in
+  for q = 0 to Array.length cpins - 1 do
+    let n = t.pin_net.(cpins.(q)) in
+    if n >= 0 && t.degree.(n) >= 2 && not (List.mem n !nets) then nets := n :: !nets
+  done;
+  let acc = ref 0.0 in
+  List.iter
+    (fun n ->
+      let xmin = ref infinity and xmax = ref neg_infinity in
+      for q = t.net_off.(n) to t.net_off.(n + 1) - 1 do
+        let p = t.net_pin.(q) in
+        let c = pin_cell.(p) in
+        let off = if c = i then -.off_x.(p) else off_x.(p) in
+        let x = t.cx.(c) +. off in
+        if x < !xmin then xmin := x;
+        if x > !xmax then xmax := x
+      done;
+      acc :=
+        !acc +. (t.weight.(n) *. (!xmax -. !xmin -. (t.xmax.(n) -. t.xmin.(n)))))
+    !nets;
+  !acc
+
 let rollback t =
   if t.active then begin
     for k = 0 to t.n_moved - 1 do

@@ -55,6 +55,24 @@ val rollback : t -> unit
 (** Discard the staged moves, restoring coordinates and pin offsets.
     No-op outside a transaction. *)
 
+val eval_moves : t -> k:int -> int array -> float array -> float array -> float
+(** [eval_moves t ~k cells xs ys] is the weighted HPWL delta that {e would}
+    result from moving the first [k] cells of [cells] to the corresponding
+    [(xs.(j), ys.(j))] centers, evaluated purely against the committed
+    state: no transaction is opened, no live array is written.  Because it
+    is read-only it is safe to call concurrently from many worker domains
+    — this is the evaluator behind the detailed-placement stages'
+    evaluate-parallel/commit-serial scheme (the serial commit re-checks
+    each accepted candidate through {!move_cell}/{!delta} against the
+    then-current state).  Must be called outside a transaction; a cell
+    must appear at most once in [cells.(0..k-1)]. *)
+
+val eval_flip : t -> int -> float
+(** [eval_flip t i] is the weighted HPWL delta of mirroring cell [i]'s pin
+    x-offsets, evaluated purely against the committed state (the
+    orientation-flip analogue of {!eval_moves}; same concurrency
+    contract). *)
+
 val audit : ?pool:Dpp_par.Pool.t -> ?tol:float -> t -> (int option * string) list
 (** Compare every committed per-net box and the committed total against a
     fresh rescan of the live coordinates and pin offsets.  Returns one

@@ -317,6 +317,43 @@ let test_flow_trajectory_jobs_independent () =
   check_bits "stage hpwl series" (stage_hpwl r1) (stage_hpwl r4);
   check_float "final hpwl" r1.Flow.hpwl_final r4.Flow.hpwl_final
 
+(* ----- back-end stages: Legal + Detail + Flip, any worker count ----- *)
+
+let test_backend_stages_worker_count_independent () =
+  (* Flip mutates [orient] and the pin view, so each run gets a fresh
+     design built from the same seed *)
+  let run_backend w =
+    let d = Tutil.random_design ~cells:60 ~nets:80 17 in
+    let nc = Design.num_cells d in
+    let cx = Array.init nc (fun i -> Design.cell_center_x d i) in
+    let cy = Array.init nc (fun i -> Design.cell_center_y d i) in
+    Pool.with_pool ~nworkers:w @@ fun pool ->
+    let legal = Dpp_place.Legal.run d ~pool ~cx ~cy () in
+    let h = Dpp_netlist.Hypergraph.build d in
+    let nb = Netbox.build (Pins.build d) ~cx:legal.Dpp_place.Legal.cx ~cy:legal.Dpp_place.Legal.cy in
+    ignore (Dpp_place.Detail.run d ~pool ~max_passes:2 ~netbox:nb ~hypergraph:h ~legal ());
+    let stats =
+      Dpp_place.Flip.run d ~pool ~netbox:nb ~cx:legal.Dpp_place.Legal.cx
+        ~cy:legal.Dpp_place.Legal.cy ()
+    in
+    ( Array.copy legal.Dpp_place.Legal.assignment,
+      Array.copy legal.Dpp_place.Legal.cx,
+      Array.copy legal.Dpp_place.Legal.cy,
+      Array.copy d.Design.orient,
+      stats.Dpp_place.Flip.flipped )
+  in
+  let a1, x1, y1, o1, f1 = run_backend 1 in
+  List.iter
+    (fun w ->
+      let tag s = Printf.sprintf "w=%d %s" w s in
+      let aw, xw, yw, ow, fw = run_backend w in
+      Alcotest.(check bool) (tag "assignment") true (a1 = aw);
+      check_bits (tag "cx") x1 xw;
+      check_bits (tag "cy") y1 yw;
+      Alcotest.(check bool) (tag "orient") true (o1 = ow);
+      Alcotest.(check (list int)) (tag "flipped set") f1 fw)
+    [ 2; 3; 8 ]
+
 let suite =
   [
     Alcotest.test_case "chunk bounds partition" `Quick test_pool_chunks_partition;
@@ -333,6 +370,8 @@ let suite =
     Alcotest.test_case "netbox pooled build bit-exact" `Quick
       test_netbox_pooled_build_bit_exact;
     Alcotest.test_case "gradient oracle clean under pools" `Quick test_gradient_oracle_pooled;
+    Alcotest.test_case "backend stages worker-count independent" `Quick
+      test_backend_stages_worker_count_independent;
     Alcotest.test_case "flow trajectory independent of -jobs" `Slow
       test_flow_trajectory_jobs_independent;
   ]

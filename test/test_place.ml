@@ -345,3 +345,134 @@ let suite =
       Alcotest.test_case "flip orientation recorded" `Slow test_flip_orientation_recorded;
       Alcotest.test_case "pins respect orientation" `Quick test_pins_respect_orientation;
     ]
+
+(* appended: parallel back-end regressions — exact-footprint swaps, tall
+   cells, and the indexed interval store *)
+
+module Intervals = Dpp_place.Intervals
+module Occ = Dpp_place.Occ
+
+(* Widths 4.0 and 4.01 landed in one bucket under the old 1/16-site
+   quantized swap key; swapping them slid the wider cell into its
+   neighbour.  Detail must keep the placement legal. *)
+let test_swap_requires_exact_footprint () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:40.0 ~yh:20.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:0.005 () in
+  let mk name ~w ~x ~y =
+    let id = Builder.add_cell b ~name ~master:"X" ~w ~h:10.0 ~kind:Types.Movable in
+    let p = Builder.add_pin b ~cell:id ~dir:Types.Input ~dx:(w /. 2.0) ~dy:5.0 () in
+    Builder.set_position b id ~x ~y;
+    id, p
+  in
+  (* row 0: p then r abutting it; row 1: q, whose width differs from p's
+     by one site *)
+  let p, pp = mk "p" ~w:4.0 ~x:0.0 ~y:0.0 in
+  let _r, _ = mk "r" ~w:4.01 ~x:4.0 ~y:0.0 in
+  let q, qp = mk "q" ~w:4.01 ~x:0.0 ~y:10.0 in
+  let pad name x y =
+    let id = Builder.add_cell b ~name ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad in
+    Builder.set_position b id ~x ~y;
+    Builder.add_pin b ~cell:id ~dir:Types.Output ()
+  in
+  (* p wants q's row and vice versa: the cross-row swap is attractive *)
+  ignore (Builder.add_net b [ pad "a" 2.0 19.0; pp ]);
+  ignore (Builder.add_net b [ pad "bb" 2.0 1.0; qp ]);
+  let d = Builder.finish b in
+  let nc = Design.num_cells d in
+  let cx = Array.init nc (fun i -> Design.cell_center_x d i) in
+  let cy = Array.init nc (fun i -> Design.cell_center_y d i) in
+  let legal = Legal.run d ~cx ~cy () in
+  ignore (Detail.run d ~max_passes:2 ~legal ());
+  (* the move pass may relocate p and q legally; what the old quantized
+     bucket did was *swap* their footprints, sliding the wider q into r *)
+  ignore p;
+  ignore q;
+  let v = Legality.check d ~cx:legal.Legal.cx ~cy:legal.Legal.cy in
+  if v <> [] then
+    Alcotest.failf "detail broke legality: %s"
+      (Format.asprintf "%a" (Legality.pp_violation d) (List.hd v))
+
+(* A 2-row movable cell must not be treated as single-row by the detail
+   passes, however attractive the move. *)
+let test_detail_skips_tall_cells () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:40.0 ~yh:20.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let t = Builder.add_cell b ~name:"t" ~master:"TALL" ~w:4.0 ~h:20.0 ~kind:Types.Movable in
+  let tp = Builder.add_pin b ~cell:t ~dir:Types.Input ~dx:2.0 ~dy:10.0 () in
+  Builder.set_position b t ~x:0.0 ~y:0.0;
+  let pad = Builder.add_cell b ~name:"far" ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad in
+  Builder.set_position b pad ~x:38.0 ~y:10.0;
+  ignore (Builder.add_net b [ Builder.add_pin b ~cell:pad ~dir:Types.Output (); tp ]);
+  let d = Builder.finish b in
+  let nc = Design.num_cells d in
+  let cx = Array.init nc (fun i -> Design.cell_center_x d i) in
+  let cy = Array.init nc (fun i -> Design.cell_center_y d i) in
+  (* hand the tall cell to Detail as a placed row-0 cell, the way a
+     caller without the flow's macro handling would *)
+  let legal = { Legal.assignment = Array.make nc 0; cx; cy; failed = [] } in
+  ignore (Detail.run d ~max_passes:2 ~legal ());
+  Alcotest.(check (float 1e-12)) "tall cell x untouched" 2.0 legal.Legal.cx.(t);
+  Alcotest.(check (float 1e-12)) "tall cell y untouched" 10.0 legal.Legal.cy.(t);
+  let stats = Dpp_place.Flip.run d ~cx:legal.Legal.cx ~cy:legal.Legal.cy () in
+  Alcotest.(check int) "flip skips tall cells too" 0 stats.Dpp_place.Flip.flips
+
+(* The old list-based split matched intervals by float equality of the
+   bounds, so two identical intervals were both split; the indexed store
+   allocates exactly the queried one. *)
+let test_intervals_duplicate_bounds () =
+  let t = Intervals.of_segments [ 0.0, 10.0; 0.0, 10.0 ] in
+  (match Intervals.best_fit t ~w:4.0 ~target:0.0 with
+  | None -> Alcotest.fail "no fit in duplicate intervals"
+  | Some (cost, idx, xl) ->
+    Alcotest.(check (float 1e-12)) "cost" 0.0 cost;
+    Alcotest.(check (float 1e-12)) "xl" 0.0 xl;
+    Intervals.alloc t idx ~xl ~w:4.0);
+  Alcotest.(check int) "both intervals survive" 2 (Intervals.length t);
+  let untouched =
+    List.filter (fun (l, h) -> l = 0.0 && h = 10.0) (Intervals.to_list t)
+  in
+  Alcotest.(check int) "exactly one interval was split" 1 (List.length untouched)
+
+let test_intervals_best_fit_and_split () =
+  let t = Intervals.of_segments [ 0.0, 10.0; 20.0, 22.0; 30.0, 50.0 ] in
+  (* nearest feasible interval wins, clamped to its bounds *)
+  (match Intervals.best_fit t ~w:4.0 ~target:21.0 with
+  | Some (_, _, xl) -> Alcotest.(check (float 1e-12)) "skips too-small interval" 30.0 xl
+  | None -> Alcotest.fail "no fit");
+  (match Intervals.best_fit t ~w:4.0 ~target:3.0 with
+  | Some (cost, idx, xl) ->
+    Alcotest.(check (float 1e-12)) "exact target" 0.0 cost;
+    Alcotest.(check (float 1e-12)) "left interval" 3.0 xl;
+    Intervals.alloc t idx ~xl ~w:4.0
+  | None -> Alcotest.fail "no fit");
+  Alcotest.(check bool) "split keeps both remnants" true
+    (Intervals.to_list t = [ 0.0, 3.0; 7.0, 10.0; 20.0, 22.0; 30.0, 50.0 ]);
+  Alcotest.(check bool) "nothing fits width 30" true
+    (Intervals.best_fit t ~w:30.0 ~target:0.0 = None)
+
+(* A fixed macro spanning rows 0-1 must block both rows' segments and
+   leave row 2 whole. *)
+let test_row_segments_multirow_macro () =
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:40.0 ~yh:30.0 in
+  let b = Builder.create ~die ~row_height:10.0 ~site_width:1.0 () in
+  let m = Builder.add_cell b ~name:"m" ~master:"RAM" ~w:10.0 ~h:20.0 ~kind:Types.Fixed in
+  Builder.set_position b m ~x:10.0 ~y:0.0;
+  let d = Builder.finish b in
+  let obstacles = [ Design.cell_rect d m ] in
+  let segs r = Legal.row_segments_for_test d obstacles r in
+  Alcotest.(check bool) "row 0 split" true (segs 0 = [ 0.0, 10.0; 20.0, 40.0 ]);
+  Alcotest.(check bool) "row 1 split" true (segs 1 = [ 0.0, 10.0; 20.0, 40.0 ]);
+  Alcotest.(check bool) "row 2 whole" true (segs 2 = [ 0.0, 40.0 ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "swap requires exact footprint" `Quick
+        test_swap_requires_exact_footprint;
+      Alcotest.test_case "detail skips tall cells" `Quick test_detail_skips_tall_cells;
+      Alcotest.test_case "intervals duplicate bounds" `Quick test_intervals_duplicate_bounds;
+      Alcotest.test_case "intervals best fit and split" `Quick
+        test_intervals_best_fit_and_split;
+      Alcotest.test_case "row segments multirow macro" `Quick
+        test_row_segments_multirow_macro;
+    ]
