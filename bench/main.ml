@@ -275,14 +275,21 @@ let run_par_bench () =
         let bellr = rate (fun () -> ignore (Bell.par_value_grad bp pool ~cx ~cy ~gx ~gy)) in
         let rudy = rate (fun () -> ignore (Rudy.compute ~pool d ~cx ~cy)) in
         let audit = rate (fun () -> ignore (Netbox.audit ~pool nb)) in
+        (* whether the gradient kernel's chunk loop ran inline (auto-serial
+           fallback: one effective core, one worker, or tiny work) rather
+           than fanning out to the worker domains *)
+        let fallback = Pool.auto_serial pool ~n:(Design.num_nets d) in
         say
-          "  jobs %d: wa %8.1f/s  lse %8.1f/s  bell %8.1f/s  rudy %8.1f/s  audit %8.1f/s"
-          jobs wa lse bellr rudy audit;
-        jobs, wa, lse, bellr, rudy, audit)
+          "  jobs %d: wa %8.1f/s  lse %8.1f/s  bell %8.1f/s  rudy %8.1f/s  audit %8.1f/s%s"
+          jobs wa lse bellr rudy audit
+          (if fallback then "  [serial fallback]" else "");
+        jobs, wa, lse, bellr, rudy, audit, fallback)
       [ 1; 2; 4; 8 ]
   in
   let wa_at j =
-    let _, wa, _, _, _, _ = List.find (fun (jobs, _, _, _, _, _) -> jobs = j) levels in
+    let _, wa, _, _, _, _, _ =
+      List.find (fun (jobs, _, _, _, _, _, _) -> jobs = j) levels
+    in
     wa
   in
   let speedup = wa_at 4 /. wa_at 1 in
@@ -297,10 +304,10 @@ let run_par_bench () =
     (Domain.recommended_domain_count ())
     (String.concat ","
        (List.map
-          (fun (jobs, wa, lse, bellr, rudy, audit) ->
+          (fun (jobs, wa, lse, bellr, rudy, audit, fallback) ->
             Printf.sprintf
-              {|{"jobs":%d,"wa_grad_per_sec":%.1f,"lse_grad_per_sec":%.1f,"bell_grad_per_sec":%.1f,"rudy_per_sec":%.1f,"netbox_audit_per_sec":%.1f}|}
-              jobs wa lse bellr rudy audit)
+              {|{"jobs":%d,"wa_grad_per_sec":%.1f,"lse_grad_per_sec":%.1f,"bell_grad_per_sec":%.1f,"rudy_per_sec":%.1f,"netbox_audit_per_sec":%.1f,"fallback":%b}|}
+              jobs wa lse bellr rudy audit fallback)
           levels))
     speedup;
   close_out oc;
@@ -554,6 +561,83 @@ let run_legal_bench () =
   say "  written BENCH_legal.json"
 
 (* ------------------------------------------------------------------ *)
+(* Multilevel vs flat global placement                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat vs multilevel GP on the largest generated benchmark, behind two
+   bit-determinism gates: the multilevel flow rerun at the same seed,
+   and rerun at 4 worker domains, must both reproduce the exact final
+   coordinates — a fast V-cycle that loses reproducibility is worse
+   than no V-cycle.  Emits BENCH_ml.json. *)
+let run_ml_bench () =
+  let module Design = Dpp_netlist.Design in
+  let module Flow = Dpp_core.Flow in
+  let module Config = Dpp_core.Config in
+  let module Trace = Dpp_report.Trace in
+  let d =
+    match Dpp_gen.Presets.by_name "dp_mix_l" with
+    | Some spec -> Dpp_gen.Compose.build spec
+    | None -> failwith "preset dp_mix_l missing"
+  in
+  let movables = Array.length (Design.movable_ids d) in
+  say "ML: flat vs multilevel GP on %s (%d cells, %d movable)" d.Design.name
+    (Design.num_cells d) movables;
+  let cfg ml jobs = { Config.structure_aware with Config.multilevel = ml; jobs } in
+  let gp_wall (r : Flow.result) = List.assoc "gp" r.Flow.times in
+  let flat = Flow.run d (cfg Config.Ml_off 1) in
+  let ml = Flow.run d (cfg Config.Ml_on 1) in
+  let speedup = gp_wall flat /. gp_wall ml in
+  let delta_pct =
+    100.0 *. (ml.Flow.hpwl_final -. flat.Flow.hpwl_final) /. flat.Flow.hpwl_final
+  in
+  say "  flat: gp %6.2f s  HPWL %.0f" (gp_wall flat) flat.Flow.hpwl_final;
+  say "  ml:   gp %6.2f s  HPWL %.0f" (gp_wall ml) ml.Flow.hpwl_final;
+  say "  gp speedup %.2fx, final HPWL delta %+.2f%%" speedup delta_pct;
+  let levels =
+    match
+      List.find_opt (fun (s : Trace.stage) -> s.Trace.name = "gp") ml.Flow.stage_trace
+    with
+    | Some s -> s.Trace.levels
+    | None -> []
+  in
+  List.iter
+    (fun (l : Trace.level) ->
+      say "    level %d: %5d movables  hpwl %12.0f  overflow %.3f  %.2f s" l.Trace.index
+        l.Trace.movables l.Trace.hpwl l.Trace.overflow l.Trace.wall_s)
+    levels;
+  (* determinism gates *)
+  let same (a : Flow.result) (b : Flow.result) =
+    Array.for_all2 Float.equal a.Flow.design.Design.x b.Flow.design.Design.x
+    && Array.for_all2 Float.equal a.Flow.design.Design.y b.Flow.design.Design.y
+  in
+  let rerun_ok = same ml (Flow.run d (cfg Config.Ml_on 1)) in
+  let jobs_ok = same ml (Flow.run d (cfg Config.Ml_on 4)) in
+  if not rerun_ok then say "ML: MISMATCH: rerun at the same seed diverged";
+  if not jobs_ok then say "ML: MISMATCH: 4-domain run diverged from 1-domain";
+  if rerun_ok && jobs_ok then
+    say "ML: bit-identical across rerun and across 1 vs 4 worker domains";
+  if speedup < 2.0 then
+    say "ML: warning: gp speedup %.2fx below the 2x target on this machine" speedup;
+  if abs_float delta_pct > 2.0 then
+    say "ML: warning: HPWL delta %+.2f%% outside the 2%% band" delta_pct;
+  let oc = open_out "BENCH_ml.json" in
+  Printf.fprintf oc
+    {|{"design":"%s","cells":%d,"movables":%d,"flat_gp_s":%.3f,"ml_gp_s":%.3f,"gp_speedup":%.3f,"flat_hpwl":%.1f,"ml_hpwl":%.1f,"hpwl_delta_pct":%.3f,"deterministic_rerun":%b,"deterministic_jobs_1v4":%b,"levels":[%s]}
+|}
+    d.Design.name (Design.num_cells d) movables (gp_wall flat) (gp_wall ml) speedup
+    flat.Flow.hpwl_final ml.Flow.hpwl_final delta_pct rerun_ok jobs_ok
+    (String.concat ","
+       (List.map
+          (fun (l : Trace.level) ->
+            Printf.sprintf
+              {|{"index":%d,"movables":%d,"hpwl":%.1f,"overflow":%.4f,"wall_s":%.3f}|}
+              l.Trace.index l.Trace.movables l.Trace.hpwl l.Trace.overflow l.Trace.wall_s)
+          levels));
+  close_out oc;
+  say "  written BENCH_ml.json";
+  if not (rerun_ok && jobs_ok) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -586,6 +670,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "LG",
       "parallel legalization & detailed placement (indexed occupancy, 1/2/4/8 domains)",
       run_legal_bench );
+    ( "ML",
+      "multilevel vs flat global placement (V-cycle speedup behind determinism gates)",
+      run_ml_bench );
   ]
 
 let matches selector (id, _, _) =
@@ -607,7 +694,8 @@ let () =
       rule ();
       f ()
     | None ->
-      say "unknown experiment %S; use -l to list" sel;
+      say "unknown experiment %S; available experiments:" sel;
+      List.iter (fun (id, doc, _) -> say "  %-9s %s" id doc) experiments;
       exit 1)
   | [] ->
     let t0 = Unix.gettimeofday () in

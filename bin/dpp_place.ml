@@ -26,13 +26,20 @@ let load ~preset ~bookshelf =
   | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
   | None, None -> Error "give --preset <name> or --bookshelf <basename>"
 
-let run verbose preset bookshelf mode beta density seed jobs out svg compare trace check =
+let run verbose preset bookshelf mode beta density seed jobs multilevel flat out svg compare
+    trace check =
   setup_logs verbose;
-  match load ~preset ~bookshelf with
+  match if multilevel && flat then Error "give either --multilevel or --flat, not both"
+        else load ~preset ~bookshelf with
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
   | Ok design -> (
+    let ml_mode =
+      if multilevel then Dpp_core.Config.Ml_on
+      else if flat then Dpp_core.Config.Ml_off
+      else Dpp_core.Config.Ml_auto
+    in
     let cfg =
       {
         Dpp_core.Config.structure_aware with
@@ -40,6 +47,7 @@ let run verbose preset bookshelf mode beta density seed jobs out svg compare tra
         target_density = density;
         seed;
         jobs;
+        multilevel = ml_mode;
       }
     in
     let report tag (r : Dpp_core.Flow.result) =
@@ -125,6 +133,12 @@ let cmd =
   let jobs =
     Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains for the cost kernels. The resulting placement is identical at every value.")
   in
+  let multilevel =
+    Arg.(value & flag & info [ "multilevel" ] ~doc:"Force the multilevel global-placement V-cycle (coarsen, place coarse, interpolate, refine) regardless of design size. By default it engages automatically above the movable-cell threshold.")
+  in
+  let flat =
+    Arg.(value & flag & info [ "flat" ] ~doc:"Force flat (single-level) global placement, disabling the multilevel V-cycle.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"BASE" ~doc:"Write the placed design as Bookshelf BASE.*.")
   in
@@ -139,7 +153,7 @@ let cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate invariant oracles (legality, group rigidity, incremental-cache consistency) at every stage boundary; the first violation aborts with exit code 2 and names the offending stage.")
   in
   let term =
-    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ jobs $ out $ svg $ compare $ trace $ check)
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ jobs $ multilevel $ flat $ out $ svg $ compare $ trace $ check)
   in
   Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
 

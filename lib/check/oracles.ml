@@ -324,3 +324,123 @@ let bookshelf_roundtrip d =
           if Groups.jaccard g g' < 1.0 then add subject "membership changed")
         d.Design.groups d'.Design.groups;
     List.rev !acc
+
+(* ----- multilevel cluster integrity ----- *)
+
+let cluster_integrity ?(tol = 1e-6) (lvl : Dpp_coarsen.level) =
+  let oracle = "clusters" in
+  let fine = lvl.Dpp_coarsen.fine and coarse = lvl.Dpp_coarsen.coarse in
+  let nf = Design.num_cells fine and k = Design.num_cells coarse in
+  let acc = ref [] in
+  let add subject fmt =
+    Printf.ksprintf
+      (fun detail -> acc := Violation.v ~oracle ~subject "%s" detail :: !acc)
+      fmt
+  in
+  let level_subject = Printf.sprintf "level %s" coarse.Design.name in
+  if Array.length lvl.Dpp_coarsen.cluster_of <> nf then
+    add level_subject "cluster map covers %d of %d fine cells"
+      (Array.length lvl.Dpp_coarsen.cluster_of) nf
+  else if Array.length lvl.Dpp_coarsen.members <> k then
+    add level_subject "member map covers %d of %d clusters"
+      (Array.length lvl.Dpp_coarsen.members) k
+  else begin
+    (* partition: every fine cell in exactly one cluster, maps inverse *)
+    let seen = Array.make nf 0 in
+    Array.iteri
+      (fun cid ms ->
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= nf then add level_subject "cluster %d lists bad cell id %d" cid i
+            else begin
+              seen.(i) <- seen.(i) + 1;
+              if lvl.Dpp_coarsen.cluster_of.(i) <> cid then
+                add
+                  (Printf.sprintf "cell %s" (cell_name fine i))
+                  "listed in cluster %d but mapped to %d" cid
+                  lvl.Dpp_coarsen.cluster_of.(i)
+            end)
+          ms)
+      lvl.Dpp_coarsen.members;
+    Array.iteri
+      (fun i n ->
+        if n <> 1 then
+          add (Printf.sprintf "cell %s" (cell_name fine i)) "appears in %d clusters" n)
+      seen;
+    (* kinds and areas: movables cluster into movables with conserved
+       area (group clusters own their idealized array footprint, which
+       includes spacing, so member area may only fall below it);
+       fixed/pads are preserved one-to-one *)
+    let is_group = Array.make k false in
+    List.iter (fun (cid, _) -> is_group.(cid) <- true) lvl.Dpp_coarsen.group_of;
+    for cid = 0 to k - 1 do
+      let ms = lvl.Dpp_coarsen.members.(cid) in
+      let c = Design.cell coarse cid in
+      let subject = Printf.sprintf "cluster %s" c.Types.c_name in
+      if Array.length ms = 0 then add subject "is empty"
+      else begin
+        let movable_members =
+          Array.for_all
+            (fun i -> (Design.cell fine i).Types.c_kind = Types.Movable)
+            ms
+        in
+        if c.Types.c_kind = Types.Movable then begin
+          if not movable_members then add subject "mixes fixed cells into a movable cluster";
+          let member_area =
+            Array.fold_left
+              (fun a i ->
+                let fc = Design.cell fine i in
+                a +. (fc.Types.c_width *. fc.Types.c_height))
+              0.0 ms
+          in
+          let coarse_area = c.Types.c_width *. c.Types.c_height in
+          let rel = tol *. (1.0 +. coarse_area) in
+          if is_group.(cid) then begin
+            if member_area > coarse_area +. rel then
+              add subject "member area %.6g exceeds group footprint %.6g" member_area
+                coarse_area
+          end
+          else if abs_float (member_area -. coarse_area) > rel then
+            add subject "area %.6g became %.6g" member_area coarse_area
+        end
+        else if Array.length ms <> 1 then
+          add subject "fixed cluster has %d members" (Array.length ms)
+        else begin
+          let i = ms.(0) in
+          let fc = Design.cell fine i in
+          if fc.Types.c_kind <> c.Types.c_kind then
+            add subject "kind changed for fixed cell %s" fc.Types.c_name;
+          if
+            abs_float (fc.Types.c_width -. c.Types.c_width) > tol
+            || abs_float (fc.Types.c_height -. c.Types.c_height) > tol
+            || abs_float (fine.Design.x.(i) -. coarse.Design.x.(cid)) > tol
+            || abs_float (fine.Design.y.(i) -. coarse.Design.y.(cid)) > tol
+          then add subject "fixed cell %s not preserved verbatim" fc.Types.c_name
+        end
+      end
+    done;
+    (* dgroups intact: each collapsed group's cluster holds exactly the
+       group's members — a bit-slice is never split across clusters *)
+    List.iter
+      (fun (cid, (dg : Dgroup.t)) ->
+        let subject = Printf.sprintf "cluster %s" (Design.cell coarse cid).Types.c_name in
+        if cid < 0 || cid >= k then add level_subject "group cluster id %d out of range" cid
+        else begin
+          let ms = lvl.Dpp_coarsen.members.(cid) in
+          let sorted_group = Array.copy dg.Dgroup.cells in
+          Array.sort compare sorted_group;
+          if ms <> sorted_group then
+            add subject "holds %d cells but its datapath group has %d (membership differs)"
+              (Array.length ms)
+              (Array.length dg.Dgroup.cells)
+          else
+            Array.iter
+              (fun i ->
+                if lvl.Dpp_coarsen.cluster_of.(i) <> cid then
+                  add subject "group member %s escaped to cluster %d" (cell_name fine i)
+                    lvl.Dpp_coarsen.cluster_of.(i))
+              dg.Dgroup.cells
+        end)
+      lvl.Dpp_coarsen.group_of
+  end;
+  List.rev !acc

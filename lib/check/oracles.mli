@@ -93,3 +93,15 @@ val bookshelf_roundtrip : Dpp_netlist.Design.t -> Violation.t list
     Unconnected pins are excluded from the comparison (the format cannot
     represent them; see {!Dpp_netlist.Bookshelf}).  Temporary files are
     always removed. *)
+
+val cluster_integrity : ?tol:float -> Dpp_coarsen.level -> Violation.t list
+(** Integrity of one coarsening level: the cluster/member maps form an
+    exact partition of the fine cells (every fine cell in exactly one
+    cluster, maps mutually inverse); movable clusters contain only
+    movable cells and conserve member area within relative tolerance
+    [tol] (default 1e-6) — group clusters own their idealized array
+    footprint, so their member area may only fall {e below} it; fixed
+    cells and pads survive as verbatim singletons (kind, shape,
+    position); and every collapsed datapath group's cluster holds
+    exactly the group's member set — no {!Dpp_structure.Dgroup} is ever
+    split across clusters. *)

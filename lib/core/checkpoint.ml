@@ -29,6 +29,10 @@ let run ~stage (ctx : Ctx.t) =
          ~net_name:(fun n -> (Design.net d n).Types.n_name)
          nb)
   | None -> ());
+  (match (stage, ctx.Ctx.ml_levels) with
+  | "gp", (_ :: _ as levels) ->
+    oracle "clusters" (List.concat_map Check.cluster_integrity levels)
+  | _ -> ());
   if List.mem stage legality_from then begin
     oracle "legal" (Check.legal d ~cx ~cy);
     match snapped_dgroups ctx with

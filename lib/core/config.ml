@@ -4,6 +4,8 @@ type group_source = Extracted | Ground_truth
 
 type structure_style = Rigid_macros | Soft_alignment
 
+type ml_mode = Ml_auto | Ml_on | Ml_off
+
 type t = {
   mode : mode;
   group_source : group_source;
@@ -20,6 +22,10 @@ type t = {
   extract : Dpp_extract.Slicer.config;
   seed : int;
   jobs : int;
+  multilevel : ml_mode;
+  ml_threshold : int;
+  ml_min_cells : int;
+  ml_max_levels : int;
 }
 
 let baseline =
@@ -39,9 +45,19 @@ let baseline =
     extract = Dpp_extract.Slicer.default_config;
     seed = 1;
     jobs = 1;
+    multilevel = Ml_auto;
+    ml_threshold = 1500;
+    ml_min_cells = 500;
+    ml_max_levels = 3;
   }
 
 let structure_aware = { baseline with mode = Structure_aware }
+
+let multilevel_enabled t ~movables =
+  match t.multilevel with
+  | Ml_on -> true
+  | Ml_off -> false
+  | Ml_auto -> movables > t.ml_threshold
 
 let with_mode mode t = { t with mode }
 let with_structure structure t = { t with structure }

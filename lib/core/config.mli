@@ -19,6 +19,11 @@ type structure_style =
       (** groups get the quadratic alignment penalty weighted by [beta];
           the ablation mode (and what oversized groups fall back to) *)
 
+type ml_mode =
+  | Ml_auto  (** multilevel GP when the design has more than [ml_threshold] movables *)
+  | Ml_on
+  | Ml_off
+
 type t = {
   mode : mode;
   group_source : group_source;
@@ -41,6 +46,15 @@ type t = {
   jobs : int;
       (** worker domains for the cost kernels (default 1).  The placement
           trajectory is independent of this value — see [Dpp_par.Pool]. *)
+  multilevel : ml_mode;
+      (** multilevel (coarsen → place → interpolate → refine) global
+          placement; [Ml_auto] (the default) turns it on above
+          [ml_threshold] movable cells *)
+  ml_threshold : int;  (** [Ml_auto] cut-over, in movable cells (default 1500) *)
+  ml_min_cells : int;
+      (** coarsening stops once a level has at most this many movables
+          (default 500) *)
+  ml_max_levels : int;  (** maximum coarse levels (default 3) *)
 }
 
 val baseline : t
@@ -50,6 +64,10 @@ val baseline : t
 val structure_aware : t
 (** [baseline] with [mode = Structure_aware], [beta = 1.0], extracted
     groups. *)
+
+val multilevel_enabled : t -> movables:int -> bool
+(** Whether a design with that many movable cells runs the multilevel
+    V-cycle under this configuration. *)
 
 val with_mode : mode -> t -> t
 val with_structure : structure_style -> t -> t

@@ -24,6 +24,8 @@ type t = {
   mutable rigid_dgs : Dpp_structure.Dgroup.t list;
   mutable soft_dgs : Dpp_structure.Dgroup.t list;
   mutable gp : Dpp_place.Gp.result option;
+  mutable ml_levels : Dpp_coarsen.level list;
+  mutable gp_levels : Dpp_place.Gp.level_info list;
   mutable detail_stats : Dpp_place.Detail.stats option;
   mutable flip_stats : Dpp_place.Flip.stats option;
   mutable hpwl_init : float;
@@ -54,6 +56,8 @@ let create design config =
     rigid_dgs = [];
     soft_dgs = [];
     gp = None;
+    ml_levels = [];
+    gp_levels = [];
     detail_stats = None;
     flip_stats = None;
     hpwl_init = 0.0;

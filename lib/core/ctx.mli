@@ -32,6 +32,11 @@ type t = {
   mutable rigid_dgs : Dpp_structure.Dgroup.t list;
   mutable soft_dgs : Dpp_structure.Dgroup.t list;
   mutable gp : Dpp_place.Gp.result option;
+  mutable ml_levels : Dpp_coarsen.level list;
+      (** the coarsening hierarchy the gp stage ran on ([[]] = flat GP);
+          kept for the cluster-integrity oracle and the trace *)
+  mutable gp_levels : Dpp_place.Gp.level_info list;
+      (** per-level V-cycle solve records, ascending level order *)
   mutable detail_stats : Dpp_place.Detail.stats option;
   mutable flip_stats : Dpp_place.Flip.stats option;
   mutable hpwl_init : float;

@@ -126,7 +126,7 @@ let gp_stage =
     name = "gp";
     run =
       (fun (ctx : Ctx.t) ->
-        let cfg = ctx.Ctx.config in
+        let d = ctx.Ctx.design and cfg = ctx.Ctx.config in
         let gp_cfg =
           {
             Gp.default_config with
@@ -144,9 +144,22 @@ let gp_stage =
             pool = Some ctx.Ctx.pool;
           }
         in
-        let gp = Gp.run ctx.Ctx.design gp_cfg ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy in
-        ctx.Ctx.gp <- Some gp;
-        Ctx.set_coords ctx gp.Gp.cx gp.Gp.cy;
+        let movables = Array.length (Design.movable_ids d) in
+        let levels =
+          if Config.multilevel_enabled cfg ~movables then
+            (* bit-slices and movable macros seed the first-level
+               clusters, so no group is ever split across clusters *)
+            Dpp_coarsen.build
+              ~groups:(ctx.Ctx.dgroups @ ctx.Ctx.macro_dgs)
+              ~min_cells:cfg.Config.ml_min_cells ~max_levels:cfg.Config.ml_max_levels
+              ~seed:cfg.Config.seed d
+          else []
+        in
+        ctx.Ctx.ml_levels <- levels;
+        let mlr = Gp.run_multilevel d gp_cfg ~levels ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy in
+        ctx.Ctx.gp <- Some mlr.Gp.result;
+        ctx.Ctx.gp_levels <- mlr.Gp.level_trace;
+        Ctx.set_coords ctx mlr.Gp.result.Gp.cx mlr.Gp.result.Gp.cy;
         ctx);
   }
 
@@ -285,6 +298,20 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
         else None
       in
       let verdict = if check then Some (Checkpoint.run ~stage:stage.name ctx) else None in
+      let levels =
+        if stage.name <> "gp" then []
+        else
+          List.map
+            (fun (l : Gp.level_info) ->
+              {
+                Trace.index = l.Gp.level;
+                movables = l.Gp.movables;
+                hpwl = l.Gp.hpwl;
+                overflow = l.Gp.overflow;
+                wall_s = l.Gp.wall_s;
+              })
+            ctx.Ctx.gp_levels
+      in
       let rep =
         {
           Trace.name = stage.name;
@@ -293,6 +320,7 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
           hpwl_before = !hpwl_before;
           hpwl_after;
           overflow;
+          levels;
           check = verdict;
         }
       in

@@ -376,6 +376,55 @@ let flow_checks (c : case) =
       ( "validate",
         List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
 
+(* ----- multilevel-vs-flat differential -----
+
+   The multilevel V-cycle promises the same flow contract as flat global
+   placement: every invariant oracle stays clean at every stage boundary
+   (including the cluster-integrity oracle at the gp boundary — no
+   datapath group split across clusters, areas conserved), and the final
+   quality stays within a bounded factor of the flat result.  Both runs
+   go through check mode, so a dirty level fails here before the quality
+   comparison is even reached.  The thresholds force the V-cycle on at
+   fuzz-case sizes, where it would normally not engage. *)
+
+let ml_hpwl_factor = 1.6
+
+let ml_checks (c : case) =
+  let spec =
+    Dpp_gen.Presets.scaled
+      ~name:(Printf.sprintf "fuzzml%d" c.seed)
+      ~seed:c.seed ~cells:(max 100 c.cells) ~dp_fraction:c.dp_fraction
+  in
+  let d = Dpp_gen.Compose.build spec in
+  let cfg ml =
+    {
+      (flow_config c) with
+      Config.multilevel = ml;
+      ml_threshold = 0;
+      ml_min_cells = 40;
+      ml_max_levels = 2;
+    }
+  in
+  try
+    let ml = Flow.run ~check:true d (cfg Config.Ml_on) in
+    let flat = Flow.run ~check:true d (cfg Config.Ml_off) in
+    let ratio = ml.Flow.hpwl_final /. flat.Flow.hpwl_final in
+    if Float.is_finite ratio && ratio <= ml_hpwl_factor then None
+    else
+      Some
+        ( "multilevel-vs-flat",
+          [
+            Printf.sprintf "multilevel HPWL %.0f vs flat %.0f: ratio %.3f above bound %.2f"
+              ml.Flow.hpwl_final flat.Flow.hpwl_final ratio ml_hpwl_factor;
+          ] )
+  with
+  | Flow.Check_failed { stage; violations } ->
+    Some (Printf.sprintf "multilevel-%s" stage, violations)
+  | Flow.Invalid_design issues ->
+    Some
+      ( "multilevel-validate",
+        List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
+
 let run_case ?(flow = true) (c : case) =
   match unit_checks c with
   | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
@@ -390,7 +439,10 @@ let run_case ?(flow = true) (c : case) =
         else (
           match flow_checks c with
           | Some (stage, detail) -> Some { case = c; kind = "flow"; stage; detail }
-          | None -> None)))
+          | None -> (
+            match ml_checks c with
+            | Some (stage, detail) -> Some { case = c; kind = "multilevel"; stage; detail }
+            | None -> None))))
 
 let shrink rerun failure =
   let rec go (f : failure) =

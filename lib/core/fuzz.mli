@@ -15,7 +15,12 @@
     - {b flow}: a generated benchmark ({!Dpp_gen.Presets.scaled} across the
       case's size/regularity point) is placed by both the baseline and the
       structure-aware pipeline with stage checking on; any
-      {!Flow.Check_failed} becomes a failure attributed to its stage.
+      {!Flow.Check_failed} becomes a failure attributed to its stage;
+    - {b multilevel-vs-flat}: the same benchmark is placed once with the
+      multilevel V-cycle forced on (thresholds lowered so it engages at
+      fuzz sizes) and once forced flat, both in check mode — so the
+      cluster-integrity oracle gates every level boundary — and the final
+      HPWLs must agree within a bounded factor.
 
     On failure, {!shrink} greedily halves the case (fewer cells, fewer
     nets, shorter move sequence) while the failure reproduces, yielding a
@@ -37,7 +42,8 @@ type case = {
 type failure = {
   case : case;
   kind : string;
-      (** ["bookshelf"], ["gradient"], ["netbox"], ["par"] or ["flow"] *)
+      (** ["bookshelf"], ["gradient"], ["netbox"], ["par"], ["flow"] or
+          ["multilevel"] *)
   stage : string;  (** offending pipeline stage, or the sub-check name *)
   detail : string list;  (** rendered violation reports *)
 }

@@ -104,14 +104,33 @@ let chunk_count = 16
 
 let chunk_bounds ~n c = c * n / chunk_count, (c + 1) * n / chunk_count
 
+(* Auto-serial fallback: fanning tiny work out to parked domains costs
+   more in wake-up latency than the chunks cost to compute, and on a
+   single-core machine the helpers only add scheduling overhead.  The
+   fallback runs the same 16 chunks inline on the caller (as worker 0),
+   in ascending chunk order — exactly the order a chunk-merged reduction
+   assumes — so kernel results stay bit-identical to the fanned-out
+   path and the determinism contract is untouched. *)
+let effective_cores = Domain.recommended_domain_count ()
+
+let min_parallel_items = 2048
+
+let auto_serial t ~n = t.nworkers <= 1 || effective_cores < 2 || n < min_parallel_items
+
 let iter_chunks t ~n f =
-  run t (fun w ->
-      let c = ref w in
-      while !c < chunk_count do
-        let lo, hi = chunk_bounds ~n !c in
-        f ~worker:w ~chunk:!c ~lo ~hi;
-        c := !c + t.nworkers
-      done)
+  if auto_serial t ~n then
+    for c = 0 to chunk_count - 1 do
+      let lo, hi = chunk_bounds ~n c in
+      f ~worker:0 ~chunk:c ~lo ~hi
+    done
+  else
+    run t (fun w ->
+        let c = ref w in
+        while !c < chunk_count do
+          let lo, hi = chunk_bounds ~n !c in
+          f ~worker:w ~chunk:!c ~lo ~hi;
+          c := !c + t.nworkers
+        done)
 
 let shutdown t =
   if Array.length t.helpers > 0 then begin

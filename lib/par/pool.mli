@@ -45,12 +45,26 @@ val chunk_bounds : n:int -> int -> int * int
 (** [chunk_bounds ~n c] is the half-open item range [(lo, hi)] of chunk
     [c] over [n] items: boundaries depend only on [n]. *)
 
+val effective_cores : int
+(** [Domain.recommended_domain_count ()], sampled once at startup. *)
+
+val auto_serial : t -> n:int -> bool
+(** [auto_serial t ~n] is true when {!iter_chunks} over [n] items would
+    run inline on the caller instead of fanning out: the pool has one
+    worker, the machine has fewer than two effective cores, or [n] is
+    below the minimum worth waking helpers for (2048 items).  Exposed so
+    benchmarks can report honestly whether a sweep level actually ran in
+    parallel. *)
+
 val iter_chunks : t -> n:int -> (worker:int -> chunk:int -> lo:int -> hi:int -> unit) -> unit
 (** Run the callback over all {!chunk_count} chunks of [n] items, chunks
     assigned to workers round-robin.  Empty chunks are still visited (so
     per-chunk buffers can be cleared).  [worker] identifies the executing
     worker for scratch-buffer selection only — values must not depend on
-    it. *)
+    it.  When {!auto_serial} holds, every chunk runs inline on the
+    caller as worker 0 in ascending chunk order, which yields the same
+    bits as the fanned-out path (chunk boundaries and merge order are
+    unchanged). *)
 
 val shutdown : t -> unit
 (** Park and join the helper domains, if any were spawned.  The pool

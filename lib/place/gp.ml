@@ -353,3 +353,80 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     final_overflow = (if !best_score = infinity then !final_overflow else !best_ovf);
     final_hpwl = Hpwl.total pins ~cx:wx ~cy:wy;
   }
+
+(* ----- multilevel V-cycle ----- *)
+
+type level_info = {
+  level : int;
+  movables : int;
+  rounds_run : int;
+  hpwl : float;
+  overflow : float;
+  wall_s : float;
+}
+
+type ml_result = { result : result; level_trace : level_info list }
+
+(* Coarse levels solve a smaller, structurally simpler problem: group
+   clusters are single cells there, so the rigid/soft machinery is off,
+   and the loose overflow target just has to spread clusters enough that
+   interpolation hands the next level a de-clumped start. *)
+let coarse_config cfg =
+  {
+    cfg with
+    inner_iters = max 15 (cfg.inner_iters / 2);
+    overflow_target = max cfg.overflow_target 0.10;
+    grid = None;
+    beta = 0.0;
+    groups = [];
+    rigid_groups = [];
+  }
+
+(* The flat refinement starts from an interpolated placement that is
+   already globally spread, so it needs far fewer lambda rounds than a
+   cold start — this is where the multilevel speedup comes from. *)
+let refine_config cfg = { cfg with rounds = min cfg.rounds (max 4 (cfg.rounds / 3)) }
+
+let run_multilevel ?on_round ?on_level (d : Design.t) cfg
+    ~(levels : Dpp_coarsen.level list) ~cx ~cy =
+  match levels with
+  | [] -> { result = run ?on_round d cfg ~cx ~cy; level_trace = [] }
+  | levels ->
+    let larr = Array.of_list levels in
+    let nl = Array.length larr in
+    (* restriction: propagate the current centers up the hierarchy *)
+    let coords = Array.make (nl + 1) (cx, cy) in
+    coords.(0) <- (Array.copy cx, Array.copy cy);
+    for k = 0 to nl - 1 do
+      let fcx, fcy = coords.(k) in
+      coords.(k + 1) <- Dpp_coarsen.cluster_centers larr.(k) ~cx:fcx ~cy:fcy
+    done;
+    let timer = Dpp_util.Timer.create () in
+    let trace = ref [] in
+    (* coarsest-first: solve each level, prolongate into the next finer *)
+    for k = nl - 1 downto 0 do
+      let lvl = larr.(k) in
+      let ccx, ccy = coords.(k + 1) in
+      let name = Printf.sprintf "L%d" (k + 1) in
+      let r =
+        Dpp_util.Timer.time timer name (fun () ->
+            run lvl.Dpp_coarsen.coarse (coarse_config cfg) ~cx:ccx ~cy:ccy)
+      in
+      let info =
+        {
+          level = k + 1;
+          movables = Array.length (Design.movable_ids lvl.Dpp_coarsen.coarse);
+          rounds_run = List.length r.trace;
+          hpwl = r.final_hpwl;
+          overflow = r.final_overflow;
+          wall_s = Dpp_util.Timer.get timer name;
+        }
+      in
+      trace := info :: !trace;
+      (match on_level with Some f -> f info | None -> ());
+      let fcx, fcy = coords.(k) in
+      Dpp_coarsen.interpolate lvl ~ccx:r.cx ~ccy:r.cy ~cx:fcx ~cy:fcy
+    done;
+    let fcx, fcy = coords.(0) in
+    let r = run ?on_round d (refine_config cfg) ~cx:fcx ~cy:fcy in
+    { result = r; level_trace = !trace }

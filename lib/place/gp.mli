@@ -74,3 +74,37 @@ val run :
   result
 (** [cx]/[cy] provide the start (typically {!Qp.run} output); they are not
     modified. *)
+
+type level_info = {
+  level : int;  (** 1 = first coarse level, larger = coarser *)
+  movables : int;  (** movable cluster count at this level *)
+  rounds_run : int;
+  hpwl : float;  (** coarse-netlist HPWL after the level's solve *)
+  overflow : float;
+  wall_s : float;
+}
+
+type ml_result = { result : result; level_trace : level_info list }
+
+val run_multilevel :
+  ?on_round:(round_info -> unit) ->
+  ?on_level:(level_info -> unit) ->
+  Dpp_netlist.Design.t ->
+  config ->
+  levels:Dpp_coarsen.level list ->
+  cx:float array ->
+  cy:float array ->
+  ml_result
+(** Multilevel V-cycle over a {!Dpp_coarsen.build} hierarchy: restrict
+    the start up to the coarsest level (area-weighted cluster centroids),
+    solve each level coarsest-first with a reduced config (halved inner
+    iterations, loosened overflow target, per-level density grids, no
+    group machinery — group clusters are single cells there), interpolate
+    cluster centers down (group slices re-seeded in bit order), and
+    finish with a short flat refinement of the full config on [d].
+    With [levels = []] this is exactly {!run}.  [on_round] observes the
+    flat refinement only; [on_level] fires after each coarse solve,
+    coarsest first.  [level_trace] lists levels in ascending order
+    (finest coarse level first).  Deterministic under the same contract
+    as {!run}: the trajectory depends on the config, the hierarchy and
+    whether a pool was supplied — never on the pool size. *)

@@ -1,5 +1,7 @@
 type check = { ok : bool; oracles : string list; violations : string list }
 
+type level = { index : int; movables : int; hpwl : float; overflow : float; wall_s : float }
+
 type stage = {
   name : string;
   wall_s : float;
@@ -7,6 +9,7 @@ type stage = {
   hpwl_before : float;
   hpwl_after : float;
   overflow : float option;
+  levels : level list;
   check : check option;
 }
 
@@ -35,11 +38,16 @@ let check_to_json c =
   Printf.sprintf {|{"ok":%b,"oracles":%s,"violations":%s}|} c.ok (string_array c.oracles)
     (string_array c.violations)
 
+let level_to_json l =
+  Printf.sprintf {|{"index":%d,"movables":%d,"hpwl":%s,"overflow":%s,"wall_s":%s}|} l.index
+    l.movables (num l.hpwl) (num l.overflow) (num l.wall_s)
+
 let stage_to_json s =
   Printf.sprintf
-    {|{"name":"%s","wall_s":%s,"t_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s,"check":%s}|}
+    {|{"name":"%s","wall_s":%s,"t_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s,"levels":[%s],"check":%s}|}
     (escape s.name) (num s.wall_s) (num s.t_s) (num s.hpwl_before) (num s.hpwl_after)
     (match s.overflow with Some v -> num v | None -> "null")
+    (String.concat "," (List.map level_to_json s.levels))
     (match s.check with Some c -> check_to_json c | None -> "null")
 
 let to_json t =

@@ -11,6 +11,9 @@
                         "t_s": <float>,
                         "hpwl_before": <float>, "hpwl_after": <float>,
                         "overflow": <float|null>,
+                        "levels": [ { "index": <int>, "movables": <int>,
+                                      "hpwl": <float>, "overflow": <float>,
+                                      "wall_s": <float> }, ... ],
                         "check": null | { "ok": <bool>,
                                           "oracles": [<string>...],
                                           "violations": [<string>...] } },
@@ -28,6 +31,14 @@ type check = {
   violations : string list;  (** rendered violation reports, empty when ok *)
 }
 
+type level = {
+  index : int;  (** 1 = first coarse level, larger = coarser *)
+  movables : int;  (** movable cluster count at this level *)
+  hpwl : float;  (** coarse-netlist HPWL after the level's solve *)
+  overflow : float;
+  wall_s : float;
+}
+
 type stage = {
   name : string;
   wall_s : float;  (** wall-clock seconds spent in the stage *)
@@ -37,6 +48,9 @@ type stage = {
   hpwl_before : float;  (** weighted HPWL entering the stage *)
   hpwl_after : float;
   overflow : float option;  (** density overflow, when the stage tracks it *)
+  levels : level list;
+      (** multilevel V-cycle solves, ascending level order; empty for
+          every stage except a multilevel gp stage *)
   check : check option;  (** oracle verdict, when the run checks stages *)
 }
 

@@ -18,6 +18,7 @@ let () =
       "extract", Test_extract.suite;
       "structure", Test_structure.suite;
       "place", Test_place.suite;
+      "coarsen", Test_coarsen.suite;
       "flow", Test_flow.suite;
       "check", Test_check.suite;
       "fuzz", Test_fuzz.suite;
