@@ -15,10 +15,14 @@ let load ~preset ~bookshelf =
   | Some name, None -> (
     match Dpp_gen.Presets.by_name name with
     | Some spec -> Ok (Dpp_gen.Compose.build spec)
-    | None ->
-      Error
-        (Printf.sprintf "unknown preset %S (available: %s)" name
-           (String.concat ", " Dpp_gen.Presets.names)))
+    | None -> (
+      match Dpp_gen.Xl.by_name name with
+      | Some d -> Ok d
+      | None ->
+        Error
+          (Printf.sprintf "unknown preset %S (available: %s)" name
+             (String.concat ", "
+                (Dpp_gen.Presets.names @ Dpp_gen.Xl.preset_names)))))
   | None, Some base -> (
     try Ok (Dpp_netlist.Bookshelf.read ~basename:base) with
     | Dpp_netlist.Bookshelf.Parse_error msg -> Error msg

@@ -1,6 +1,6 @@
 module Rect = Dpp_geom.Rect
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Pins = Dpp_wirelen.Pins
 
 type t = {
@@ -20,14 +20,17 @@ let default_dims (d : Design.t) =
 
 module Pool = Dpp_par.Pool
 
-let compute ?pool ?nx ?ny (d : Design.t) ~cx ~cy =
+let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
   let dnx, dny = default_dims d in
   let nx = Option.value nx ~default:dnx and ny = Option.value ny ~default:dny in
   let die = d.Design.die in
   let bin_w = Rect.width die /. float_of_int nx in
   let bin_h = Rect.height die /. float_of_int ny in
   let demand = Array.make (nx * ny) 0.0 in
-  let pins = Pins.build d in
+  (* the flow hands down its shared pin view; standalone callers pay one
+     flat-core derivation *)
+  let pins = match pins with Some p -> p | None -> Pins.build d in
+  let soa = pins.Pins.soa in
   let clamp_ix v = max 0 (min (nx - 1) v) in
   let clamp_iy v = max 0 (min (ny - 1) v) in
   let scatter_net (view : Pins.t) grid n =
@@ -44,7 +47,7 @@ let compute ?pool ?nx ?ny (d : Design.t) ~cx ~cy =
       done;
       (* degenerate boxes get one wire-width of extent *)
       let w = max 1.0 (!xmax -. !xmin) and h = max 1.0 (!ymax -. !ymin) in
-      let weight = (Design.net d n).Types.n_weight in
+      let weight = soa.Soa.net_weight.(n) in
       let density = weight *. (w +. h) /. (w *. h) in
       let box = Rect.make ~xl:!xmin ~yl:!ymin ~xh:(!xmin +. w) ~yh:(!ymin +. h) in
       let ix0 = clamp_ix (int_of_float (floor ((box.Rect.xl -. die.Rect.xl) /. bin_w))) in
@@ -68,7 +71,7 @@ let compute ?pool ?nx ?ny (d : Design.t) ~cx ~cy =
   in
   (match pool with
   | None ->
-    for n = 0 to Design.num_nets d - 1 do
+    for n = 0 to Soa.num_nets soa - 1 do
       scatter_net pins demand n
     done
   | Some pool ->
@@ -79,7 +82,7 @@ let compute ?pool ?nx ?ny (d : Design.t) ~cx ~cy =
       Array.init (Pool.nworkers pool) (fun w -> if w = 0 then pins else Pins.clone_scratch pins)
     in
     let chunk_demand = Array.init Pool.chunk_count (fun _ -> Array.make (nx * ny) 0.0) in
-    Pool.iter_chunks pool ~n:(Design.num_nets d) (fun ~worker ~chunk ~lo ~hi ->
+    Pool.iter_chunks pool ~n:(Soa.num_nets soa) (fun ~worker ~chunk ~lo ~hi ->
         let grid = chunk_demand.(chunk) in
         for n = lo to hi - 1 do
           scatter_net views.(worker) grid n

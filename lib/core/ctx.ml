@@ -1,4 +1,5 @@
 module Design = Dpp_netlist.Design
+module Soa = Dpp_netlist.Soa
 module Groups = Dpp_netlist.Groups
 module Hypergraph = Dpp_netlist.Hypergraph
 module Pins = Dpp_wirelen.Pins
@@ -9,6 +10,7 @@ type t = {
   design : Design.t;
   config : Config.t;
   pool : Dpp_par.Pool.t;
+  soa : Soa.t;
   pins : Pins.t;
   hypergraph : Hypergraph.t Lazy.t;
   mutable cx : float array;
@@ -37,11 +39,13 @@ type t = {
 
 let create design config =
   let cx, cy = Pins.centers_of_design design in
+  let soa = Soa.of_design design in
   {
     design;
     config;
     pool = Dpp_par.Pool.create ~nworkers:config.Config.jobs;
-    pins = Pins.build design;
+    soa;
+    pins = Pins.of_soa soa;
     hypergraph = lazy (Hypergraph.build design);
     cx;
     cy;

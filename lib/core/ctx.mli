@@ -15,7 +15,12 @@ type t = {
   pool : Dpp_par.Pool.t;
       (** worker pool sized from [config.jobs], shared by every stage's
           cost kernels; {!Flow.run} shuts it down when the flow ends *)
-  pins : Dpp_wirelen.Pins.t;  (** built once at context creation *)
+  soa : Dpp_netlist.Soa.t;
+      (** the flat structure-of-arrays view of [design], derived once at
+          context creation and authoritative for every hot kernel; its
+          [x]/[y]/[orient] arrays alias the design's, so in-place mutation
+          (flips) stays visible through both views *)
+  pins : Dpp_wirelen.Pins.t;  (** built once at context creation, over [soa] *)
   hypergraph : Dpp_netlist.Hypergraph.t Lazy.t;
   mutable cx : float array;  (** live cell centers — the current best placement *)
   mutable cy : float array;
@@ -47,7 +52,8 @@ type t = {
 }
 
 val create : Dpp_netlist.Design.t -> Config.t -> t
-(** Builds the pin view and captures the design's current centers. *)
+(** Derives the flat view and pin view and captures the design's
+    current centers. *)
 
 val set_coords : t -> float array -> float array -> unit
 (** Adopt new live coordinate arrays (e.g. a stage's output), dropping

@@ -201,8 +201,9 @@ let legal_stage =
       (fun (ctx : Ctx.t) ->
         let d = ctx.Ctx.design in
         let l =
-          Legal.run d ~pool:ctx.Ctx.pool ~extra_obstacles:ctx.Ctx.obstacles
-            ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
+          Legal.run d ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
+            ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx
+            ~cy:ctx.Ctx.cy ()
         in
         Abacus.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip
           ~target_cx:ctx.Ctx.cx ~legal:l ();
@@ -221,7 +222,7 @@ let detail_stage =
       (fun (ctx : Ctx.t) ->
         let legal = Option.get ctx.Ctx.legal in
         let stats =
-          Detail.run ctx.Ctx.design ~pool:ctx.Ctx.pool
+          Detail.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
             ~max_passes:ctx.Ctx.config.Config.detail_passes
             ~skip:ctx.Ctx.skip ~netbox:(Ctx.netbox ctx)
             ~hypergraph:(Lazy.force ctx.Ctx.hypergraph) ~legal ()
@@ -240,8 +241,8 @@ let flip_stage =
            through the netbox, so the pin view built at context creation
            stays valid — no rebuild. *)
         let stats =
-          Dpp_place.Flip.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~netbox:(Ctx.netbox ctx)
-            ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
+          Dpp_place.Flip.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
+            ~netbox:(Ctx.netbox ctx) ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
         in
         ctx.Ctx.flip_stats <- Some stats;
         ctx);
@@ -255,7 +256,7 @@ let metrics_stage =
         let d = ctx.Ctx.design in
         let cx = ctx.Ctx.cx and cy = ctx.Ctx.cy in
         ctx.Ctx.steiner_final <- Rsmt.total ctx.Ctx.pins ~cx ~cy;
-        let rudy = Dpp_congest.Rudy.compute ~pool:ctx.Ctx.pool d ~cx ~cy in
+        let rudy = Dpp_congest.Rudy.compute ~pool:ctx.Ctx.pool ~pins:ctx.Ctx.pins d ~cx ~cy in
         ctx.Ctx.congestion <- Some (Dpp_congest.Rudy.stats rudy);
         let sta = Dpp_timing.Sta.build d in
         let timing = Dpp_timing.Sta.analyze sta ~cx ~cy in

@@ -173,13 +173,6 @@ let unit_checks (c : case) =
       | Some msg -> Some ("netbox", "differential", [ msg ])
       | None -> None))
 
-(* ----- parallel-vs-serial differentials (jobs > 1) -----
-
-   The wirelength and netbox kernels promise bit-identity with the serial
-   code; the chunk-merged bell/RUDY kernels promise bit-stability across
-   worker counts (jobs-N vs jobs-1 over the same pooled kernel).  Both
-   promises are checked here with [Float.equal] — no tolerance. *)
-
 let first_mismatch ~what a b =
   let bad = ref None in
   for i = Array.length a - 1 downto 0 do
@@ -188,6 +181,90 @@ let first_mismatch ~what a b =
   Option.map
     (fun i -> Printf.sprintf "%s[%d]: %.17g vs %.17g" what i a.(i) b.(i))
     !bad
+
+(* ----- SoA-vs-record differential -----
+
+   The flat core's two promises, checked on the adversarial micro-designs
+   (single-pin nets, unconnected pins, fixed blockers, coincident pin
+   offsets): [Soa.to_design (Soa.of_design d)] reproduces [d] field for
+   field, and every SoA kernel is bit-identical ([Float.equal], no
+   tolerance) to the preserved record-path implementation in
+   [Dpp_refkernels.Record_path]. *)
+
+let soa_checks (c : case) =
+  let module Soa = Dpp_netlist.Soa in
+  let module R = Dpp_refkernels.Record_path in
+  let d = random_design ~seed:c.seed ~cells:(c.cells / 4) ~nets:c.nets in
+  let fail = ref None in
+  let record stage msg = if !fail = None then fail := Some (stage, [ msg ]) in
+  let d' = Soa.to_design (Soa.of_design d) in
+  if d' <> d then record "roundtrip" "to_design (of_design d) differs from d";
+  if !fail = None then begin
+    let pins = Pins.build d in
+    let rp = R.Rpins.build d in
+    let cx, cy = Pins.centers_of_design d in
+    let nc = Design.num_cells d in
+    let gamma = max 1.0 (0.02 *. Rect.width d.Design.die) in
+    let h = Hpwl.total pins ~cx ~cy and hr = R.hpwl_total rp ~cx ~cy in
+    if not (Float.equal h hr) then
+      record "hpwl" (Printf.sprintf "soa %.17g vs record %.17g" h hr);
+    List.iter
+      (fun (name, soa_f, ref_f) ->
+        let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+        let gx' = Array.make nc 0.0 and gy' = Array.make nc 0.0 in
+        let v = soa_f ~gx ~gy and v' = ref_f ~gx:gx' ~gy:gy' in
+        if not (Float.equal v v') then
+          record name (Printf.sprintf "value: soa %.17g vs record %.17g" v v');
+        Option.iter (record name) (first_mismatch ~what:(name ^ " gx") gx gx');
+        Option.iter (record name) (first_mismatch ~what:(name ^ " gy") gy gy'))
+      [
+        ( "wa",
+          (fun ~gx ~gy -> Model.value_grad Model.Wa pins ~gamma ~cx ~cy ~gx ~gy),
+          fun ~gx ~gy -> R.wa_value_grad rp ~gamma ~cx ~cy ~gx ~gy );
+        ( "lse",
+          (fun ~gx ~gy -> Model.value_grad Model.Lse pins ~gamma ~cx ~cy ~gx ~gy),
+          fun ~gx ~gy -> R.lse_value_grad rp ~gamma ~cx ~cy ~gx ~gy );
+      ];
+    if !fail = None then begin
+      let nx, ny = Grid.default_dims d in
+      let grid = Grid.build d ~nx ~ny in
+      let bell = Bell.create d ~grid ~target_density:0.9 in
+      let rbell = R.Rbell.create d ~grid ~target_density:0.9 in
+      let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+      let gx' = Array.make nc 0.0 and gy' = Array.make nc 0.0 in
+      let v = Bell.value_grad bell ~cx ~cy ~gx ~gy in
+      let v' = R.Rbell.value_grad rbell ~cx ~cy ~gx:gx' ~gy:gy' in
+      if not (Float.equal v v') then
+        record "bell" (Printf.sprintf "penalty: soa %.17g vs record %.17g" v v');
+      Option.iter (record "bell") (first_mismatch ~what:"gx" gx gx');
+      Option.iter (record "bell") (first_mismatch ~what:"gy" gy gy');
+      let rd = Rudy.compute ~pins ~nx ~ny d ~cx ~cy in
+      let rr = R.rudy rp ~nx ~ny ~cx ~cy in
+      Option.iter (record "rudy") (first_mismatch ~what:"demand" rd.Rudy.demand rr)
+    end;
+    if !fail = None then begin
+      let nb = Netbox.build pins ~cx ~cy in
+      for n = 0 to Design.num_nets d - 1 do
+        if Array.length (Design.net d n).Types.n_pins >= 2 then begin
+          let a0, a1, a2, a3 = Netbox.net_box nb n in
+          let b0, b1, b2, b3 = R.net_box rp ~cx ~cy n in
+          if
+            not
+              (Float.equal a0 b0 && Float.equal a1 b1 && Float.equal a2 b2
+             && Float.equal a3 b3)
+          then record "netbox" (Printf.sprintf "net %d box differs from record rescan" n)
+        end
+      done
+    end
+  end;
+  Option.map (fun (stage, detail) -> "soa", stage, detail) !fail
+
+(* ----- parallel-vs-serial differentials (jobs > 1) -----
+
+   The wirelength and netbox kernels promise bit-identity with the serial
+   code; the chunk-merged bell/RUDY kernels promise bit-stability across
+   worker counts (jobs-N vs jobs-1 over the same pooled kernel).  Both
+   promises are checked here with [Float.equal] — no tolerance. *)
 
 let par_checks (c : case) =
   if c.jobs <= 1 then None
@@ -429,6 +506,9 @@ let run_case ?(flow = true) (c : case) =
   match unit_checks c with
   | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
   | None -> (
+    match soa_checks c with
+    | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
+    | None -> (
     match par_checks c with
     | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
     | None -> (
@@ -442,7 +522,7 @@ let run_case ?(flow = true) (c : case) =
           | None -> (
             match ml_checks c with
             | Some (stage, detail) -> Some { case = c; kind = "multilevel"; stage; detail }
-            | None -> None))))
+            | None -> None)))))
 
 let shrink rerun failure =
   let rec go (f : failure) =

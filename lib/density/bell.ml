@@ -1,6 +1,6 @@
 module Rect = Dpp_geom.Rect
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 
 type t = {
   grid : Grid.t;
@@ -44,27 +44,37 @@ let lattice_sum ~r ~step =
 
 let grid t = t.grid
 
-let create ?(frozen = fun _ -> false) (d : Design.t) ~grid ~target_density =
+let of_soa ?(frozen = fun _ -> false) (s : Soa.t) ~grid ~target_density =
   if target_density <= 0.0 then invalid_arg "Bell.create: non-positive target density";
-  let nc = Design.num_cells d in
-  let movable =
-    Array.of_list (List.filter (fun i -> not (frozen i)) (Array.to_list (Design.movable_ids d)))
-  in
+  let nc = Soa.num_cells s in
+  (* movable ids ascending, frozen ones dropped — the same id sequence
+     [Design.movable_ids] yields, walked off the flat kind array *)
+  let n_mov = ref 0 in
+  for i = 0 to nc - 1 do
+    if (not (Soa.is_fixed s i)) && not (frozen i) then incr n_mov
+  done;
+  let movable = Array.make !n_mov 0 in
+  let k = ref 0 in
+  for i = 0 to nc - 1 do
+    if (not (Soa.is_fixed s i)) && not (frozen i) then begin
+      movable.(!k) <- i;
+      incr k
+    end
+  done;
   let cell_w = Array.make nc 0.0 and cell_h = Array.make nc 0.0 in
   let radius_x = Array.make nc 0.0 and radius_y = Array.make nc 0.0 in
   let normalizer = Array.make nc 0.0 in
   Array.iter
     (fun i ->
-      let c = Design.cell d i in
-      cell_w.(i) <- c.Types.c_width;
-      cell_h.(i) <- c.Types.c_height;
-      radius_x.(i) <- (c.Types.c_width /. 2.0) +. grid.Grid.bin_w;
-      radius_y.(i) <- (c.Types.c_height /. 2.0) +. grid.Grid.bin_h;
+      let w = s.Soa.width.(i) and h = s.Soa.height.(i) in
+      cell_w.(i) <- w;
+      cell_h.(i) <- h;
+      radius_x.(i) <- (w /. 2.0) +. grid.Grid.bin_w;
+      radius_y.(i) <- (h /. 2.0) +. grid.Grid.bin_h;
       let sx = lattice_sum ~r:radius_x.(i) ~step:grid.Grid.bin_w in
       let sy = lattice_sum ~r:radius_y.(i) ~step:grid.Grid.bin_h in
-      let s = sx *. sy in
-      normalizer.(i) <-
-        (if s > 0.0 then c.Types.c_width *. c.Types.c_height /. s else 0.0))
+      let sum = sx *. sy in
+      normalizer.(i) <- (if sum > 0.0 then w *. h /. sum else 0.0))
     movable;
   let target = Array.map (fun cap -> target_density *. cap) grid.Grid.capacity in
   {
@@ -78,6 +88,10 @@ let create ?(frozen = fun _ -> false) (d : Design.t) ~grid ~target_density =
     target;
     phi = Array.make (Array.length grid.Grid.capacity) 0.0;
   }
+
+let create ?frozen ?soa (d : Design.t) ~grid ~target_density =
+  let s = match soa with Some s -> s | None -> Soa.of_design d in
+  of_soa ?frozen s ~grid ~target_density
 
 (* Iterate the bins within the influence window of cell [i] centered at
    (x, y), calling [f ix iy tx ty] with the per-axis bump values. *)

@@ -33,6 +33,10 @@ type spec = {
 
 val block_spec_to_string : block_spec -> string
 
+val die_for_area : movable_area:float -> utilization:float -> Dpp_geom.Rect.t
+(** Die outline sized so [movable_area / core_area = utilization], height a
+    row multiple (shared with the direct-construction {!Xl} generator). *)
+
 val build : spec -> Dpp_netlist.Design.t
 (** Deterministic in [sp_seed].  The result carries the ground-truth groups
     of every instantiated block, passes {!Dpp_netlist.Validate} with no

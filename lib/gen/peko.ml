@@ -1,0 +1,120 @@
+module Rect = Dpp_geom.Rect
+module Orient = Dpp_geom.Orient
+module Types = Dpp_netlist.Types
+module Design = Dpp_netlist.Design
+
+(* PEKO-style instance (Cong, Romesis, Xie: "Optimality and Scalability
+   Study of Existing Placement Algorithms" / the PEKO suite): a placement
+   example with known exact optimal HPWL, used to report an absolute
+   optimality gap instead of only relative wirelength.
+
+   Construction: an R x C grid of unit cells (1 site wide, 1 row tall),
+   one pin per cell at the cell center.  Each grid row is partitioned into
+   consecutive runs following the degree cycle [2;3;2;4;2;3;2;8]; each run
+   becomes one net over exactly those cells.  In the constructed placement
+   (cell (r,c) at site c of row r) every net spans k consecutive sites in
+   one row, so its HPWL is (k-1) * site_width with zero vertical extent.
+
+   Optimality: k non-overlapping unit cells admit no placement whose pin
+   bounding box beats the best a x b site window with a*b >= k, i.e.
+   (a-1)*site_width + (b-1)*row_height minimized.  Because row_height
+   (10) exceeds (k_max-1)*site_width (7) for every degree used, the
+   single-row window is that minimum, so (k-1)*site_width is a true lower
+   bound per net.  Nets are pairwise cell-disjoint, so the constructed
+   placement attains every bound simultaneously:
+
+     optimal HPWL  =  sum over nets of (degree-1) * site_width
+
+   exactly — any flow's final HPWL divided by this value is its
+   optimality gap. *)
+
+let degree_cycle = [| 2; 3; 2; 4; 2; 3; 2; 8 |]
+
+let cycle_cells = Array.fold_left ( + ) 0 degree_cycle (* 26 *)
+
+let cycle_hpwl = Array.fold_left (fun a d -> a + d - 1) 0 degree_cycle (* 18 *)
+
+let build ?(utilization = 0.8) ~name ~cells () =
+  if cells < 64 then invalid_arg "Peko.build: at least 64 cells";
+  if utilization <= 0.0 || utilization > 0.95 then
+    invalid_arg "Peko.build: utilization must be in (0, 0.95]";
+  let rh = Stdcells.row_height and sw = Stdcells.site_width in
+  (* near-square die: rows * rh ~ cols * sw / utilization *)
+  let rows =
+    max 2
+      (int_of_float
+         (Float.round (sqrt (float_of_int cells *. sw /. (rh /. utilization)))))
+  in
+  let cols0 = cells / rows in
+  let cols = max cycle_cells (cols0 - (cols0 mod cycle_cells)) in
+  let nc = rows * cols in
+  let nets_per_row = cols / cycle_cells * Array.length degree_cycle in
+  let nn = rows * nets_per_row in
+  let cell_id r c = (r * cols) + c in
+  (* one pin per cell; pin id = cell id *)
+  let nets = Array.make nn Types.{ n_id = 0; n_name = ""; n_weight = 1.0; n_pins = [||] } in
+  let pin_is_driver = Array.make nc false in
+  let pin2net = Array.make nc (-1) in
+  let cursor = ref 0 in
+  for r = 0 to rows - 1 do
+    let c = ref 0 in
+    while !c < cols do
+      let d = degree_cycle.((!cursor - (r * nets_per_row)) mod Array.length degree_cycle) in
+      let pins = Array.init d (fun j -> cell_id r (!c + j)) in
+      Array.iter (fun p -> pin2net.(p) <- !cursor) pins;
+      pin_is_driver.(pins.(0)) <- true;
+      nets.(!cursor) <- { Types.n_id = !cursor; n_name = Printf.sprintf "pk%d" !cursor; n_weight = 1.0; n_pins = pins };
+      incr cursor;
+      c := !c + d
+    done
+  done;
+  assert (!cursor = nn);
+  let cells_arr =
+    Array.init nc (fun i ->
+        {
+          Types.c_id = i;
+          c_name = Printf.sprintf "p%d" i;
+          c_master = "PEKO_U";
+          c_width = sw;
+          c_height = rh;
+          c_kind = Types.Movable;
+          c_pins = [| i |];
+        })
+  in
+  let pins_arr =
+    Array.init nc (fun i ->
+        {
+          Types.p_id = i;
+          p_cell = i;
+          p_net = pin2net.(i);
+          p_dir = (if pin_is_driver.(i) then Types.Output else Types.Input);
+          p_dx = sw /. 2.0;
+          p_dy = rh /. 2.0;
+        })
+  in
+  let die_w = Float.round (float_of_int cols *. sw /. utilization) in
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:die_w ~yh:(float_of_int rows *. rh) in
+  (* ship the design at the constructed optimum (a legal placement
+     attaining the bound); the flow's init stage replaces it anyway *)
+  let x = Array.init nc (fun i -> float_of_int (i mod cols) *. sw) in
+  let y = Array.init nc (fun i -> float_of_int (i / cols) *. rh) in
+  let d =
+    {
+      Design.name;
+      die;
+      row_height = rh;
+      site_width = sw;
+      num_rows = rows;
+      cells = cells_arr;
+      nets;
+      pins = pins_arr;
+      x;
+      y;
+      orient = Array.make nc Orient.N;
+      groups = [];
+    }
+  in
+  let opt =
+    float_of_int rows *. float_of_int (cols / cycle_cells) *. float_of_int cycle_hpwl *. sw
+  in
+  d, opt

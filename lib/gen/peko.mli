@@ -1,0 +1,24 @@
+(** PEKO-style placement examples with analytically known optimal HPWL
+    (after Cong, Romesis and Xie's PEKO suite), so XL-scale runs can report
+    an absolute optimality gap instead of only relative wirelength.
+
+    An R x C grid of unit cells, one center pin each; each grid row is cut
+    into consecutive runs by the degree cycle [2;3;2;4;2;3;2;8], one net
+    per run.  Nets are cell-disjoint and row_height > (max_degree - 1) *
+    site_width, so every net's true lower bound is the single-row window
+    (degree - 1) * site_width and the constructed placement attains all of
+    them simultaneously.  See DESIGN.md "PEKO construction" for the
+    argument. *)
+
+val degree_cycle : int array
+
+val build :
+  ?utilization:float ->
+  name:string ->
+  cells:int ->
+  unit ->
+  Dpp_netlist.Design.t * float
+(** [build ~name ~cells ()] returns the design (shipped at its constructed
+    optimal placement — legal, and attaining the bound) and the exact
+    optimal HPWL.  Fully deterministic; [cells] is rounded to a full R x C
+    grid with C a multiple of 26.  [utilization] defaults to 0.8. *)

@@ -1,0 +1,263 @@
+module Rect = Dpp_geom.Rect
+module Orient = Dpp_geom.Orient
+module Types = Dpp_netlist.Types
+module Design = Dpp_netlist.Design
+module Groups = Dpp_netlist.Groups
+module Rng = Dpp_util.Rng
+
+(* The XL family targets 10^5..10^6 cells, where the Builder's per-entity
+   hash tables and pin lists would dominate generation time and memory.
+   Everything here is computed in closed form — entity counts first, then
+   one flat array per entity table filled by ascending-index loops — so no
+   intermediate list or hash table is ever materialized.
+
+   Structure: a chain of datapath tiles, each [slices] bit-slices wide and
+   [stages] pipeline stages deep (DFF-bounded, FA/XOR/NAND/MUX/AOI/OR
+   middle stages).  Per slice, degree-2 nets link stage k to k+1; tiles
+   chain through [slices]-wide buses (the bit-parallel inter-block buses
+   the extractor keys on); per tile a control cell drives a slice-spanning
+   control net (clk/we signature).  Each tile carries its exact
+   ground-truth group (slices x stages).  The remaining ~20% of cells are
+   a random glue cloud wired by degree-3 nets over two seed-derived
+   permutations. *)
+
+let slices = 32
+let stages = 8
+
+let stage_masters =
+  [| "DFF"; "FA"; "XOR2"; "NAND2"; "MUX2"; "AOI21"; "OR2"; "DFF" |]
+
+let glue_masters = [| "NAND2"; "NOR2"; "AOI21"; "XOR2" |]
+
+let master name =
+  match Stdcells.find name with
+  | Some m -> m
+  | None -> invalid_arg ("Xl.build: unknown master " ^ name)
+
+let presets =
+  [
+    "xl10k", 10_000;
+    "xl25k", 25_000;
+    "xl50k", 50_000;
+    "xl100k", 100_000;
+    "xl250k", 250_000;
+    "xl500k", 500_000;
+    "xl1m", 1_000_000;
+  ]
+
+let preset_names = List.map fst presets
+
+let preset_cells name = List.assoc_opt name presets
+
+let build ?(seed = 1) ?(utilization = 0.7) ~name ~cells () =
+  if cells < 1_000 then invalid_arg "Xl.build: at least 1000 cells";
+  let w = slices and s = stages in
+  let per_tile = (w * s) + 1 in
+  let dp_target = int_of_float (0.8 *. float_of_int cells) in
+  let tiles = max 1 (dp_target / per_tile) in
+  let glue = max 0 (cells - (tiles * per_tile)) in
+  let num_pads = 2 * w in
+  let nc = (tiles * w * s) + tiles + glue + num_pads in
+  (* ---- cell id layout: dp | control | glue | pads ---- *)
+  let dp_id t wi k = (((t * w) + wi) * s) + k in
+  let ctl_id t = (tiles * w * s) + t in
+  let glue_id j = (tiles * w * s) + tiles + j in
+  let pad_base = (tiles * w * s) + tiles + glue in
+  let pad_in wi = pad_base + wi in
+  let pad_out wi = pad_base + w + wi in
+  (* ---- pin layout: contiguous per cell, prefix-summed ----
+     dp stage 0: [in; ctl_in; out]   dp other: [in; out]
+     control:    [out]               glue:     [inA; inB; out]   pad: [pin] *)
+  let pins_of_cell c =
+    if c < tiles * w * s then if c mod s = 0 then 3 else 2
+    else if c < tiles * w * s + tiles then 1
+    else if c < pad_base then 3
+    else 1
+  in
+  let pin_base = Array.make (nc + 1) 0 in
+  for c = 0 to nc - 1 do
+    pin_base.(c + 1) <- pin_base.(c) + pins_of_cell c
+  done;
+  let np = pin_base.(nc) in
+  let p_in t wi k = pin_base.(dp_id t wi k) in
+  let p_ctl t wi = pin_base.(dp_id t wi 0) + 1 in
+  let p_out t wi k = pin_base.(dp_id t wi k) + (if k = 0 then 2 else 1) in
+  let p_ctlout t = pin_base.(ctl_id t) in
+  let p_ga j = pin_base.(glue_id j) in
+  let p_gb j = pin_base.(glue_id j) + 1 in
+  let p_gout j = pin_base.(glue_id j) + 2 in
+  let p_pad c = pin_base.(c) in
+  (* ---- nets: stage | bus | control | pad-in | pad-out | glue ---- *)
+  let nn =
+    (tiles * w * (s - 1)) + ((tiles - 1) * w) + tiles + w + w + glue
+  in
+  let nets = Array.make (max 1 nn) Types.{ n_id = 0; n_name = ""; n_weight = 1.0; n_pins = [||] } in
+  let pin2net = Array.make (max 1 np) (-1) in
+  let cursor = ref 0 in
+  let add_net nm pins =
+    let id = !cursor in
+    Array.iter (fun p -> pin2net.(p) <- id) pins;
+    nets.(id) <- { Types.n_id = id; n_name = nm; n_weight = 1.0; n_pins = pins };
+    incr cursor
+  in
+  for t = 0 to tiles - 1 do
+    for wi = 0 to w - 1 do
+      for k = 0 to s - 2 do
+        add_net
+          (Printf.sprintf "t%d_b%d_n%d" t wi k)
+          [| p_out t wi k; p_in t wi (k + 1) |]
+      done
+    done
+  done;
+  for t = 0 to tiles - 2 do
+    for wi = 0 to w - 1 do
+      add_net (Printf.sprintf "bus%d_%d" t wi) [| p_out t wi (s - 1); p_in (t + 1) wi 0 |]
+    done
+  done;
+  for t = 0 to tiles - 1 do
+    let pins = Array.make (w + 1) 0 in
+    pins.(0) <- p_ctlout t;
+    for wi = 0 to w - 1 do
+      pins.(wi + 1) <- p_ctl t wi
+    done;
+    add_net (Printf.sprintf "t%d_clk" t) pins
+  done;
+  for wi = 0 to w - 1 do
+    add_net (Printf.sprintf "pi%d_n" wi) [| p_pad (pad_in wi); p_in 0 wi 0 |]
+  done;
+  for wi = 0 to w - 1 do
+    add_net (Printf.sprintf "po%d_n" wi) [| p_out (tiles - 1) wi (s - 1); p_pad (pad_out wi) |]
+  done;
+  if glue > 0 then begin
+    let rng = Rng.create seed in
+    let perm1 = Array.init glue Fun.id in
+    let perm2 = Array.init glue Fun.id in
+    Rng.shuffle rng perm1;
+    Rng.shuffle rng perm2;
+    for j = 0 to glue - 1 do
+      add_net (Printf.sprintf "gn%d" j) [| p_gout j; p_ga perm1.(j); p_gb perm2.(j) |]
+    done
+  end;
+  assert (!cursor = nn);
+  (* ---- cells and pins ---- *)
+  let stage_m = Array.map master stage_masters in
+  let glue_m = Array.map master glue_masters in
+  let buf_m = master "BUF" in
+  let rh = Stdcells.row_height in
+  let cells_arr =
+    Array.make (max 1 nc) Types.{ c_id = 0; c_name = ""; c_master = ""; c_width = 0.0; c_height = 0.0; c_kind = Movable; c_pins = [||] }
+  in
+  let pins_arr =
+    Array.make (max 1 np)
+      Types.{ p_id = 0; p_cell = 0; p_net = -1; p_dir = Inout; p_dx = 0.0; p_dy = 0.0 }
+  in
+  let mk_pin ~id ~cell ~dir ~dx ~dy =
+    pins_arr.(id) <- { Types.p_id = id; p_cell = cell; p_net = pin2net.(id); p_dir = dir; p_dx = dx; p_dy = dy }
+  in
+  let mk_cell ~id ~nm ~(m : Stdcells.master) ~kind =
+    let npins = pins_of_cell id in
+    cells_arr.(id) <-
+      {
+        Types.c_id = id;
+        c_name = nm;
+        c_master = m.Stdcells.m_name;
+        c_width = m.Stdcells.m_width;
+        c_height = rh;
+        c_kind = kind;
+        c_pins = Array.init npins (fun j -> pin_base.(id) + j);
+      }
+  in
+  let movable_area = ref 0.0 in
+  for t = 0 to tiles - 1 do
+    for wi = 0 to w - 1 do
+      for k = 0 to s - 1 do
+        let id = dp_id t wi k in
+        let m = stage_m.(k) in
+        mk_cell ~id ~nm:(Printf.sprintf "t%d_b%d_s%d" t wi k) ~m ~kind:Types.Movable;
+        movable_area := !movable_area +. (m.Stdcells.m_width *. rh);
+        let ox, oy = Stdcells.pin_offset m ~index:0 in
+        mk_pin ~id:(p_in t wi k) ~cell:id ~dir:Types.Input ~dx:ox ~dy:oy;
+        if k = 0 then begin
+          let cx2, cy2 = Stdcells.pin_offset m ~index:1 in
+          mk_pin ~id:(p_ctl t wi) ~cell:id ~dir:Types.Input ~dx:cx2 ~dy:cy2
+        end;
+        let ox, oy = Stdcells.pin_offset m ~index:m.Stdcells.m_inputs in
+        mk_pin ~id:(p_out t wi k) ~cell:id ~dir:Types.Output ~dx:ox ~dy:oy
+      done
+    done
+  done;
+  for t = 0 to tiles - 1 do
+    let id = ctl_id t in
+    mk_cell ~id ~nm:(Printf.sprintf "t%d_ctl" t) ~m:buf_m ~kind:Types.Movable;
+    movable_area := !movable_area +. (buf_m.Stdcells.m_width *. rh);
+    let ox, oy = Stdcells.pin_offset buf_m ~index:buf_m.Stdcells.m_inputs in
+    mk_pin ~id:(p_ctlout t) ~cell:id ~dir:Types.Output ~dx:ox ~dy:oy
+  done;
+  for j = 0 to glue - 1 do
+    let id = glue_id j in
+    let m = glue_m.(j mod Array.length glue_m) in
+    mk_cell ~id ~nm:(Printf.sprintf "g%d" j) ~m ~kind:Types.Movable;
+    movable_area := !movable_area +. (m.Stdcells.m_width *. rh);
+    let ax, ay = Stdcells.pin_offset m ~index:0 in
+    mk_pin ~id:(p_ga j) ~cell:id ~dir:Types.Input ~dx:ax ~dy:ay;
+    let bx, by = Stdcells.pin_offset m ~index:1 in
+    mk_pin ~id:(p_gb j) ~cell:id ~dir:Types.Input ~dx:bx ~dy:by;
+    let ox, oy = Stdcells.pin_offset m ~index:m.Stdcells.m_inputs in
+    mk_pin ~id:(p_gout j) ~cell:id ~dir:Types.Output ~dx:ox ~dy:oy
+  done;
+  for wi = 0 to w - 1 do
+    let id = pad_in wi in
+    cells_arr.(id) <-
+      { Types.c_id = id; c_name = Printf.sprintf "pi%d" wi; c_master = "PAD_IN"; c_width = 1.0;
+        c_height = 1.0; c_kind = Types.Pad; c_pins = [| p_pad id |] };
+    mk_pin ~id:(p_pad id) ~cell:id ~dir:Types.Output ~dx:0.5 ~dy:0.5;
+    let id = pad_out wi in
+    cells_arr.(id) <-
+      { Types.c_id = id; c_name = Printf.sprintf "po%d" wi; c_master = "PAD_OUT"; c_width = 1.0;
+        c_height = 1.0; c_kind = Types.Pad; c_pins = [| p_pad id |] };
+    mk_pin ~id:(p_pad id) ~cell:id ~dir:Types.Input ~dx:0.5 ~dy:0.5
+  done;
+  (* ---- die, positions, pads on the boundary ---- *)
+  let die = Compose.die_for_area ~movable_area:!movable_area ~utilization in
+  let num_rows = int_of_float (Float.round (Rect.height die /. rh)) in
+  let x = Array.make nc 0.0 and y = Array.make nc 0.0 in
+  let orient = Array.make nc Orient.N in
+  let perimeter = 2.0 *. (Rect.width die +. Rect.height die) in
+  for i = 0 to num_pads - 1 do
+    let id = pad_base + i in
+    let sp = (float_of_int i +. 0.5) /. float_of_int num_pads *. perimeter in
+    let dw = Rect.width die and dh = Rect.height die in
+    let px, py =
+      if sp < dw then sp, 0.0
+      else if sp < dw +. dh then dw -. 1.0, sp -. dw
+      else if sp < (2.0 *. dw) +. dh then dw -. (sp -. dw -. dh), dh -. 1.0
+      else 0.0, dh -. (sp -. (2.0 *. dw) -. dh)
+    in
+    x.(id) <- max 0.0 (min (dw -. 1.0) px);
+    y.(id) <- max 0.0 (min (dh -. 1.0) py)
+  done;
+  (* ---- ground-truth groups: one per tile ---- *)
+  let groups = ref [] in
+  for t = tiles - 1 downto 0 do
+    let rows = Array.init w (fun wi -> Array.init s (fun k -> dp_id t wi k)) in
+    groups := Groups.make (Printf.sprintf "xl_t%d" t) rows :: !groups
+  done;
+  {
+    Design.name;
+    die;
+    row_height = rh;
+    site_width = Stdcells.site_width;
+    num_rows;
+    cells = cells_arr;
+    nets;
+    pins = pins_arr;
+    x;
+    y;
+    orient;
+    groups = !groups;
+  }
+
+let by_name ?seed nm =
+  match preset_cells nm with
+  | None -> None
+  | Some cells -> Some (build ?seed ~name:nm ~cells ())

@@ -1,0 +1,31 @@
+(** XL preset family: 10k–1M-cell datapath-heavy designs built by direct
+    flat-array construction (entity counts are computed in closed form and
+    every table is filled by ascending-index loops), so generation never
+    materializes intermediate lists or hash tables — the Builder path would
+    dominate memory at 10^6 cells.
+
+    Structure: a chain of DFF-bounded datapath tiles ([32] slices x [8]
+    stages) linked by 32-wide bit-parallel buses, a slice-spanning control
+    net per tile, exact ground-truth groups, and a ~20% random glue cloud
+    on degree-3 nets.  Deterministic in [seed]. *)
+
+val slices : int
+
+val stages : int
+
+val presets : (string * int) list
+(** [name, target cell count]: [xl10k] .. [xl1m]. *)
+
+val preset_names : string list
+
+val preset_cells : string -> int option
+
+val build :
+  ?seed:int -> ?utilization:float -> name:string -> cells:int -> unit -> Dpp_netlist.Design.t
+(** [build ~name ~cells ()] emits a design of roughly [cells] movables
+    (~80% in labelled tiles, rest glue) plus 64 boundary pads.  Passes
+    {!Dpp_netlist.Validate} with no errors.  [cells] must be >= 1000;
+    [utilization] defaults to 0.7. *)
+
+val by_name : ?seed:int -> string -> Dpp_netlist.Design.t option
+(** Build one of {!presets} by name. *)

@@ -169,33 +169,95 @@ let with_reader path f =
   let lr = open_reader path in
   Fun.protect ~finally:(fun () -> close_in lr.lr_ic) (fun () -> f lr)
 
-type raw_node = { rn_name : string; rn_w : float; rn_h : float; rn_terminal : bool }
+(* The reader streams every per-cell / per-pin file straight into the
+   Builder: no whole-file [raw_node array] or [raw_net array] is ever
+   materialized, so a 1M-cell design parses with O(1) transient memory on
+   top of the Builder's own storage.  The price is two passes over [.pl]
+   (the cell kind must be known at [add_cell] time, so pass 1 collects just
+   the /FIXED name set — O(#fixed), typically pads and macros only — and
+   pass 2 re-streams positions through [Builder.cell_id]). *)
 
-let read_nodes path =
+(* Pass 1 over [.pl]: which cells are marked /FIXED. *)
+let read_fixed_names path =
   with_reader path (fun lr ->
-      let nodes = Dpp_util.Dyn.create () in
+      let tbl = Hashtbl.create 64 in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some (name :: _x :: _y :: ":" :: _o :: rest) ->
+          if List.mem "/FIXED" rest then Hashtbl.replace tbl name ();
+          loop ()
+        | Some toks -> parse_error lr.lr_file lr.lr_num "bad pl line: %s" (String.concat " " toks)
+      in
+      loop ();
+      tbl)
+
+(* Pass 2 over [.pl]: apply position/orientation to already-added cells. *)
+let stream_pl path b =
+  with_reader path (fun lr ->
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some (name :: x :: y :: ":" :: o :: _rest) ->
+          let orient =
+            match Orient.of_string o with
+            | Some o -> o
+            | None -> parse_error lr.lr_file lr.lr_num "bad orientation %S" o
+          in
+          (match Builder.cell_id b name with
+          | Some id ->
+            Builder.set_position b id ~x:(float_tok lr x) ~y:(float_tok lr y);
+            Builder.set_orient b id orient
+          | None -> ());
+          loop ()
+        | Some toks -> parse_error lr.lr_file lr.lr_num "bad pl line: %s" (String.concat " " toks)
+      in
+      loop ())
+
+(* Streaming pre-scan used only when the .scl carries no NumSites (the
+   die-width fallback needs the widest node). *)
+let scan_max_node_width path =
+  with_reader path (fun lr ->
+      let m = ref 0.0 in
+      let rec loop () =
+        match next_tokens lr with
+        | None -> ()
+        | Some [ "NumNodes"; ":"; _ ] | Some [ "NumTerminals"; ":"; _ ] -> loop ()
+        | Some (_name :: w :: _h :: _rest) ->
+          m := max !m (float_tok lr w);
+          loop ()
+        | Some toks ->
+          parse_error lr.lr_file lr.lr_num "bad node line: %s" (String.concat " " toks)
+      in
+      loop ();
+      !m)
+
+let stream_nodes path b ~fixed_names ~masters =
+  with_reader path (fun lr ->
       let rec loop () =
         match next_tokens lr with
         | None -> ()
         | Some [ "NumNodes"; ":"; _ ] | Some [ "NumTerminals"; ":"; _ ] -> loop ()
         | Some (name :: w :: h :: rest) ->
           let terminal = List.mem "terminal" rest in
-          Dpp_util.Dyn.push nodes
-            { rn_name = name; rn_w = float_tok lr w; rn_h = float_tok lr h; rn_terminal = terminal };
+          let w = float_tok lr w and h = float_tok lr h in
+          let kind =
+            if terminal || Hashtbl.mem fixed_names name then
+              if w *. h <= 1e-9 then Types.Pad else Types.Fixed
+            else Types.Movable
+          in
+          let master =
+            match Hashtbl.find_opt masters name with Some m -> m | None -> "UNKNOWN"
+          in
+          ignore (Builder.add_cell b ~name ~master ~w ~h ~kind);
           loop ()
         | Some toks ->
           parse_error lr.lr_file lr.lr_num "bad node line: %s" (String.concat " " toks)
       in
-      loop ();
-      Dpp_util.Dyn.to_array nodes)
+      loop ())
 
-type raw_pin = { rp_cell : string; rp_dir : Types.direction; rp_dx : float; rp_dy : float }
-
-type raw_net = { rnet_name : string; rnet_pins : raw_pin list }
-
-let read_nets path =
+let stream_nets path b =
   with_reader path (fun lr ->
-      let nets = Dpp_util.Dyn.create () in
       let current_name = ref "" in
       let current_pins = ref [] in
       let current_left = ref 0 in
@@ -203,7 +265,7 @@ let read_nets path =
         if !current_name <> "" then begin
           if !current_left <> 0 then
             parse_error lr.lr_file lr.lr_num "net %s: wrong pin count" !current_name;
-          Dpp_util.Dyn.push nets { rnet_name = !current_name; rnet_pins = List.rev !current_pins };
+          ignore (Builder.add_net b ~name:!current_name (List.rev !current_pins));
           current_name := "";
           current_pins := []
         end
@@ -219,7 +281,7 @@ let read_nets path =
           loop ()
         | Some [ "NetDegree"; ":"; k ] ->
           flush ();
-          current_name := Printf.sprintf "n%d" (Dpp_util.Dyn.length nets);
+          current_name := Printf.sprintf "n%d" (Builder.num_nets b);
           current_left := int_tok lr k;
           loop ()
         | Some [ cell; dir; ":"; dx; dy ] when !current_name <> "" ->
@@ -228,39 +290,22 @@ let read_nets path =
             | Some d -> d
             | None -> parse_error lr.lr_file lr.lr_num "bad pin direction %S" dir
           in
-          current_pins :=
-            { rp_cell = cell; rp_dir = d; rp_dx = float_tok lr dx; rp_dy = float_tok lr dy }
-            :: !current_pins;
+          (match Builder.cell_id b cell with
+          | None ->
+            raise
+              (Parse_error (Printf.sprintf "net %s: unknown cell %s" !current_name cell))
+          | Some cid ->
+            let cw, ch = Builder.cell_dims b cid in
+            (* center-relative -> lower-left-relative *)
+            let dx = float_tok lr dx +. (cw /. 2.0) in
+            let dy = float_tok lr dy +. (ch /. 2.0) in
+            current_pins := Builder.add_pin b ~cell:cid ~dir:d ~dx ~dy () :: !current_pins);
           decr current_left;
           loop ()
         | Some toks ->
           parse_error lr.lr_file lr.lr_num "bad nets line: %s" (String.concat " " toks)
       in
-      loop ();
-      Dpp_util.Dyn.to_array nets)
-
-type raw_place = { rpl_x : float; rpl_y : float; rpl_orient : Orient.t; rpl_fixed : bool }
-
-let read_pl path =
-  with_reader path (fun lr ->
-      let tbl = Hashtbl.create 1024 in
-      let rec loop () =
-        match next_tokens lr with
-        | None -> ()
-        | Some (name :: x :: y :: ":" :: o :: rest) ->
-          let orient =
-            match Orient.of_string o with
-            | Some o -> o
-            | None -> parse_error lr.lr_file lr.lr_num "bad orientation %S" o
-          in
-          let fixed = List.mem "/FIXED" rest in
-          Hashtbl.replace tbl name
-            { rpl_x = float_tok lr x; rpl_y = float_tok lr y; rpl_orient = orient; rpl_fixed = fixed };
-          loop ()
-        | Some toks -> parse_error lr.lr_file lr.lr_num "bad pl line: %s" (String.concat " " toks)
-      in
-      loop ();
-      tbl)
+      loop ())
 
 type raw_rows = {
   rr_count : int;
@@ -375,9 +420,9 @@ let read ~basename =
     | Some f -> f
     | None -> raise (Parse_error (Printf.sprintf "%s: missing %s entry" aux_path ext))
   in
-  let nodes = read_nodes (require ".nodes") in
-  let nets = read_nets (require ".nets") in
-  let pl = read_pl (require ".pl") in
+  let nodes_path = require ".nodes" in
+  let nets_path = require ".nets" in
+  let pl_path = require ".pl" in
   let rows = read_scl (require ".scl") in
   let masters =
     match find_ext ".masters" with Some f -> read_masters f | None -> Hashtbl.create 0
@@ -387,7 +432,7 @@ let read ~basename =
     if rows.rr_sites > 0 then float_of_int rows.rr_sites *. rows.rr_site_width
     else
       (* Fall back to the extent of the placement. *)
-      Array.fold_left (fun m rn -> max m rn.rn_w) 0.0 nodes *. 4.0
+      scan_max_node_width nodes_path *. 4.0
   in
   let die =
     Rect.make ~xl:rows.rr_x0 ~yl:rows.rr_y0 ~xh:(rows.rr_x0 +. die_w)
@@ -397,42 +442,10 @@ let read ~basename =
     Builder.create ~name:(Filename.basename basename) ~die ~row_height:rows.rr_height
       ~site_width:rows.rr_site_width ()
   in
-  Array.iter
-    (fun rn ->
-      let place = Hashtbl.find_opt pl rn.rn_name in
-      let fixed_in_pl = match place with Some p -> p.rpl_fixed | None -> false in
-      let kind =
-        if rn.rn_terminal || fixed_in_pl then
-          if rn.rn_w *. rn.rn_h <= 1e-9 then Types.Pad else Types.Fixed
-        else Types.Movable
-      in
-      let master =
-        match Hashtbl.find_opt masters rn.rn_name with Some m -> m | None -> "UNKNOWN"
-      in
-      let id = Builder.add_cell b ~name:rn.rn_name ~master ~w:rn.rn_w ~h:rn.rn_h ~kind in
-      match place with
-      | Some p ->
-        Builder.set_position b id ~x:p.rpl_x ~y:p.rpl_y;
-        Builder.set_orient b id p.rpl_orient
-      | None -> ())
-    nodes;
-  Array.iter
-    (fun rnet ->
-      let pins =
-        List.map
-          (fun rp ->
-            match Builder.cell_id b rp.rp_cell with
-            | None -> raise (Parse_error (Printf.sprintf "net %s: unknown cell %s" rnet.rnet_name rp.rp_cell))
-            | Some cid ->
-              let rn = nodes.(cid) in
-              (* center-relative -> lower-left-relative *)
-              let dx = rp.rp_dx +. (rn.rn_w /. 2.0) in
-              let dy = rp.rp_dy +. (rn.rn_h /. 2.0) in
-              Builder.add_pin b ~cell:cid ~dir:rp.rp_dir ~dx ~dy ())
-          rnet.rnet_pins
-      in
-      ignore (Builder.add_net b ~name:rnet.rnet_name pins))
-    nets;
+  let fixed_names = read_fixed_names pl_path in
+  stream_nodes nodes_path b ~fixed_names ~masters;
+  stream_pl pl_path b;
+  stream_nets nets_path b;
   List.iter
     (fun (name, rows) ->
       let id_rows =

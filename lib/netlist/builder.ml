@@ -139,6 +139,11 @@ let add_group t g =
 
 let cell_id t name = Hashtbl.find_opt t.b_cell_names name
 
+let cell_dims t i =
+  if i < 0 || i >= Dyn.length t.b_cells then invalid_arg "Builder.cell_dims: bad cell id";
+  let c = Dyn.get t.b_cells i in
+  c.sc_w, c.sc_h
+
 let num_cells t = Dyn.length t.b_cells
 
 let movable_area t =

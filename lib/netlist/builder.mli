@@ -54,6 +54,11 @@ val add_group : t -> Groups.t -> unit
 val cell_id : t -> string -> int option
 (** Look up a cell by name. *)
 
+val cell_dims : t -> int -> float * float
+(** Width and height of an already-added cell — lets a streaming parser
+    convert center-relative pin offsets without keeping its own copy of
+    the node table. *)
+
 val num_cells : t -> int
 
 val movable_area : t -> float

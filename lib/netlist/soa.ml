@@ -1,0 +1,207 @@
+module Rect = Dpp_geom.Rect
+module Orient = Dpp_geom.Orient
+
+type t = {
+  name : string;
+  die : Rect.t;
+  row_height : float;
+  site_width : float;
+  num_rows : int;
+  num_cells : int;
+  num_nets : int;
+  num_pins : int;
+  (* cell fields, indexed by cell id *)
+  cell_name : string array;
+  cell_master : string array;
+  width : float array;
+  height : float array;
+  kind : int array;
+  x : float array;
+  y : float array;
+  orient : Orient.t array;
+  (* cell -> pins CSR, preserving each cell's pin-list order *)
+  cell_pin_off : int array;
+  cell_pin : int array;
+  (* net fields, indexed by net id *)
+  net_name : string array;
+  net_weight : float array;
+  (* net -> pins CSR, preserving each net's pin-array order *)
+  net_pin_off : int array;
+  net_pin : int array;
+  (* pin fields, indexed by pin id *)
+  pin_cell : int array;
+  pin_net : int array;
+  pin_dir : Types.direction array;
+  pin_dx : float array;
+  pin_dy : float array;
+  groups : Groups.t list;
+}
+
+let kind_movable = 0
+let kind_fixed = 1
+let kind_pad = 2
+
+let code_of_kind = function
+  | Types.Movable -> kind_movable
+  | Types.Fixed -> kind_fixed
+  | Types.Pad -> kind_pad
+
+let kind_of_code = function
+  | 0 -> Types.Movable
+  | 1 -> Types.Fixed
+  | _ -> Types.Pad
+
+let is_fixed t i = t.kind.(i) <> kind_movable
+
+let of_design (d : Design.t) =
+  let nc = Design.num_cells d in
+  let nn = Design.num_nets d in
+  let np = Design.num_pins d in
+  let cell_name = Array.make nc "" in
+  let cell_master = Array.make nc "" in
+  let width = Array.make nc 0.0 in
+  let height = Array.make nc 0.0 in
+  let kind = Array.make nc kind_movable in
+  let cell_pin_off = Array.make (nc + 1) 0 in
+  for i = 0 to nc - 1 do
+    let c = d.Design.cells.(i) in
+    cell_name.(i) <- c.Types.c_name;
+    cell_master.(i) <- c.Types.c_master;
+    width.(i) <- c.Types.c_width;
+    height.(i) <- c.Types.c_height;
+    kind.(i) <- code_of_kind c.Types.c_kind;
+    cell_pin_off.(i + 1) <- cell_pin_off.(i) + Array.length c.Types.c_pins
+  done;
+  let cell_pin = Array.make (max 1 cell_pin_off.(nc)) 0 in
+  for i = 0 to nc - 1 do
+    let pins = d.Design.cells.(i).Types.c_pins in
+    Array.blit pins 0 cell_pin cell_pin_off.(i) (Array.length pins)
+  done;
+  let net_name = Array.make nn "" in
+  let net_weight = Array.make nn 0.0 in
+  let net_pin_off = Array.make (nn + 1) 0 in
+  for n = 0 to nn - 1 do
+    let nt = d.Design.nets.(n) in
+    net_name.(n) <- nt.Types.n_name;
+    net_weight.(n) <- nt.Types.n_weight;
+    net_pin_off.(n + 1) <- net_pin_off.(n) + Array.length nt.Types.n_pins
+  done;
+  let net_pin = Array.make (max 1 net_pin_off.(nn)) 0 in
+  for n = 0 to nn - 1 do
+    let pins = d.Design.nets.(n).Types.n_pins in
+    Array.blit pins 0 net_pin net_pin_off.(n) (Array.length pins)
+  done;
+  let pin_cell = Array.make np 0 in
+  let pin_net = Array.make np (-1) in
+  let pin_dir = Array.make np Types.Inout in
+  let pin_dx = Array.make np 0.0 in
+  let pin_dy = Array.make np 0.0 in
+  for p = 0 to np - 1 do
+    let pin = d.Design.pins.(p) in
+    pin_cell.(p) <- pin.Types.p_cell;
+    pin_net.(p) <- pin.Types.p_net;
+    pin_dir.(p) <- pin.Types.p_dir;
+    pin_dx.(p) <- pin.Types.p_dx;
+    pin_dy.(p) <- pin.Types.p_dy
+  done;
+  {
+    name = d.Design.name;
+    die = d.Design.die;
+    row_height = d.Design.row_height;
+    site_width = d.Design.site_width;
+    num_rows = d.Design.num_rows;
+    num_cells = nc;
+    num_nets = nn;
+    num_pins = np;
+    cell_name;
+    cell_master;
+    width;
+    height;
+    kind;
+    (* the coordinate and orientation arrays are ALIASED, not copied: the
+       flat view and the record view always agree on live placement state,
+       so in-place moves (flip, apply_centers) need no synchronization *)
+    x = d.Design.x;
+    y = d.Design.y;
+    orient = d.Design.orient;
+    cell_pin_off;
+    cell_pin;
+    net_name;
+    net_weight;
+    net_pin_off;
+    net_pin;
+    pin_cell;
+    pin_net;
+    pin_dir;
+    pin_dx;
+    pin_dy;
+    groups = d.Design.groups;
+  }
+
+let to_design t =
+  let cells =
+    Array.init t.num_cells (fun i ->
+        {
+          Types.c_id = i;
+          c_name = t.cell_name.(i);
+          c_master = t.cell_master.(i);
+          c_width = t.width.(i);
+          c_height = t.height.(i);
+          c_kind = kind_of_code t.kind.(i);
+          c_pins = Array.sub t.cell_pin t.cell_pin_off.(i) (t.cell_pin_off.(i + 1) - t.cell_pin_off.(i));
+        })
+  in
+  let nets =
+    Array.init t.num_nets (fun n ->
+        {
+          Types.n_id = n;
+          n_name = t.net_name.(n);
+          n_weight = t.net_weight.(n);
+          n_pins = Array.sub t.net_pin t.net_pin_off.(n) (t.net_pin_off.(n + 1) - t.net_pin_off.(n));
+        })
+  in
+  let pins =
+    Array.init t.num_pins (fun p ->
+        {
+          Types.p_id = p;
+          p_cell = t.pin_cell.(p);
+          p_net = t.pin_net.(p);
+          p_dir = t.pin_dir.(p);
+          p_dx = t.pin_dx.(p);
+          p_dy = t.pin_dy.(p);
+        })
+  in
+  {
+    Design.name = t.name;
+    die = t.die;
+    row_height = t.row_height;
+    site_width = t.site_width;
+    num_rows = t.num_rows;
+    cells;
+    nets;
+    pins;
+    x = Array.copy t.x;
+    y = Array.copy t.y;
+    orient = Array.copy t.orient;
+    groups = t.groups;
+  }
+
+let num_cells t = t.num_cells
+let num_nets t = t.num_nets
+let num_pins t = t.num_pins
+let net_degree t n = t.net_pin_off.(n + 1) - t.net_pin_off.(n)
+let cell_degree t i = t.cell_pin_off.(i + 1) - t.cell_pin_off.(i)
+
+let max_net_degree t =
+  let m = ref 1 in
+  for n = 0 to t.num_nets - 1 do
+    let d = net_degree t n in
+    if d > !m then m := d
+  done;
+  !m
+
+let oriented_dims t i = Orient.apply t.orient.(i) ~w:t.width.(i) ~h:t.height.(i)
+
+let cell_rect t i =
+  let w, h = oriented_dims t i in
+  Rect.make ~xl:t.x.(i) ~yl:t.y.(i) ~xh:(t.x.(i) +. w) ~yh:(t.y.(i) +. h)

@@ -1,0 +1,98 @@
+(** The flat structure-of-arrays netlist core.
+
+    Every hot kernel in the flow — smooth wirelength gradients, bell
+    density, RUDY congestion, the incremental net-box cache, and the
+    legalization/detail/flip occupancy scans — iterates over this view:
+    one plain [float array] (or [int array]) per field, plus CSR
+    adjacency for both directions of the cell/net/pin incidence.  The
+    boxed {!Types.cell}/{!Types.net}/{!Types.pin} records stay the
+    canonical {e construction and I/O} representation ({!Builder},
+    {!Bookshelf}, {!Validate}, the oracles); a [Soa.t] is derived from a
+    {!Design.t} once per flow and kept authoritative from then on.
+
+    {2 Handles and index conventions}
+
+    A handle is a bare [int]: cell ids, net ids and pin ids are exactly
+    the indices of {!Design.t}'s dense entity arrays.  CSR adjacency
+    follows the usual two-array convention — for nets,
+    [net_pin.(net_pin_off.(n) .. net_pin_off.(n+1) - 1)] are net [n]'s
+    pin ids {e in the net's original pin order}, so kernels ported from
+    the record path accumulate floats in the identical order and produce
+    bit-identical results.  The cell-side CSR ([cell_pin_off]/[cell_pin])
+    preserves each cell's pin-list order the same way.
+
+    {2 Aliasing contract}
+
+    [x], [y] and [orient] {e alias} the source design's mutable arrays:
+    the flat view and the record view always agree on live placement
+    state, and in-place updates (the flip stage's orientation writes,
+    {!Dpp_wirelen.Pins.apply_centers}) are visible through both.  All
+    other arrays are private copies; mutating them does not write back.
+    {!to_design} deep-copies everything, so the round trip
+    [to_design (of_design d)] is field-for-field equal to [d] while
+    sharing no mutable state with it. *)
+
+type t = {
+  name : string;
+  die : Dpp_geom.Rect.t;
+  row_height : float;
+  site_width : float;
+  num_rows : int;
+  num_cells : int;
+  num_nets : int;
+  num_pins : int;
+  cell_name : string array;
+  cell_master : string array;
+  width : float array;  (** unoriented cell width, indexed by cell id *)
+  height : float array;
+  kind : int array;  (** {!kind_movable} / {!kind_fixed} / {!kind_pad} *)
+  x : float array;  (** lower-left x — aliases [Design.x] *)
+  y : float array;  (** lower-left y — aliases [Design.y] *)
+  orient : Dpp_geom.Orient.t array;  (** aliases [Design.orient] *)
+  cell_pin_off : int array;  (** cell->pin CSR offsets, length [num_cells + 1] *)
+  cell_pin : int array;  (** pin ids, cell pin-list order preserved *)
+  net_name : string array;
+  net_weight : float array;
+  net_pin_off : int array;  (** net->pin CSR offsets, length [num_nets + 1] *)
+  net_pin : int array;  (** pin ids, net pin-array order preserved *)
+  pin_cell : int array;  (** owning cell id per pin *)
+  pin_net : int array;  (** net id per pin, [-1] when unconnected *)
+  pin_dir : Types.direction array;
+  pin_dx : float array;  (** offset from the cell's lower-left corner, N orientation *)
+  pin_dy : float array;
+  groups : Groups.t list;
+}
+
+val of_design : Design.t -> t
+(** Derive the flat view.  O(cells + nets + pins); [x]/[y]/[orient] are
+    aliased (see the module contract), everything else is copied. *)
+
+val to_design : t -> Design.t
+(** Rebuild a record-view design.  Exact field-for-field inverse of
+    {!of_design} (entity ids are the array indices, as {!Builder}
+    guarantees); coordinate arrays are fresh copies. *)
+
+val kind_movable : int
+val kind_fixed : int
+val kind_pad : int
+val code_of_kind : Types.cell_kind -> int
+val kind_of_code : int -> Types.cell_kind
+
+val is_fixed : t -> int -> bool
+(** Fixed cells and pads are immovable. *)
+
+val num_cells : t -> int
+val num_nets : t -> int
+val num_pins : t -> int
+
+val net_degree : t -> int -> int
+val cell_degree : t -> int -> int
+val max_net_degree : t -> int
+(** At least 1, so degree-sized scratch buffers are never empty. *)
+
+val oriented_dims : t -> int -> float * float
+(** Width and height of cell [i] at its current orientation. *)
+
+val cell_rect : t -> int -> Dpp_geom.Rect.t
+(** Bounding box of cell [i] at its current position and orientation —
+    same values as {!Design.cell_rect}. *)

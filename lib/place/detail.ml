@@ -1,5 +1,5 @@
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Pins = Dpp_wirelen.Pins
 module Netbox = Dpp_wirelen.Netbox
 module Hypergraph = Dpp_netlist.Hypergraph
@@ -12,8 +12,7 @@ let permutations3 = [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0
 (* Multi-row movable cells are never reordered, swapped or moved (a tall
    cell in a single-row slot would overlap the adjacent row); they still
    block gaps through the occupancy index, like Flip skips them. *)
-let single_row (d : Design.t) i =
-  (Design.cell d i).Types.c_height <= d.Design.row_height +. 1e-9
+let single_row (s : Soa.t) i = s.Soa.height.(i) <= s.Soa.row_height +. 1e-9
 
 let by_x cx a b =
   let c = Float.compare cx.(a) cx.(b) in
@@ -29,14 +28,14 @@ let by_x cx a b =
    scan orders depend on the design alone, so the result is bit-identical
    at every worker count. *)
 
-let reorder_pass (d : Design.t) pool nb skip (legal : Legal.t) =
+let reorder_pass (s : Soa.t) pool nb skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
-  let nrows = d.Design.num_rows in
+  let nrows = s.Soa.num_rows in
   (* rows -> cells sorted by x *)
   let per_row = Array.make nrows [] in
-  for i = Design.num_cells d - 1 downto 0 do
+  for i = Soa.num_cells s - 1 downto 0 do
     let r = legal.Legal.assignment.(i) in
-    if r >= 0 && (not (skip i)) && single_row d i then per_row.(r) <- i :: per_row.(r)
+    if r >= 0 && (not (skip i)) && single_row s i then per_row.(r) <- i :: per_row.(r)
   done;
   let proposals = Array.make Pool.chunk_count [] in
   Pool.iter_chunks pool ~n:nrows (fun ~worker:_ ~chunk ~lo ~hi ->
@@ -50,7 +49,7 @@ let reorder_pass (d : Design.t) pool nb skip (legal : Legal.t) =
           let w3 = [| cells.(!idx); cells.(!idx + 1); cells.(!idx + 2) |] in
           (* contiguity check: reordering across a gap/obstacle would move
              cells into occupied space *)
-          let widths = Array.map (fun i -> (Design.cell d i).Types.c_width) w3 in
+          let widths = Array.map (fun i -> s.Soa.width.(i)) w3 in
           let left =
             Array.fold_left min infinity
               (Array.mapi (fun k i -> cx.(i) -. (widths.(k) /. 2.0)) w3)
@@ -114,21 +113,24 @@ let reorder_pass (d : Design.t) pool nb skip (legal : Legal.t) =
     proposals;
   !gain, !moves
 
-let swap_pass (d : Design.t) pool nb skip (legal : Legal.t) =
+let swap_pass (s : Soa.t) pool nb skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
   (* bucket by exact footprint (bitwise width and height), then by x
      order: candidates are the nearest few in the same bucket.  The old
      key quantized width to 1/16 site, so cells of slightly different
      widths could be swapped into overlap. *)
   let buckets = Hashtbl.create 16 in
-  Array.iter
-    (fun i ->
-      if legal.Legal.assignment.(i) >= 0 && (not (skip i)) && single_row d i then begin
-        let c = Design.cell d i in
-        let key = Int64.bits_of_float c.Types.c_width, Int64.bits_of_float c.Types.c_height in
-        Hashtbl.replace buckets key (i :: Option.value ~default:[] (Hashtbl.find_opt buckets key))
-      end)
-    (Design.movable_ids d);
+  for i = 0 to Soa.num_cells s - 1 do
+    if
+      s.Soa.kind.(i) = Soa.kind_movable
+      && legal.Legal.assignment.(i) >= 0
+      && (not (skip i))
+      && single_row s i
+    then begin
+      let key = Int64.bits_of_float s.Soa.width.(i), Int64.bits_of_float s.Soa.height.(i) in
+      Hashtbl.replace buckets key (i :: Option.value ~default:[] (Hashtbl.find_opt buckets key))
+    end
+  done;
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) buckets [] |> List.sort compare in
   let cands = ref [] in
   List.iter
@@ -191,9 +193,9 @@ let swap_pass (d : Design.t) pool nb skip (legal : Legal.t) =
    median interval of its incident nets' bounding boxes computed without
    the cell itself.  A cell outside its region is moved into a free gap
    near the region if that lowers the HPWL of its nets. *)
-let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
+let move_pass (d : Design.t) (s : Soa.t) pool nb h skip (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
-  let occ = Occ.build d ~cx ~cy in
+  let occ = Occ.build ~soa:s d ~cx ~cy in
   let die = d.Design.die in
   (* median interval of incident-net spans along one axis, cell excluded *)
   let optimal_region i axis_pos =
@@ -228,7 +230,7 @@ let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
   let cands =
     Array.to_list (Design.movable_ids d)
     |> List.filter (fun i ->
-           (not (skip i)) && legal.Legal.assignment.(i) >= 0 && single_row d i)
+           (not (skip i)) && legal.Legal.assignment.(i) >= 0 && single_row s i)
     |> Array.of_list
   in
   let proposals = Array.make Pool.chunk_count [] in
@@ -237,8 +239,7 @@ let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
       let cell1 = Array.make 1 0 and xs1 = Array.make 1 0.0 and ys1 = Array.make 1 0.0 in
       for q = lo to hi - 1 do
         let i = cands.(q) in
-        let c = Design.cell d i in
-        let w = c.Types.c_width in
+        let w = s.Soa.width.(i) in
         match optimal_region i (fun c -> cx.(c)), optimal_region i (fun c -> cy.(c)) with
         | Some (xlo, xhi), Some (ylo, yhi) ->
           let tx = min (max cx.(i) xlo) xhi and ty = min (max cy.(i) ylo) yhi in
@@ -246,7 +247,7 @@ let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
             abs_float (tx -. cx.(i)) < 1.0 && abs_float (ty -. cy.(i)) < d.Design.row_height
           in
           if not already_there then begin
-            let target_row = Design.row_of_y d (ty -. (c.Types.c_height /. 2.0)) in
+            let target_row = Design.row_of_y d (ty -. (s.Soa.height.(i) /. 2.0)) in
             (* search free gaps in rows near the target *)
             let best = ref None in
             for dr = -1 to 1 do
@@ -277,8 +278,7 @@ let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
   let gain = ref 0.0 and moves = ref 0 in
   Array.iter
     (List.iter (fun (i, r, cand_cx) ->
-         let c = Design.cell d i in
-         let w = c.Types.c_width in
+         let w = s.Soa.width.(i) in
          let xl = cand_cx -. (w /. 2.0) and xh = cand_cx +. (w /. 2.0) in
          (* an earlier commit may have taken the gap *)
          if Occ.is_free occ r ~xl ~xh ~ignore:i then begin
@@ -298,12 +298,13 @@ let move_pass (d : Design.t) pool nb h skip (legal : Legal.t) =
     proposals;
   !gain, !moves
 
-let run (d : Design.t) ?(pool = Pool.serial) ?(max_passes = 3) ?(skip = fun _ -> false) ?netbox
-    ?hypergraph ~legal () =
+let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(max_passes = 3) ?(skip = fun _ -> false)
+    ?netbox ?hypergraph ~legal () =
+  let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nb =
     match netbox with
     | Some nb -> nb
-    | None -> Netbox.build (Pins.build d) ~cx:legal.Legal.cx ~cy:legal.Legal.cy
+    | None -> Netbox.build (Pins.of_soa s) ~cx:legal.Legal.cx ~cy:legal.Legal.cy
   in
   let h = match hypergraph with Some h -> h | None -> Hypergraph.build d in
   let reorder_gain = ref 0.0 and swap_gain = ref 0.0 and moves = ref 0 in
@@ -311,9 +312,9 @@ let run (d : Design.t) ?(pool = Pool.serial) ?(max_passes = 3) ?(skip = fun _ ->
   let improved = ref true in
   while !improved && !pass < max_passes do
     incr pass;
-    let g1, m1 = reorder_pass d pool nb skip legal in
-    let g2, m2 = swap_pass d pool nb skip legal in
-    let g3, m3 = move_pass d pool nb h skip legal in
+    let g1, m1 = reorder_pass s pool nb skip legal in
+    let g2, m2 = swap_pass s pool nb skip legal in
+    let g3, m3 = move_pass d s pool nb h skip legal in
     reorder_gain := !reorder_gain +. g1;
     swap_gain := !swap_gain +. g2 +. g3;
     moves := !moves + m1 + m2 + m3;

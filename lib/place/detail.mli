@@ -35,6 +35,7 @@ type stats = {
 val run :
   Dpp_netlist.Design.t ->
   ?pool:Dpp_par.Pool.t ->
+  ?soa:Dpp_netlist.Soa.t ->
   ?max_passes:int ->
   ?skip:(int -> bool) ->
   ?netbox:Dpp_wirelen.Netbox.t ->

@@ -1,5 +1,5 @@
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Orient = Dpp_geom.Orient
 module Pins = Dpp_wirelen.Pins
 module Netbox = Dpp_wirelen.Netbox
@@ -7,8 +7,9 @@ module Pool = Dpp_par.Pool
 
 type stats = { flips : int; gain : float; flipped : int list }
 
-let run (d : Design.t) ?(pool = Pool.serial) ?netbox ~cx ~cy () =
-  let nb = match netbox with Some nb -> nb | None -> Netbox.build (Pins.build d) ~cx ~cy in
+let run (d : Design.t) ?(pool = Pool.serial) ?soa ?netbox ~cx ~cy () =
+  let s = match soa with Some s -> s | None -> Soa.of_design d in
+  let nb = match netbox with Some nb -> nb | None -> Netbox.build (Pins.of_soa s) ~cx ~cy in
   (* evaluate-parallel/commit-serial: workers score every candidate flip
      with the read-only {!Netbox.eval_flip} against the committed state;
      the serial phase re-checks each proposal transactionally in
@@ -16,8 +17,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?netbox ~cx ~cy () =
      flip of a net neighbour can change the sign of a later delta. *)
   let cands =
     Array.to_list (Design.movable_ids d)
-    |> List.filter (fun i ->
-           (Design.cell d i).Types.c_height <= d.Design.row_height +. 1e-9)
+    |> List.filter (fun i -> s.Soa.height.(i) <= s.Soa.row_height +. 1e-9)
     |> Array.of_list
   in
   let proposals = Array.make Pool.chunk_count [] in
@@ -38,6 +38,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?netbox ~cx ~cy () =
          let delta = Netbox.delta nb in
          if delta < -1e-9 then begin
            Netbox.commit nb;
+           (* s.orient aliases d.orient, so both views see the flip *)
            d.Design.orient.(i) <- Orient.flip_x d.Design.orient.(i);
            incr flips;
            gain := !gain -. delta;

@@ -19,6 +19,7 @@ type stats = {
 val run :
   Dpp_netlist.Design.t ->
   ?pool:Dpp_par.Pool.t ->
+  ?soa:Dpp_netlist.Soa.t ->
   ?netbox:Dpp_wirelen.Netbox.t ->
   cx:float array ->
   cy:float array ->

@@ -1,5 +1,5 @@
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Rect = Dpp_geom.Rect
 module Pins = Dpp_wirelen.Pins
 module Model = Dpp_wirelen.Model
@@ -83,7 +83,10 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   in
   let m = Array.length movable_free in
   let nvar = m + ng in
-  let pins = Pins.build d in
+  (* one flat-core derivation per level: every kernel below (wirelength,
+     density, projection bounds) reads these arrays, never the records *)
+  let soa = Soa.of_design d in
+  let pins = Pins.of_soa soa in
   let nx, ny = match cfg.grid with Some (nx, ny) -> nx, ny | None -> Grid.default_dims d in
   let grid = Grid.build ~extra_obstacles d ~nx ~ny in
   (* An unreachable density target makes lambda escalate until wirelength
@@ -95,15 +98,12 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     Array.fold_left
       (fun acc i ->
         if frozen i then acc
-        else begin
-          let c = Design.cell d i in
-          acc +. (c.Types.c_width *. c.Types.c_height)
-        end)
+        else acc +. (soa.Soa.width.(i) *. soa.Soa.height.(i)))
       0.0 (Design.movable_ids d)
   in
   let util_eff = if total_cap > 0.0 then load_area /. total_cap else 1.0 in
   let target_density = min 1.0 (max cfg.target_density (util_eff +. 0.05)) in
-  let bell = Bell.create ~frozen d ~grid ~target_density in
+  let bell = Bell.create ~frozen ~soa d ~grid ~target_density in
   (* Kernel selection: with a pool, wirelength goes through Par_grad
      (bit-identical to the serial kernels) and density through the
      chunk-merged Bell kernels (bit-stable across worker counts).  Both
@@ -155,8 +155,8 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     done
   in
   let die = d.Design.die in
-  let half_w = Array.map (fun i -> (Design.cell d i).Types.c_width /. 2.0) movable_free in
-  let half_h = Array.map (fun i -> (Design.cell d i).Types.c_height /. 2.0) movable_free in
+  let half_w = Array.map (fun i -> soa.Soa.width.(i) /. 2.0) movable_free in
+  let half_h = Array.map (fun i -> soa.Soa.height.(i) /. 2.0) movable_free in
   let project v =
     for k = 0 to m - 1 do
       let hw = half_w.(k) and hh = half_h.(k) in

@@ -1,5 +1,5 @@
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Rect = Dpp_geom.Rect
 module Pool = Dpp_par.Pool
 
@@ -58,29 +58,28 @@ let row_segments_for_test = row_segments
    cursor, so it only fails when the die is genuinely overfull.  Within
    a row set, the search expands outward from the target row and stops
    once the vertical displacement alone exceeds the best cost found. *)
-let run (d : Design.t) ?(pool = Pool.serial) ?(extra_obstacles = []) ?(skip = fun _ -> false)
-    ~cx ~cy () =
-  let nc = Design.num_cells d in
+let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(extra_obstacles = [])
+    ?(skip = fun _ -> false) ~cx ~cy () =
+  let s = match soa with Some s -> s | None -> Soa.of_design d in
+  let nc = Soa.num_cells s in
   let nrows = d.Design.num_rows in
   let rh = d.Design.row_height in
-  let obstacles =
-    extra_obstacles
-    @ (Array.to_list (Design.fixed_ids d)
-      |> List.filter_map (fun i ->
-             match (Design.cell d i).Types.c_kind with
-             | Types.Fixed -> Rect.intersection (Design.cell_rect d i) d.Design.die
-             | Types.Pad | Types.Movable -> None))
-  in
+  let fixed_rects = ref [] in
+  for i = nc - 1 downto 0 do
+    if s.Soa.kind.(i) = Soa.kind_fixed then
+      match Rect.intersection (Soa.cell_rect s i) d.Design.die with
+      | Some r -> fixed_rects := r :: !fixed_rects
+      | None -> ()
+  done;
+  let obstacles = extra_obstacles @ !fixed_rects in
   let out_cx = Array.copy cx and out_cy = Array.copy cy in
   let assignment = Array.make nc (-1) in
-  let todo =
-    Array.to_list (Design.movable_ids d)
-    |> List.filter (fun i -> not (skip i))
-    |> List.map (fun i ->
-           let w = (Design.cell d i).Types.c_width in
-           cx.(i) -. (w /. 2.0), i)
-    |> List.sort compare
-  in
+  let todo = ref [] in
+  for i = nc - 1 downto 0 do
+    if s.Soa.kind.(i) = Soa.kind_movable && not (skip i) then
+      todo := (cx.(i) -. (s.Soa.width.(i) /. 2.0), i) :: !todo
+  done;
+  let todo = List.sort compare !todo in
   if nrows = 0 then
     { assignment; cx = out_cx; cy = out_cy; failed = List.map snd todo }
   else begin
@@ -138,8 +137,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?(extra_obstacles = []) ?(skip = fu
     let buckets = Array.make Pool.chunk_count [] in
     List.iter
       (fun (target_xl, i) ->
-        let c = Design.cell d i in
-        let tr = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0)) in
+        let tr = Design.row_of_y d (cy.(i) -. (s.Soa.height.(i) /. 2.0)) in
         let tr = max 0 (min (nrows - 1) tr) in
         buckets.(chunk_of_row.(tr)) <- (target_xl, tr, i) :: buckets.(chunk_of_row.(tr)))
       todo;
@@ -152,7 +150,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?(extra_obstacles = []) ?(skip = fu
         let spill = ref [] in
         List.iter
           (fun (target_xl, target_row, i) ->
-            let w = (Design.cell d i).Types.c_width in
+            let w = s.Soa.width.(i) in
             (* cheapest any row outside this chunk could possibly be *)
             let foreign_vert =
               let below = if lo > 0 then Some (target_row - lo + 1) else None in
@@ -173,12 +171,12 @@ let run (d : Design.t) ?(pool = Pool.serial) ?(extra_obstacles = []) ?(skip = fu
     for c = 0 to Pool.chunk_count - 1 do
       List.iter
         (fun (target_xl, target_row, i) ->
-          let w = (Design.cell d i).Types.c_width in
+          let w = s.Soa.width.(i) in
           match search_rows ~lo:0 ~hi:nrows target_row w target_xl with
           | Some (_, r, idx, xl) -> accept i r idx xl w
           | None ->
             Log.err (fun m ->
-                m "no row fits cell %s (w=%.1f)" (Design.cell d i).Types.c_name w);
+                m "no row fits cell %s (w=%.1f)" s.Soa.cell_name.(i) w);
             failed := i :: !failed)
         spills.(c)
     done;

@@ -23,6 +23,7 @@ type t = {
 val run :
   Dpp_netlist.Design.t ->
   ?pool:Dpp_par.Pool.t ->
+  ?soa:Dpp_netlist.Soa.t ->
   ?extra_obstacles:Dpp_geom.Rect.t list ->
   ?skip:(int -> bool) ->
   cx:float array ->
@@ -32,7 +33,9 @@ val run :
 (** [skip] marks cells to leave untouched (snapped group members).  Input
     arrays are not modified.  [pool] (default {!Dpp_par.Pool.serial})
     fans the chunk-local phase out over worker domains; the result does
-    not depend on the worker count. *)
+    not depend on the worker count.  [soa] supplies the flow's flat view
+    so the sort keys and interval widths come from flat arrays; without
+    it one is derived on the spot. *)
 
 val row_segments_for_test : Dpp_netlist.Design.t -> Dpp_geom.Rect.t list -> int -> (float * float) list
 (** The free x-spans of a row given obstacle rectangles — shared with

@@ -5,7 +5,7 @@
    of the old List.filter + full re-sort. *)
 
 module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Rect = Dpp_geom.Rect
 
 type t = {
@@ -22,28 +22,28 @@ let num_rows t = Array.length t.lens
 
 let row_entries t r = List.init t.lens.(r) (fun k -> t.xls.(r).(k), t.xhs.(r).(k), t.cells.(r).(k))
 
-let build (d : Design.t) ~cx ~cy =
+let build ?soa (d : Design.t) ~cx ~cy =
+  let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nrows = d.Design.num_rows in
   let rows = Array.make nrows [] in
-  for i = Design.num_cells d - 1 downto 0 do
-    let c = Design.cell d i in
-    match c.Types.c_kind with
-    | Types.Movable ->
-      let r0 = Design.row_of_y d (cy.(i) -. (c.Types.c_height /. 2.0) +. 1e-9) in
-      let r1 = Design.row_of_y d (cy.(i) +. (c.Types.c_height /. 2.0) -. 1e-9) in
+  for i = Soa.num_cells s - 1 downto 0 do
+    let kind = s.Soa.kind.(i) in
+    if kind = Soa.kind_movable then begin
+      let h = s.Soa.height.(i) and w = s.Soa.width.(i) in
+      let r0 = Design.row_of_y d (cy.(i) -. (h /. 2.0) +. 1e-9) in
+      let r1 = Design.row_of_y d (cy.(i) +. (h /. 2.0) -. 1e-9) in
       for r = max 0 r0 to min (nrows - 1) r1 do
-        rows.(r) <-
-          (cx.(i) -. (c.Types.c_width /. 2.0), cx.(i) +. (c.Types.c_width /. 2.0), i)
-          :: rows.(r)
+        rows.(r) <- (cx.(i) -. (w /. 2.0), cx.(i) +. (w /. 2.0), i) :: rows.(r)
       done
-    | Types.Fixed ->
-      let rect = Design.cell_rect d i in
+    end
+    else if kind = Soa.kind_fixed then begin
+      let rect = Soa.cell_rect s i in
       let r0 = Design.row_of_y d (rect.Rect.yl +. 1e-9) in
       let r1 = Design.row_of_y d (rect.Rect.yh -. 1e-9) in
       for r = max 0 r0 to min (nrows - 1) r1 do
         rows.(r) <- (rect.Rect.xl, rect.Rect.xh, -1) :: rows.(r)
       done
-    | Types.Pad -> ()
+    end
   done;
   let xls = Array.make nrows [||] and xhs = Array.make nrows [||] in
   let cells = Array.make nrows [||] and lens = Array.make nrows 0 in

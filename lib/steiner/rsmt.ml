@@ -68,9 +68,9 @@ let net_length t ~cx ~cy n =
 
 let total t ~cx ~cy =
   let acc = ref 0.0 in
-  let d = t.Pins.design in
-  for n = 0 to Design.num_nets d - 1 do
-    let w = (Design.net d n).Types.n_weight in
+  let s = t.Pins.soa in
+  for n = 0 to Dpp_netlist.Soa.num_nets s - 1 do
+    let w = s.Dpp_netlist.Soa.net_weight.(n) in
     acc := !acc +. (w *. net_length t ~cx ~cy n)
   done;
   !acc

@@ -1,5 +1,4 @@
-module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 
 let net t ~cx ~cy n =
   let k = Pins.load_net t ~cx ~cy n in
@@ -19,9 +18,10 @@ let net t ~cx ~cy n =
 
 let total t ~cx ~cy =
   let acc = ref 0.0 in
-  let nn = Design.num_nets t.Pins.design in
+  let s = t.Pins.soa in
+  let nn = Soa.num_nets s in
   for n = 0 to nn - 1 do
-    let w = (Design.net t.Pins.design n).Types.n_weight in
+    let w = s.Soa.net_weight.(n) in
     acc := !acc +. (w *. net t ~cx ~cy n)
   done;
   !acc
@@ -32,4 +32,4 @@ let total_of_design d =
   total t ~cx ~cy
 
 let per_net t ~cx ~cy =
-  Array.init (Design.num_nets t.Pins.design) (fun n -> net t ~cx ~cy n)
+  Array.init (Soa.num_nets t.Pins.soa) (fun n -> net t ~cx ~cy n)

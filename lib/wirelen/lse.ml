@@ -1,5 +1,4 @@
-module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 
 (* Per-axis stable log-sum-exp over the scratch buffer [a.(0..k-1)]:
    returns (lse_plus + lse_minus) where
@@ -28,11 +27,11 @@ let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~want_grad =
 
 let value t ~gamma ~cx ~cy =
   let acc = ref 0.0 in
-  let d = t.Pins.design in
-  for n = 0 to Design.num_nets d - 1 do
+  let s = t.Pins.soa in
+  for n = 0 to Soa.num_nets s - 1 do
     let k = Pins.load_net t ~cx ~cy n in
     if k >= 2 then begin
-      let wn = (Design.net d n).Types.n_weight in
+      let wn = s.Soa.net_weight.(n) in
       let vx =
         axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:false
       in
@@ -46,20 +45,20 @@ let value t ~gamma ~cx ~cy =
 
 let value_grad t ~gamma ~cx ~cy ~gx ~gy =
   let acc = ref 0.0 in
-  let d = t.Pins.design in
-  for n = 0 to Design.num_nets d - 1 do
-    let pins = (Design.net d n).Types.n_pins in
+  let s = t.Pins.soa in
+  for n = 0 to Soa.num_nets s - 1 do
+    let lo = s.Soa.net_pin_off.(n) in
     let k = Pins.load_net t ~cx ~cy n in
     if k >= 2 then begin
-      let wn = (Design.net d n).Types.n_weight in
+      let wn = s.Soa.net_weight.(n) in
       let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
       for i = 0 to k - 1 do
-        let c = t.Pins.pin_cell.(pins.(i)) in
+        let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
         gx.(c) <- gx.(c) +. (wn *. t.Pins.scratch_w.(i))
       done;
       let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
       for i = 0 to k - 1 do
-        let c = t.Pins.pin_cell.(pins.(i)) in
+        let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
         gy.(c) <- gy.(c) +. (wn *. t.Pins.scratch_w.(i))
       done;
       acc := !acc +. (wn *. (vx +. vy))

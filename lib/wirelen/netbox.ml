@@ -1,5 +1,4 @@
-module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Pool = Dpp_par.Pool
 
 type t = {
@@ -7,7 +6,8 @@ type t = {
   cx : float array;
   cy : float array;
   pin_net : int array;
-  (* CSR copy of net -> pins for allocation-free, cache-friendly rescans *)
+  (* net -> pins CSR, aliased from the flat core: allocation-free,
+     cache-friendly rescans *)
   net_off : int array;
   net_pin : int array;
   weight : float array;
@@ -82,28 +82,18 @@ let scan_into t n ~bxmin ~bxmax ~bymin ~bymax ~cxmin ~cxmax ~cymin ~cymax =
   cymax.(n) <- !nymax
 
 let build ?pool (pins : Pins.t) ~cx ~cy =
-  let d = pins.Pins.design in
-  let nn = Design.num_nets d in
-  let np = Design.num_pins d in
-  let net_off = Array.make (nn + 1) 0 in
-  for n = 0 to nn - 1 do
-    net_off.(n + 1) <- net_off.(n) + Array.length (Design.net d n).Types.n_pins
-  done;
-  let net_pin = Array.make (max 1 net_off.(nn)) 0 in
-  for n = 0 to nn - 1 do
-    let ps = (Design.net d n).Types.n_pins in
-    Array.blit ps 0 net_pin net_off.(n) (Array.length ps)
-  done;
+  let s = pins.Pins.soa in
+  let nn = Soa.num_nets s in
   let t =
     {
       pins;
       cx;
       cy;
-      pin_net = Array.init np (fun p -> (Design.pin d p).Types.p_net);
-      net_off;
-      net_pin;
-      weight = Array.make nn 1.0;
-      degree = Array.make nn 0;
+      pin_net = s.Soa.pin_net;
+      net_off = s.Soa.net_pin_off;
+      net_pin = s.Soa.net_pin;
+      weight = s.Soa.net_weight;
+      degree = Array.init nn (fun n -> Soa.net_degree s n);
       xmin = Array.make nn 0.0;
       xmax = Array.make nn 0.0;
       ymin = Array.make nn 0.0;
@@ -121,7 +111,7 @@ let build ?pool (pins : Pins.t) ~cx ~cy =
       snymin = Array.make nn 0;
       snymax = Array.make nn 0;
       stamp = Array.make nn (-1);
-      cell_stamp = Array.make (Design.num_cells d) (-1);
+      cell_stamp = Array.make (Soa.num_cells s) (-1);
       txn = 0;
       touched = Array.make 64 0;
       n_touched = 0;
@@ -140,9 +130,6 @@ let build ?pool (pins : Pins.t) ~cx ~cy =
      the pooled build bit-identical to the serial one. *)
   let scan_range lo hi =
     for n = lo to hi - 1 do
-      let net = Design.net d n in
-      t.weight.(n) <- net.Types.n_weight;
-      t.degree.(n) <- Array.length net.Types.n_pins;
       if t.degree.(n) >= 2 then
         scan_into t n ~bxmin:t.xmin ~bxmax:t.xmax ~bymin:t.ymin ~bymax:t.ymax ~cxmin:t.nxmin
           ~cxmax:t.nxmax ~cymin:t.nymin ~cymax:t.nymax
@@ -247,9 +234,9 @@ let move_cell t i nx ny =
   end;
   let ox = t.cx.(i) and oy = t.cy.(i) in
   let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
-  let cpins = (Design.cell t.pins.Pins.design i).Types.c_pins in
-  for k = 0 to Array.length cpins - 1 do
-    let p = cpins.(k) in
+  let s = t.pins.Pins.soa in
+  for k = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
+    let p = s.Soa.cell_pin.(k) in
     let n = t.pin_net.(p) in
     if n >= 0 then begin
       let deg = t.degree.(n) in
@@ -274,9 +261,9 @@ let flip_cell t i =
   t.n_mirrored <- t.n_mirrored + 1;
   let x = t.cx.(i) in
   let off_x = t.pins.Pins.off_x in
-  let cpins = (Design.cell t.pins.Pins.design i).Types.c_pins in
-  for k = 0 to Array.length cpins - 1 do
-    let p = cpins.(k) in
+  let s = t.pins.Pins.soa in
+  for k = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
+    let p = s.Soa.cell_pin.(k) in
     let off = off_x.(p) in
     let n = t.pin_net.(p) in
     if n >= 0 then begin
@@ -359,7 +346,7 @@ let audit ?pool ?(tol = 1e-6) t =
   else begin
     let pin_cell = t.pins.Pins.pin_cell in
     let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
-    let nn = Design.num_nets t.pins.Pins.design in
+    let nn = Soa.num_nets t.pins.Pins.soa in
     (* Fresh boxes land in per-net slots (parallel-safe); the compare /
        total pass below then runs serially in the legacy [downto] order,
        so the pooled audit reports exactly what the serial one does. *)
@@ -430,16 +417,16 @@ let audit ?pool ?(tol = 1e-6) t =
    the committed boxes.  Only valid outside a transaction. *)
 
 let eval_moves t ~k cells xs ys =
-  let d = t.pins.Pins.design in
+  let s = t.pins.Pins.soa in
   let pin_cell = t.pins.Pins.pin_cell in
   let off_x = t.pins.Pins.off_x and off_y = t.pins.Pins.off_y in
   (* distinct incident nets of the k moved cells; k is tiny (<= 3), so a
      list with linear membership is cheaper than any hashing *)
   let nets = ref [] in
   for j = 0 to k - 1 do
-    let cpins = (Design.cell d cells.(j)).Types.c_pins in
-    for q = 0 to Array.length cpins - 1 do
-      let n = t.pin_net.(cpins.(q)) in
+    let c = cells.(j) in
+    for q = s.Soa.cell_pin_off.(c) to s.Soa.cell_pin_off.(c + 1) - 1 do
+      let n = t.pin_net.(s.Soa.cell_pin.(q)) in
       if n >= 0 && t.degree.(n) >= 2 && not (List.mem n !nets) then nets := n :: !nets
     done
   done;
@@ -474,13 +461,12 @@ let eval_moves t ~k cells xs ys =
   !acc
 
 let eval_flip t i =
-  let d = t.pins.Pins.design in
+  let s = t.pins.Pins.soa in
   let pin_cell = t.pins.Pins.pin_cell in
   let off_x = t.pins.Pins.off_x in
   let nets = ref [] in
-  let cpins = (Design.cell d i).Types.c_pins in
-  for q = 0 to Array.length cpins - 1 do
-    let n = t.pin_net.(cpins.(q)) in
+  for q = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
+    let n = t.pin_net.(s.Soa.cell_pin.(q)) in
     if n >= 0 && t.degree.(n) >= 2 && not (List.mem n !nets) then nets := n :: !nets
   done;
   let acc = ref 0.0 in
@@ -507,9 +493,13 @@ let rollback t =
       t.cx.(i) <- t.moved_x.(k);
       t.cy.(i) <- t.moved_y.(k)
     done;
+    let s = t.pins.Pins.soa in
     for k = 0 to t.n_mirrored - 1 do
-      let cpins = (Design.cell t.pins.Pins.design t.mirrored.(k)).Types.c_pins in
-      Array.iter (fun p -> t.pins.Pins.off_x.(p) <- -.t.pins.Pins.off_x.(p)) cpins
+      let i = t.mirrored.(k) in
+      for q = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
+        let p = s.Soa.cell_pin.(q) in
+        t.pins.Pins.off_x.(p) <- -.t.pins.Pins.off_x.(p)
+      done
     done;
     finish t
   end

@@ -1,5 +1,4 @@
-module Design = Dpp_netlist.Design
-module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
 module Pool = Dpp_par.Pool
 
 type t = {
@@ -11,13 +10,13 @@ type t = {
 }
 
 let create pool pins =
-  let d = pins.Pins.design in
+  let s = pins.Pins.soa in
   {
     pins;
     views = Array.init (Pool.nworkers pool) (fun w -> if w = 0 then pins else Pins.clone_scratch pins);
-    net_val = Array.make (max 1 (Design.num_nets d)) 0.0;
-    pin_gx = Array.make (max 1 (Design.num_pins d)) 0.0;
-    pin_gy = Array.make (max 1 (Design.num_pins d)) 0.0;
+    net_val = Array.make (max 1 (Soa.num_nets s)) 0.0;
+    pin_gx = Array.make (max 1 (Soa.num_pins s)) 0.0;
+    pin_gy = Array.make (max 1 (Soa.num_pins s)) 0.0;
   }
 
 let axis_kernel = function
@@ -28,24 +27,24 @@ let axis_kernel = function
    one net (net_val) or one pin (pin_gx / pin_gy), so the stored values
    are independent of how nets were partitioned across workers. *)
 let scan t pool kind ~gamma ~cx ~cy ~want_grad =
-  let d = t.pins.Pins.design in
+  let s = t.pins.Pins.soa in
   let axis = axis_kernel kind in
-  Pool.iter_chunks pool ~n:(Design.num_nets d) (fun ~worker ~chunk:_ ~lo ~hi ->
+  Pool.iter_chunks pool ~n:(Soa.num_nets s) (fun ~worker ~chunk:_ ~lo ~hi ->
       let view = t.views.(worker) in
       for n = lo to hi - 1 do
-        let pins = (Design.net d n).Types.n_pins in
+        let plo = s.Soa.net_pin_off.(n) in
         let k = Pins.load_net view ~cx ~cy n in
         if k >= 2 then begin
-          let wn = (Design.net d n).Types.n_weight in
+          let wn = s.Soa.net_weight.(n) in
           let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
-              t.pin_gx.(pins.(i)) <- wn *. view.Pins.scratch_w.(i)
+              t.pin_gx.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
             done;
           let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
-              t.pin_gy.(pins.(i)) <- wn *. view.Pins.scratch_w.(i)
+              t.pin_gy.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
             done;
           t.net_val.(n) <- wn *. (vx +. vy)
         end
@@ -58,19 +57,20 @@ let scan t pool kind ~gamma ~cx ~cy ~want_grad =
    addition sequence Lse.value_grad / Wa.value_grad perform, so the
    result is bit-identical to the serial path at every worker count. *)
 let reduce t ~want_grad ~gx ~gy =
-  let d = t.pins.Pins.design in
+  let s = t.pins.Pins.soa in
   let pin_cell = t.pins.Pins.pin_cell in
+  let net_pin = s.Soa.net_pin in
   let acc = ref 0.0 in
-  for n = 0 to Design.num_nets d - 1 do
-    let pins = (Design.net d n).Types.n_pins in
-    if Array.length pins >= 2 then begin
+  for n = 0 to Soa.num_nets s - 1 do
+    let lo = s.Soa.net_pin_off.(n) and hi = s.Soa.net_pin_off.(n + 1) in
+    if hi - lo >= 2 then begin
       if want_grad then begin
-        for i = 0 to Array.length pins - 1 do
-          let p = pins.(i) in
+        for i = lo to hi - 1 do
+          let p = net_pin.(i) in
           gx.(pin_cell.(p)) <- gx.(pin_cell.(p)) +. t.pin_gx.(p)
         done;
-        for i = 0 to Array.length pins - 1 do
-          let p = pins.(i) in
+        for i = lo to hi - 1 do
+          let p = net_pin.(i) in
           gy.(pin_cell.(p)) <- gy.(pin_cell.(p)) +. t.pin_gy.(p)
         done
       end;

@@ -1,8 +1,9 @@
 module Design = Dpp_netlist.Design
+module Soa = Dpp_netlist.Soa
 module Types = Dpp_netlist.Types
 
 type t = {
-  design : Design.t;
+  soa : Soa.t;
   pin_cell : int array;
   off_x : float array;
   off_y : float array;
@@ -12,34 +13,26 @@ type t = {
   scratch_w2 : float array;
 }
 
-let build (d : Design.t) =
-  let np = Design.num_pins d in
-  let pin_cell = Array.make np 0 in
+let of_soa (s : Soa.t) =
+  let np = Soa.num_pins s in
   let off_x = Array.make np 0.0 in
   let off_y = Array.make np 0.0 in
   for p = 0 to np - 1 do
-    let pin = Design.pin d p in
-    let ci = pin.Types.p_cell in
-    let c = Design.cell d ci in
-    pin_cell.(p) <- ci;
+    let ci = s.Soa.pin_cell.(p) in
     (* offsets respect the cell's orientation at build time (orientation is
        constant during an optimization phase; the flip pass rebuilds) *)
     let dx, dy =
-      Dpp_geom.Orient.apply_offset d.Design.orient.(ci) ~w:c.Types.c_width ~h:c.Types.c_height
-        (pin.Types.p_dx, pin.Types.p_dy)
+      Dpp_geom.Orient.apply_offset s.Soa.orient.(ci) ~w:s.Soa.width.(ci) ~h:s.Soa.height.(ci)
+        (s.Soa.pin_dx.(p), s.Soa.pin_dy.(p))
     in
-    let ow, oh =
-      Dpp_geom.Orient.apply d.Design.orient.(ci) ~w:c.Types.c_width ~h:c.Types.c_height
-    in
+    let ow, oh = Dpp_geom.Orient.apply s.Soa.orient.(ci) ~w:s.Soa.width.(ci) ~h:s.Soa.height.(ci) in
     off_x.(p) <- dx -. (ow /. 2.0);
     off_y.(p) <- dy -. (oh /. 2.0)
   done;
-  let max_deg =
-    Array.fold_left (fun m (n : Types.net) -> max m (Array.length n.Types.n_pins)) 1 d.Design.nets
-  in
+  let max_deg = Soa.max_net_degree s in
   {
-    design = d;
-    pin_cell;
+    soa = s;
+    pin_cell = s.Soa.pin_cell;
     off_x;
     off_y;
     scratch_x = Array.make max_deg 0.0;
@@ -47,6 +40,8 @@ let build (d : Design.t) =
     scratch_w = Array.make max_deg 0.0;
     scratch_w2 = Array.make max_deg 0.0;
   }
+
+let build (d : Design.t) = of_soa (Soa.of_design d)
 
 let max_net_degree t = Array.length t.scratch_x
 
@@ -67,10 +62,11 @@ let pin_x t ~cx p = cx.(t.pin_cell.(p)) +. t.off_x.(p)
 let pin_y t ~cy p = cy.(t.pin_cell.(p)) +. t.off_y.(p)
 
 let load_net t ~cx ~cy n =
-  let pins = (Design.net t.design n).Types.n_pins in
-  let k = Array.length pins in
+  let s = t.soa in
+  let lo = s.Soa.net_pin_off.(n) in
+  let k = s.Soa.net_pin_off.(n + 1) - lo in
   for i = 0 to k - 1 do
-    let p = pins.(i) in
+    let p = s.Soa.net_pin.(lo + i) in
     t.scratch_x.(i) <- pin_x t ~cx p;
     t.scratch_y.(i) <- pin_y t ~cy p
   done;

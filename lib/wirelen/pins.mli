@@ -4,12 +4,12 @@
     offsets, evaluated at the orientation each cell has when the structure
     is built (orientations are constant within an optimization phase; the
     flip pass rebuilds).  This caches, per pin, the offset of the pin from
-    its cell center, so model evaluation never touches the cell
-    records. *)
+    its cell center, and carries the flat {!Dpp_netlist.Soa} view the hot
+    kernels iterate — model evaluation never touches the cell records. *)
 
 type t = {
-  design : Dpp_netlist.Design.t;
-  pin_cell : int array;  (** owning cell per pin *)
+  soa : Dpp_netlist.Soa.t;  (** the flat netlist view the kernels scan *)
+  pin_cell : int array;  (** owning cell per pin (aliases [soa.pin_cell]) *)
   off_x : float array;  (** pin x offset from cell center *)
   off_y : float array;
   scratch_x : float array;  (** per-net pin coordinate buffers, max degree long *)
@@ -18,15 +18,22 @@ type t = {
   scratch_w2 : float array;
 }
 
+val of_soa : Dpp_netlist.Soa.t -> t
+(** Build the pin view over an existing flat core — the flow's path: the
+    context derives one {!Dpp_netlist.Soa.t} and every kernel shares it. *)
+
 val build : Dpp_netlist.Design.t -> t
+(** [build d = of_soa (Soa.of_design d)] — convenience for tests and
+    standalone tools. *)
 
 val max_net_degree : t -> int
 
 val clone_scratch : t -> t
-(** A view sharing the design, pin-ownership and offset arrays but owning
-    fresh scratch buffers — one per worker domain, so parallel kernels can
-    evaluate different nets concurrently.  Offsets stay shared on purpose:
-    the flip stage's in-place mirroring remains visible to every view. *)
+(** A view sharing the flat core, pin-ownership and offset arrays but
+    owning fresh scratch buffers — one per worker domain, so parallel
+    kernels can evaluate different nets concurrently.  Offsets stay shared
+    on purpose: the flip stage's in-place mirroring remains visible to
+    every view. *)
 
 val pin_x : t -> cx:float array -> int -> float
 (** Pin absolute x given cell centers [cx]. *)

@@ -22,6 +22,7 @@ let () =
       "flow", Test_flow.suite;
       "check", Test_check.suite;
       "fuzz", Test_fuzz.suite;
+      "soa", Test_soa.suite;
       "par", Test_par.suite;
       "report", Test_report.suite;
       "congest", Test_congest.suite;

@@ -1,0 +1,256 @@
+(* Tests for the flat SoA netlist core: the of_design/to_design round
+   trip, CSR adjacency invariants, the x/y/orient aliasing contract, and
+   bit-identity of every SoA kernel against the preserved record-path
+   implementations in Dpp_refkernels — on each benchmark preset, with the
+   pooled kernels checked at 1/2/4 worker domains. *)
+
+module Design = Dpp_netlist.Design
+module Types = Dpp_netlist.Types
+module Soa = Dpp_netlist.Soa
+module Pins = Dpp_wirelen.Pins
+module Hpwl = Dpp_wirelen.Hpwl
+module Model = Dpp_wirelen.Model
+module Par_grad = Dpp_wirelen.Par_grad
+module Netbox = Dpp_wirelen.Netbox
+module Grid = Dpp_density.Grid
+module Bell = Dpp_density.Bell
+module Rudy = Dpp_congest.Rudy
+module Pool = Dpp_par.Pool
+module R = Dpp_refkernels.Record_path
+module Fuzz = Dpp_core.Fuzz
+
+let designs_under_test () =
+  List.map
+    (fun spec -> Dpp_gen.Compose.build spec)
+    (List.filter_map Dpp_gen.Presets.by_name [ "dp_add16"; "dp_mix_s"; "rand_ctrl" ])
+  @ [ Fuzz.random_design ~seed:5 ~cells:150 ~nets:60; Tutil.random_design 3 ]
+
+(* ----- round trip ----- *)
+
+let test_roundtrip_presets () =
+  List.iter
+    (fun d ->
+      let d' = Soa.to_design (Soa.of_design d) in
+      Alcotest.(check bool)
+        (d.Design.name ^ ": to_design (of_design d) = d")
+        true (d' = d))
+    (designs_under_test ())
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"soa round trip on random designs" ~count:40 QCheck.small_int
+    (fun seed ->
+      let d = Fuzz.random_design ~seed ~cells:(60 + (seed mod 90)) ~nets:40 in
+      Soa.to_design (Soa.of_design d) = d)
+
+let test_roundtrip_shares_nothing () =
+  let d = Tutil.random_design 11 in
+  let s = Soa.of_design d in
+  let d' = Soa.to_design s in
+  (* the round-tripped design owns fresh coordinate arrays *)
+  let saved = d'.Design.x.(0) in
+  d.Design.x.(0) <- d.Design.x.(0) +. 7.0;
+  Alcotest.(check (float 0.0)) "to_design copies coordinates" saved d'.Design.x.(0);
+  d.Design.x.(0) <- d.Design.x.(0) -. 7.0
+
+let test_aliasing_contract () =
+  let d = Tutil.random_design 12 in
+  let s = Soa.of_design d in
+  d.Design.x.(1) <- 123.5;
+  Alcotest.(check (float 0.0)) "soa.x aliases design.x" 123.5 s.Soa.x.(1);
+  s.Soa.y.(2) <- 77.25;
+  Alcotest.(check (float 0.0)) "writes through soa.y are visible" 77.25 d.Design.y.(2)
+
+(* ----- CSR invariants ----- *)
+
+let test_csr_consistency () =
+  List.iter
+    (fun d ->
+      let s = Soa.of_design d in
+      let name = d.Design.name in
+      Alcotest.(check int) (name ^ ": cell csr total") s.Soa.num_pins
+        s.Soa.cell_pin_off.(s.Soa.num_cells);
+      for c = 0 to s.Soa.num_cells - 1 do
+        for k = s.Soa.cell_pin_off.(c) to s.Soa.cell_pin_off.(c + 1) - 1 do
+          if s.Soa.pin_cell.(s.Soa.cell_pin.(k)) <> c then
+            Alcotest.failf "%s: pin %d listed under cell %d but owned by %d" name
+              s.Soa.cell_pin.(k) c
+              s.Soa.pin_cell.(s.Soa.cell_pin.(k))
+        done
+      done;
+      for n = 0 to s.Soa.num_nets - 1 do
+        let pins = (Design.net d n).Types.n_pins in
+        let lo = s.Soa.net_pin_off.(n) in
+        Alcotest.(check int) (name ^ ": net degree") (Array.length pins)
+          (Soa.net_degree s n);
+        Array.iteri
+          (fun i p ->
+            if s.Soa.net_pin.(lo + i) <> p then
+              Alcotest.failf "%s: net %d pin order not preserved at slot %d" name n i;
+            if s.Soa.pin_net.(p) <> n then
+              Alcotest.failf "%s: pin_net inverse broken for pin %d" name p)
+          pins
+      done)
+    (designs_under_test ())
+
+(* ----- kernel equivalence vs the record path ----- *)
+
+let grad_equal ~what n soa_f ref_f =
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let gx' = Array.make n 0.0 and gy' = Array.make n 0.0 in
+  let v = soa_f ~gx ~gy and v' = ref_f ~gx:gx' ~gy:gy' in
+  if not (Float.equal v v') then
+    Alcotest.failf "%s: value %.17g vs record %.17g" what v v';
+  if not (Array.for_all2 Float.equal gx gx' && Array.for_all2 Float.equal gy gy') then
+    Alcotest.failf "%s: gradient differs from the record path" what
+
+let test_kernels_match_record_path () =
+  List.iter
+    (fun d ->
+      let name = d.Design.name in
+      let pins = Pins.build d in
+      let rp = R.Rpins.build d in
+      let cx, cy = Pins.centers_of_design d in
+      let n = Design.num_cells d in
+      let gamma = max 1.0 (0.02 *. Dpp_geom.Rect.width d.Design.die) in
+      if not (Float.equal (Hpwl.total pins ~cx ~cy) (R.hpwl_total rp ~cx ~cy)) then
+        Alcotest.failf "%s: hpwl differs from the record path" name;
+      grad_equal ~what:(name ^ " wa") n
+        (fun ~gx ~gy -> Model.value_grad Model.Wa pins ~gamma ~cx ~cy ~gx ~gy)
+        (fun ~gx ~gy -> R.wa_value_grad rp ~gamma ~cx ~cy ~gx ~gy);
+      grad_equal ~what:(name ^ " lse") n
+        (fun ~gx ~gy -> Model.value_grad Model.Lse pins ~gamma ~cx ~cy ~gx ~gy)
+        (fun ~gx ~gy -> R.lse_value_grad rp ~gamma ~cx ~cy ~gx ~gy);
+      let nx, ny = Grid.default_dims d in
+      let grid = Grid.build d ~nx ~ny in
+      let bell = Bell.create ~soa:pins.Pins.soa d ~grid ~target_density:0.9 in
+      let rbell = R.Rbell.create d ~grid ~target_density:0.9 in
+      grad_equal ~what:(name ^ " bell") n
+        (fun ~gx ~gy -> Bell.value_grad bell ~cx ~cy ~gx ~gy)
+        (fun ~gx ~gy -> R.Rbell.value_grad rbell ~cx ~cy ~gx ~gy);
+      let rd = Rudy.compute ~pins ~nx ~ny d ~cx ~cy in
+      let rr = R.rudy rp ~nx ~ny ~cx ~cy in
+      if not (Array.for_all2 Float.equal rd.Rudy.demand rr) then
+        Alcotest.failf "%s: rudy demand map differs from the record path" name;
+      let nb = Netbox.build pins ~cx ~cy in
+      for net = 0 to Design.num_nets d - 1 do
+        if Array.length (Design.net d net).Types.n_pins >= 2 then begin
+          let a0, a1, a2, a3 = Netbox.net_box nb net in
+          let b0, b1, b2, b3 = R.net_box rp ~cx ~cy net in
+          if
+            not
+              (Float.equal a0 b0 && Float.equal a1 b1 && Float.equal a2 b2
+             && Float.equal a3 b3)
+          then Alcotest.failf "%s: net %d box differs from the record rescan" name net
+        end
+      done)
+    (designs_under_test ())
+
+(* pooled kernels at 1/2/4 worker domains: the gradient and netbox paths
+   must equal the serial (= record-identical) results exactly; the
+   chunk-merged bell/RUDY paths must not depend on the worker count *)
+let test_kernels_jobs_1_2_4 () =
+  List.iter
+    (fun d ->
+      let name = d.Design.name in
+      let pins = Pins.build d in
+      let rp = R.Rpins.build d in
+      let cx, cy = Pins.centers_of_design d in
+      let n = Design.num_cells d in
+      let gamma = max 1.0 (0.02 *. Dpp_geom.Rect.width d.Design.die) in
+      let nx, ny = Grid.default_dims d in
+      let grid = Grid.build d ~nx ~ny in
+      let bell = Bell.create ~soa:pins.Pins.soa d ~grid ~target_density:0.9 in
+      let at_jobs jobs =
+        Pool.with_pool ~nworkers:jobs @@ fun pool ->
+        let pg = Par_grad.create pool pins in
+        let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+        let v = Par_grad.value_grad pg pool Model.Wa ~gamma ~cx ~cy ~gx ~gy in
+        let bp = Bell.par_create bell in
+        let bx = Array.make n 0.0 and by = Array.make n 0.0 in
+        let bv = Bell.par_value_grad bp pool ~cx ~cy ~gx:bx ~gy:by in
+        let rd = Rudy.compute ~pool ~pins ~nx ~ny d ~cx ~cy in
+        let nb = Netbox.build ~pool pins ~cx ~cy in
+        v, gx, gy, bv, bx, by, rd.Rudy.demand, Netbox.total nb
+      in
+      (* anchor: the pooled gradient must equal the record path too *)
+      let gx' = Array.make n 0.0 and gy' = Array.make n 0.0 in
+      let vr = R.wa_value_grad rp ~gamma ~cx ~cy ~gx:gx' ~gy:gy' in
+      let v1, px1, py1, b1, bx1, by1, rd1, nt1 = at_jobs 1 in
+      if not (Float.equal v1 vr && Array.for_all2 Float.equal px1 gx') then
+        Alcotest.failf "%s: pooled wa at 1 worker differs from the record path" name;
+      ignore py1;
+      List.iter
+        (fun jobs ->
+          let v, px, py, bv, bx, by, rd, nt = at_jobs jobs in
+          let ok =
+            Float.equal v1 v
+            && Array.for_all2 Float.equal px1 px
+            && Array.for_all2 Float.equal py1 py
+            && Float.equal b1 bv
+            && Array.for_all2 Float.equal bx1 bx
+            && Array.for_all2 Float.equal by1 by
+            && Array.for_all2 Float.equal rd1 rd
+            && Float.equal nt1 nt
+          in
+          if not ok then
+            Alcotest.failf "%s: pooled kernels at %d workers differ from 1" name jobs)
+        [ 2; 4 ])
+    (designs_under_test ())
+
+(* ----- XL generator and PEKO ----- *)
+
+let test_xl_deterministic_and_valid () =
+  let d1 = Option.get (Dpp_gen.Xl.by_name ~seed:1 "xl10k") in
+  let d2 = Option.get (Dpp_gen.Xl.by_name ~seed:1 "xl10k") in
+  Alcotest.(check bool) "xl generator deterministic" true (d1 = d2);
+  let issues = Dpp_netlist.Validate.check d1 in
+  Alcotest.(check bool)
+    (String.concat "; "
+       (List.map
+          (fun (i : Dpp_netlist.Validate.issue) -> i.Dpp_netlist.Validate.message)
+          (Dpp_netlist.Validate.errors issues)))
+    true
+    (Dpp_netlist.Validate.errors issues = []);
+  (* target size honored within the tile/pad rounding *)
+  let cells = Design.num_cells d1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "xl10k size %d within 5%% of 10000" cells)
+    true
+    (abs (cells - 10_000) < 500);
+  (* the flat core digests it unchanged *)
+  Alcotest.(check bool) "xl round trip" true (Soa.to_design (Soa.of_design d1) = d1)
+
+let test_peko_optimum_attained () =
+  let d, opt = Dpp_gen.Peko.build ~name:"peko" ~cells:2_000 () in
+  let issues = Dpp_netlist.Validate.check d in
+  Alcotest.(check bool) "peko validates" true (Dpp_netlist.Validate.errors issues = []);
+  let pins = Pins.build d in
+  let cx, cy = Pins.centers_of_design d in
+  (* the shipped placement attains the analytic optimum exactly: every
+     net spans (degree - 1) consecutive unit sites in one row *)
+  Alcotest.(check (float 0.0)) "shipped placement HPWL = optimal HPWL" opt
+    (Hpwl.total pins ~cx ~cy);
+  (* and no placement can beat it, per net: spot-check the bound shape *)
+  Array.iter
+    (fun (n : Types.net) ->
+      let k = Array.length n.Types.n_pins in
+      Alcotest.(check bool) "net degree from the cycle" true (k >= 2 && k <= 8))
+    d.Design.nets
+
+let suite =
+  [
+    Alcotest.test_case "round trip on presets and fuzz designs" `Quick
+      test_roundtrip_presets;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    Alcotest.test_case "round trip shares no mutable state" `Quick
+      test_roundtrip_shares_nothing;
+    Alcotest.test_case "x/y aliasing contract" `Quick test_aliasing_contract;
+    Alcotest.test_case "csr adjacency consistent" `Quick test_csr_consistency;
+    Alcotest.test_case "kernels bit-identical to record path" `Quick
+      test_kernels_match_record_path;
+    Alcotest.test_case "pooled kernels at jobs 1/2/4" `Quick test_kernels_jobs_1_2_4;
+    Alcotest.test_case "xl generator deterministic and valid" `Quick
+      test_xl_deterministic_and_valid;
+    Alcotest.test_case "peko ships at its analytic optimum" `Quick
+      test_peko_optimum_attained;
+  ]
