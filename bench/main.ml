@@ -938,6 +938,150 @@ let run_xl_bench () =
   say "  written BENCH_xl.json"
 
 (* ------------------------------------------------------------------ *)
+(* Placement as a service: job throughput + incremental-ECO latency    *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the dpp_serve stack in-process (Server.submit_request — the
+   same path the socket handler takes, minus the framing).  Two parts:
+
+   - throughput: a batch of full placement jobs through the scheduler at
+     1/2/4 worker domains, reported as jobs/sec per concurrency level;
+   - incremental ECO: against a placed dp_mix_l base, a seeded edit list
+     disturbing a few percent of the movables is re-placed through
+     Eco_submit with the stage oracles on ([check]) and the clean-region
+     bit-equality gate on ([verify]) — a Failed verdict fails the bench —
+     and its warm wall time is compared with the from-scratch flow on
+     the same base spec.  The ~3x speedup is a target (machine
+     dependent, warning only); the equality/oracle gates are hard.
+
+   Emits BENCH_srv.json. *)
+let run_srv_bench () =
+  let module P = Dpp_serve.Protocol in
+  let module Server = Dpp_serve.Server in
+  let collector () =
+    let m = Mutex.create () in
+    let all = ref [] in
+    let push r = Mutex.protect m (fun () -> all := r :: !all) in
+    let get () = Mutex.protect m (fun () -> List.rev !all) in
+    push, get
+  in
+  let fast_spec ?check ?out ~seed name =
+    {
+      (P.spec ?check ?out (P.Preset { name; seed })) with
+      P.gp_rounds = Some 6;
+      gp_inner_iters = Some 15;
+      detail_passes = Some 1;
+    }
+  in
+  let submit_all t reqs push =
+    List.iter
+      (fun req ->
+        match Server.submit_request t req ~reply_fn:push with
+        | `Queued _ -> ()
+        | `Busy -> failwith "SRV: queue refused a bench job")
+      reqs
+  in
+  let finished get =
+    List.filter_map
+      (function
+        | P.Done _ as r -> Some r
+        | P.Failed { job; reason } -> failwith (Printf.sprintf "SRV: job %d failed: %s" job reason)
+        | _ -> None)
+      (get ())
+  in
+  (* --- throughput at 1/2/4 concurrent clients --- *)
+  let njobs = 8 in
+  let cores = Domain.recommended_domain_count () in
+  say "SRV: %d placement jobs (dp_mix_s, short flow) through the scheduler" njobs;
+  say "  host parallelism: %d (above it, extra clients only add GC synchronization)" cores;
+  let throughput =
+    List.map
+      (fun clients ->
+        let t =
+          Server.create ~cfg:{ Server.default_cfg with Server.workers = clients; queue = 32 } ()
+        in
+        let push, get = collector () in
+        let reqs =
+          List.init njobs (fun i -> P.Submit (fast_spec ~seed:(100 + i) "dp_mix_s"))
+        in
+        let t0 = Unix.gettimeofday () in
+        submit_all t reqs push;
+        Server.drain t;
+        let wall = Unix.gettimeofday () -. t0 in
+        Server.shutdown t;
+        if Server.alive_workers t <> 0 then failwith "SRV: orphaned worker domains";
+        let done_ = List.length (finished get) in
+        if done_ <> njobs then
+          failwith (Printf.sprintf "SRV: %d of %d jobs finished" done_ njobs);
+        let jps = float_of_int njobs /. wall in
+        say "  %d client%s: %2d jobs in %6.2f s  ->  %5.2f jobs/s" clients
+          (if clients = 1 then " " else "s")
+          njobs wall jps;
+        clients, wall, jps)
+      [ 1; 2; 4 ]
+  in
+  (* --- incremental ECO vs from-scratch, equality- and oracle-gated --- *)
+  let t = Server.create ~cfg:{ Server.default_cfg with Server.workers = 1 } () in
+  let base = fast_spec ~check:true ~seed:1 "dp_mix_l" in
+  let wall_of label get =
+    match finished get with
+    | [ P.Done { wall_s; eco; _ } ] -> wall_s, eco
+    | rs -> failwith (Printf.sprintf "SRV: %s: expected one Done, got %d" label (List.length rs))
+  in
+  (* cold submit places and caches the base; a second submit is the
+     honest from-scratch cost of the same spec (warm extraction cache) *)
+  let push, get = collector () in
+  submit_all t [ P.Submit base ] push;
+  Server.drain t;
+  ignore (wall_of "base" get);
+  let push, get = collector () in
+  submit_all t [ P.Submit base ] push;
+  Server.drain t;
+  let full_wall, _ = wall_of "full" get in
+  let push, get = collector () in
+  submit_all t
+    [
+      P.Eco_submit
+        {
+          base;
+          edits = P.Random_edits { ops = 2; seed = 7 };
+          threshold = None;
+          verify = true;
+        };
+    ]
+    push;
+  Server.drain t;
+  let eco_wall, eco_summary = wall_of "eco" get in
+  Server.shutdown t;
+  let dirty, fallback =
+    match eco_summary with
+    | Some e -> e.P.dirty_fraction, e.P.fallback
+    | None -> failwith "SRV: eco job carried no summary"
+  in
+  if fallback then failwith "SRV: eco job fell back to the full flow";
+  let speedup = full_wall /. eco_wall in
+  say "  eco: dirty %.1f%% of movables, %6.3f s vs %6.2f s from scratch  ->  %.1fx" (100.0 *. dirty)
+    eco_wall full_wall speedup;
+  say "  gates: clean-region bit-equality (verify) and stage oracles (check) held";
+  if dirty > 0.05 then
+    say "SRV: warning: dirty fraction %.3f above the 5%% edit-locality target" dirty;
+  if speedup < 3.0 then
+    say "SRV: warning: eco speedup %.1fx below the 3x target on this machine" speedup;
+  let oc = open_out "BENCH_srv.json" in
+  Printf.fprintf oc
+    {|{"jobs":%d,"host_parallelism":%d,"throughput":[%s],"eco":{"design":"dp_mix_l","full_wall_s":%.3f,"eco_wall_s":%.3f,"speedup":%.2f,"dirty_fraction":%.4f,"fallback":%b,"verified":true,"checked":true}}
+|}
+    njobs cores
+    (String.concat ","
+       (List.map
+          (fun (c, w, j) ->
+            Printf.sprintf {|{"clients":%d,"wall_s":%.3f,"jobs_per_s":%.3f}|} c w j)
+          throughput))
+    full_wall eco_wall speedup dirty fallback;
+  close_out oc;
+  say "  written BENCH_srv.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -976,6 +1120,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "XL",
       "flat SoA core vs record kernels at 10k..250k cells (bit-equality gated)",
       run_xl_bench );
+    ( "SRV",
+      "placement-as-a-service throughput + incremental-ECO latency (equality gated)",
+      run_srv_bench );
   ]
 
 let matches selector (id, _, _) =

@@ -15,18 +15,19 @@ let setup_logs verbose =
 
 let override v field c = match v with None -> c | Some x -> field c x
 
-let build_case ~cells ~nets ~moves ~dp ~jobs seed =
+let build_case ~cells ~nets ~moves ~dp ~jobs ~eco_ops seed =
   Fuzz.case_of_seed seed
   |> override cells (fun c cells -> { c with Fuzz.cells })
   |> override nets (fun c nets -> { c with Fuzz.nets })
   |> override moves (fun c moves -> { c with Fuzz.moves })
   |> override dp (fun c dp_fraction -> { c with Fuzz.dp_fraction })
+  |> override eco_ops (fun c eco_ops -> { c with Fuzz.eco_ops })
   |> fun c -> { c with Fuzz.jobs }
 
-let run verbose seed base_seed count budget skip_flow cells nets moves dp jobs =
+let run verbose seed base_seed count budget skip_flow cells nets moves dp jobs eco_ops =
   setup_logs verbose;
   let flow = not skip_flow in
-  let case_of = build_case ~cells ~nets ~moves ~dp ~jobs in
+  let case_of = build_case ~cells ~nets ~moves ~dp ~jobs ~eco_ops in
   let seeds =
     match seed with Some s -> [ s ] | None -> List.init count (fun i -> base_seed + i)
   in
@@ -92,10 +93,13 @@ let cmd =
   let jobs =
     Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains. Above 1 adds a parallel-vs-serial differential layer (bit-exact kernel equivalence plus whole-flow determinism across worker counts).")
   in
+  let eco_ops =
+    Arg.(value & opt (some int) None & info [ "eco-ops" ] ~docv:"N" ~doc:"Override the case's ECO edit-list length (for replaying shrunk reproducers).")
+  in
   let term =
     Term.(
       const run $ verbose $ seed $ base_seed $ count $ budget $ skip_flow $ cells $ nets
-      $ moves $ dp $ jobs)
+      $ moves $ dp $ jobs $ eco_ops)
   in
   Cmd.v
     (Cmd.info "dpp_fuzz"

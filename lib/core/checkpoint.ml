@@ -44,3 +44,166 @@ let run ~stage (ctx : Ctx.t) =
     oracles = List.rev !oracles;
     violations = Check.Violation.strings !violations;
   }
+
+module Snapshot = struct
+  module Json = Dpp_report.Json
+  module Orient = Dpp_geom.Orient
+  module Rect = Dpp_geom.Rect
+  module Legal = Dpp_place.Legal
+
+  type t = {
+    stage : string;
+    design : string;
+    cx : float array;
+    cy : float array;
+    orient : Orient.t array;
+    skip_ids : int array;
+    flip_skip_ids : int array;
+    obstacles : Rect.t list;
+    bound : Rect.t option;
+    assignment : int array;
+    failed : int list;
+  }
+
+  let capture ~stage (ctx : Ctx.t) =
+    {
+      stage;
+      design = ctx.Ctx.design.Design.name;
+      cx = Array.copy ctx.Ctx.cx;
+      cy = Array.copy ctx.Ctx.cy;
+      orient = Array.copy ctx.Ctx.design.Design.orient;
+      skip_ids = Array.copy ctx.Ctx.skip_ids;
+      flip_skip_ids = Array.copy ctx.Ctx.flip_skip_ids;
+      obstacles = ctx.Ctx.obstacles;
+      bound = ctx.Ctx.bound;
+      assignment =
+        (match ctx.Ctx.legal with
+        | Some l -> Array.copy l.Legal.assignment
+        | None -> [||]);
+      failed = (match ctx.Ctx.legal with Some l -> l.Legal.failed | None -> []);
+    }
+
+  let restore (s : t) (ctx : Ctx.t) =
+    let d = ctx.Ctx.design in
+    let n = Array.length d.Design.orient in
+    if Array.length s.orient <> n || Array.length s.cx <> n then
+      invalid_arg "Snapshot.restore: cell count mismatch";
+    (* orientations first: accepted flips must be visible through the
+       soa/pin views (they alias [d.orient]) before coordinates adopt the
+       snapshot placement *)
+    for i = 0 to n - 1 do
+      if not (Orient.equal d.Design.orient.(i) s.orient.(i)) then begin
+        d.Design.orient.(i) <- s.orient.(i);
+        Dpp_wirelen.Pins.flip_cell_x ctx.Ctx.pins i
+      end
+    done;
+    Ctx.set_coords ctx (Array.copy s.cx) (Array.copy s.cy);
+    Ctx.set_skip ctx s.skip_ids;
+    Ctx.set_flip_skip ctx s.flip_skip_ids;
+    ctx.Ctx.obstacles <- s.obstacles;
+    ctx.Ctx.bound <- s.bound;
+    if Array.length s.assignment > 0 then
+      ctx.Ctx.legal <-
+        Some
+          {
+            Legal.assignment = Array.copy s.assignment;
+            cx = ctx.Ctx.cx;
+            cy = ctx.Ctx.cy;
+            failed = s.failed;
+          }
+
+  (* ----- JSON codec (the spool format the serve layer persists) ----- *)
+
+  let floats a = Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) a))
+  let ints a = Json.Arr (Array.to_list (Array.map (fun i -> Json.Num (float_of_int i)) a))
+
+  let rect_json (r : Rect.t) =
+    Json.Arr [ Json.Num r.Rect.xl; Json.Num r.Rect.yl; Json.Num r.Rect.xh; Json.Num r.Rect.yh ]
+
+  let rect_of_json = function
+    | Json.Arr [ a; b; c; d ] ->
+      Rect.make ~xl:(Json.to_float a) ~yl:(Json.to_float b) ~xh:(Json.to_float c)
+        ~yh:(Json.to_float d)
+    | _ -> raise (Json.Parse_error "snapshot: malformed rectangle")
+
+  let to_json s =
+    Json.Obj
+      [
+        "stage", Json.Str s.stage;
+        "design", Json.Str s.design;
+        "cx", floats s.cx;
+        "cy", floats s.cy;
+        ( "orient",
+          Json.Arr
+            (Array.to_list (Array.map (fun o -> Json.Str (Orient.to_string o)) s.orient)) );
+        "skip_ids", ints s.skip_ids;
+        "flip_skip_ids", ints s.flip_skip_ids;
+        "obstacles", Json.Arr (List.map rect_json s.obstacles);
+        "bound", (match s.bound with Some r -> rect_json r | None -> Json.Null);
+        "assignment", ints s.assignment;
+        "failed", ints (Array.of_list s.failed);
+      ]
+
+  let encode s = Json.encode (to_json s)
+
+  let float_array key v =
+    match Json.member key v with
+    | Some (Json.Arr xs) -> Array.of_list (List.map Json.to_float xs)
+    | _ -> raise (Json.Parse_error (Printf.sprintf "snapshot: missing array %S" key))
+
+  let int_array key v = Array.map int_of_float (float_array key v)
+
+  let str key v =
+    match Json.member key v with
+    | Some (Json.Str s) -> s
+    | _ -> raise (Json.Parse_error (Printf.sprintf "snapshot: missing string %S" key))
+
+  let of_json v =
+    {
+      stage = str "stage" v;
+      design = str "design" v;
+      cx = float_array "cx" v;
+      cy = float_array "cy" v;
+      orient =
+        (match Json.member "orient" v with
+        | Some (Json.Arr xs) ->
+          Array.of_list
+            (List.map
+               (fun x ->
+                 match Orient.of_string (Json.to_string x) with
+                 | Some o -> o
+                 | None -> raise (Json.Parse_error "snapshot: bad orientation"))
+               xs)
+        | _ -> raise (Json.Parse_error "snapshot: missing array \"orient\""));
+      skip_ids = int_array "skip_ids" v;
+      flip_skip_ids = int_array "flip_skip_ids" v;
+      obstacles =
+        (match Json.member "obstacles" v with
+        | Some (Json.Arr xs) -> List.map rect_of_json xs
+        | _ -> []);
+      bound =
+        (match Json.member "bound" v with
+        | Some Json.Null | None -> None
+        | Some r -> Some (rect_of_json r));
+      assignment = int_array "assignment" v;
+      failed = Array.to_list (int_array "failed" v);
+    }
+
+  let decode s = of_json (Json.parse s)
+
+  let save ~path s =
+    (* write-then-rename so a kill mid-write never leaves a torn spool
+       file for the restarted server to trip over *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (encode s));
+    Sys.rename tmp path
+
+  let load ~path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> decode (really_input_string ic (in_channel_length ic)))
+end

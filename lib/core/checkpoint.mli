@@ -15,3 +15,50 @@ val run : stage:string -> Ctx.t -> Dpp_report.Trace.check
 (** Run the oracles configured for the named stage against the context's
     current state.  Never raises; the verdict carries rendered violation
     reports. *)
+
+(** Stage-boundary snapshots: everything a context holds that the post-gp
+    stages are a pure function of — centers, orientations, the frozen-cell
+    sets, obstacle outlines, the ECO bound, and the row assignment.
+    Restoring one into a fresh context and running the remaining stages
+    reproduces the interrupted run bit-for-bit, which is what the serve
+    layer's crash recovery (SIGTERM mid-job -> restart -> resume) relies
+    on.  Serialized as a single JSON object (the server's spool format). *)
+module Snapshot : sig
+  type t = {
+    stage : string;  (** last {e completed} stage *)
+    design : string;  (** design name, for spool-file sanity checks *)
+    cx : float array;  (** cell centers *)
+    cy : float array;
+    orient : Dpp_geom.Orient.t array;
+    skip_ids : int array;
+    flip_skip_ids : int array;
+    obstacles : Dpp_geom.Rect.t list;
+    bound : Dpp_geom.Rect.t option;
+    assignment : int array;  (** row assignment; [[||]] before legal *)
+    failed : int list;
+  }
+
+  val capture : stage:string -> Ctx.t -> t
+  (** Copy the context's restorable state (arrays are copied, so later
+      stages cannot mutate the snapshot). *)
+
+  val restore : t -> Ctx.t -> unit
+  (** Install the snapshot into a context freshly created over the same
+      design (a {!Flow.run_stages} [prepare] hook).  Orientation diffs are
+      applied to both the design and the shared pin view, so no rebuild is
+      needed.  @raise Invalid_argument on a cell-count mismatch. *)
+
+  val to_json : t -> Dpp_report.Json.t
+  val of_json : Dpp_report.Json.t -> t
+  (** The spool object; the serve layer embeds it next to the job spec. *)
+
+  val encode : t -> string
+  val decode : string -> t
+  (** @raise Dpp_report.Json.Parse_error on malformed input. *)
+
+  val save : path:string -> t -> unit
+  (** Atomic (write to a temp file, then rename), so a kill mid-write
+      never leaves a torn spool file. *)
+
+  val load : path:string -> t
+end

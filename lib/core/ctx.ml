@@ -17,6 +17,10 @@ type t = {
   mutable cy : float array;
   mutable netbox : Netbox.t option;
   mutable skip : int -> bool;
+  mutable skip_ids : int array;
+  mutable flip_skip : int -> bool;
+  mutable flip_skip_ids : int array;
+  mutable bound : Dpp_geom.Rect.t option;
   mutable obstacles : Dpp_geom.Rect.t list;
   mutable legal : Dpp_place.Legal.t option;
   mutable groups_used : Groups.t list;
@@ -51,6 +55,10 @@ let create design config =
     cy;
     netbox = None;
     skip = (fun _ -> false);
+    skip_ids = [||];
+    flip_skip = (fun _ -> false);
+    flip_skip_ids = [||];
+    bound = None;
     obstacles = [];
     legal = None;
     groups_used = [];
@@ -70,6 +78,20 @@ let create design config =
     congestion = None;
     critical_delay = 0.0;
   }
+
+(* install a skip predicate together with the id set behind it, so
+   checkpoint snapshots can serialize it (a bare closure cannot be) *)
+let set_skip t ids =
+  let h = Hashtbl.create (max 16 (Array.length ids)) in
+  Array.iter (fun i -> Hashtbl.replace h i ()) ids;
+  t.skip_ids <- ids;
+  t.skip <- (fun i -> Hashtbl.mem h i)
+
+let set_flip_skip t ids =
+  let h = Hashtbl.create (max 16 (Array.length ids)) in
+  Array.iter (fun i -> Hashtbl.replace h i ()) ids;
+  t.flip_skip_ids <- ids;
+  t.flip_skip <- (fun i -> Hashtbl.mem h i)
 
 let set_coords t cx cy =
   t.cx <- cx;

@@ -27,7 +27,18 @@ type t = {
   mutable netbox : Dpp_wirelen.Netbox.t option;
       (** incremental HPWL cache over [cx]/[cy]; [None] until first use,
           dropped by {!set_coords} *)
-  mutable skip : int -> bool;  (** cells frozen by group snapping *)
+  mutable skip : int -> bool;  (** cells frozen by group snapping (or by ECO) *)
+  mutable skip_ids : int array;
+      (** the id set behind [skip], maintained by {!set_skip} so
+          checkpoint snapshots can serialize the predicate *)
+  mutable flip_skip : int -> bool;
+      (** cells whose orientation must not change — identity in the full
+          flow, the frozen clean set in incremental ECO re-placement *)
+  mutable flip_skip_ids : int array;
+  mutable bound : Dpp_geom.Rect.t option;
+      (** dirty-region rectangle for incremental ECO re-placement;
+          [None] (the full flow) leaves legalization and detailed
+          placement unconstrained *)
   mutable obstacles : Dpp_geom.Rect.t list;  (** snapped group/macro outlines *)
   mutable legal : Dpp_place.Legal.t option;
   mutable groups_used : Dpp_netlist.Groups.t list;
@@ -54,6 +65,14 @@ type t = {
 val create : Dpp_netlist.Design.t -> Config.t -> t
 (** Derives the flat view and pin view and captures the design's
     current centers. *)
+
+val set_skip : t -> int array -> unit
+(** Install [skip] as membership in the given id set, recording the set
+    in [skip_ids].  Stages must use this (not assign the closure
+    directly) so {!Checkpoint.Snapshot} can persist the frozen set. *)
+
+val set_flip_skip : t -> int array -> unit
+(** Same, for the flip stage's exemption set. *)
 
 val set_coords : t -> float array -> float array -> unit
 (** Adopt new live coordinate arrays (e.g. a stage's output), dropping

@@ -1,0 +1,120 @@
+(** Incremental ECO re-placement: apply a small edit list to an already
+    placed design and re-run only the post-placement stages — legalize,
+    detail, flip — inside the region the edits actually disturbed.
+
+    The contract that makes the mode testable: every {e clean} cell (not
+    in the dirty set) keeps its base position and orientation bit for bit
+    — clean cells are frozen through the stage [skip] sets and their
+    outlines become obstacles for the bounded stages — while the full
+    result still passes every {!Dpp_check} legality oracle.  The dirty
+    region is derived from the {!Dpp_wirelen.Netbox.dirty_nets} delta
+    export: the coordinate edits are replayed through a netbox
+    transaction against the base placement and the nets whose committed
+    boxes moved (plus the rewired ones) bound the region.
+
+    When the edits disturb more than [threshold] of the movable cells the
+    incremental machinery would churn most of the die anyway, so {!run}
+    falls back to the full flow on the edited design. *)
+
+(** One netlist/placement edit, id-referenced against the base design. *)
+type edit =
+  | Move of { cell : int; dx : float; dy : float }
+      (** displace a cell's target position (composes across edits) *)
+  | Resize of { cell : int; scale : float }
+      (** scale a movable cell's width (snapped to the site grid) *)
+  | Rewire of { net : int; pin_index : int; to_cell : int }
+      (** move the [pin_index]-th pin of a net onto another cell (pin
+          offset resets to the new cell's center) *)
+  | Add of { near : int; w : float; nets : int list }
+      (** a new single-row movable cell spawned at [near]'s position,
+          with one pin on each listed net *)
+
+val edit_to_json : edit -> Dpp_report.Json.t
+val edit_of_json : Dpp_report.Json.t -> edit
+(** @raise Dpp_report.Json.Parse_error on a malformed edit object. *)
+
+val edits_to_json : edit list -> Dpp_report.Json.t
+val edits_of_json : Dpp_report.Json.t -> edit list
+(** The wire format the serve protocol carries edit lists in. *)
+
+type applied = {
+  edited : Dpp_netlist.Design.t;
+      (** rebuilt design: base ids preserved, added cells appended *)
+  seeds : int array;
+      (** cells that {e must} re-place — moved, resized, or added.  Rewire
+          endpoints keep a legal placement; their nets reach the plan
+          through [struct_nets] instead, so distant fanout does not
+          inflate the dirty region *)
+  anchors : int array;
+      (** seeds plus rewire targets and add sites — the cells whose
+          outlines bound the dirty region's hull *)
+  struct_nets : int array;  (** nets rewired or grown by an added pin *)
+  moves : (int * float * float) list;  (** cell, dx, dy — net displacement *)
+}
+
+val apply : Dpp_netlist.Design.t -> edit list -> applied
+(** Rebuild the netlist with the edits folded in.  The base design is not
+    modified.  @raise Invalid_argument on an empty edit list or an edit
+    referencing an out-of-range id (a resize of a non-movable cell, a
+    non-positive scale or width). *)
+
+type plan = {
+  applied : applied;
+  region : Dpp_geom.Rect.t;  (** row-aligned dirty region, clipped to the die *)
+  dirty : int array;  (** movable single-row cells that get re-placed *)
+  frozen : int array;  (** movable cells pinned at their base placement *)
+  obstacles : Dpp_geom.Rect.t list;
+      (** frozen outlines the bounded stages pack around *)
+  dirty_fraction : float;  (** |dirty| / movables of the edited design *)
+}
+
+val plan :
+  ?expand:float ->
+  ?freeze:int array ->
+  ?obstacles:Dpp_geom.Rect.t list ->
+  Dpp_netlist.Design.t ->
+  edit list ->
+  plan
+(** Compute the dirty region and cell partition for an edit list against
+    a placed base design.  [expand] (default 2 row heights) is the
+    initial margin around the disturbed hull; the region then grows until
+    the dirty cells fit with 25% slack (or the whole die is dirty).
+    [freeze] pins extra cells (e.g. snapped datapath group members from
+    the base run); [obstacles] carries the base run's snapped-group
+    outlines. *)
+
+type result = {
+  flow : Flow.result;
+  plan : plan;
+  fallback : bool;  (** true when the dirty fraction forced a full re-place *)
+}
+
+val default_threshold : float
+(** 0.25 — above a quarter of the movables dirty, re-place from scratch. *)
+
+val run :
+  ?observer:(Dpp_report.Trace.stage -> unit) ->
+  ?check:bool ->
+  ?threshold:float ->
+  ?expand:float ->
+  ?freeze:int array ->
+  ?obstacles:Dpp_geom.Rect.t list ->
+  base:Dpp_netlist.Design.t ->
+  edit list ->
+  Config.t ->
+  result
+(** Incrementally re-place [base] (which must already be legally placed —
+    a {!Flow.run} result design) under the edit list.  Below the dirty
+    threshold this runs {!Flow.eco_stages} with the plan's region, skip
+    sets, and obstacles installed; above it, the full flow on the edited
+    design.  [observer] and [check] behave as in {!Flow.run} (in check
+    mode the full legality oracles hold from the legalize boundary on,
+    clean region included). *)
+
+val random_edits : ?ops:int -> seed:int -> Dpp_netlist.Design.t -> edit list
+(** A deterministic, seeded edit list of [ops] edits (default 4), cycling
+    move/resize/add/rewire and clustered around one random anchor cell so
+    the dirty region stays a few percent of the die — the traffic shape
+    the SRV bench, the fuzz harness, and the CI smoke job replay.
+    @raise Invalid_argument when the design has no single-row movable
+    cell. *)

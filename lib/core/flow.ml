@@ -190,7 +190,8 @@ let snap_stage =
             Array.iter (fun c -> Hashtbl.replace members c ()) p.Shaping.dgroup.Dgroup.cells)
           placed;
         ctx.Ctx.obstacles <- Shaping.obstacles placed;
-        ctx.Ctx.skip <- (fun i -> Hashtbl.mem members i);
+        let ids = Hashtbl.fold (fun c () acc -> c :: acc) members [] in
+        Ctx.set_skip ctx (Array.of_list (List.sort compare ids));
         ctx);
   }
 
@@ -202,8 +203,8 @@ let legal_stage =
         let d = ctx.Ctx.design in
         let l =
           Legal.run d ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
-            ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ~cx:ctx.Ctx.cx
-            ~cy:ctx.Ctx.cy ()
+            ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ?bound:ctx.Ctx.bound
+            ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
         in
         Abacus.run d ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip
           ~target_cx:ctx.Ctx.cx ~legal:l ();
@@ -224,7 +225,7 @@ let detail_stage =
         let stats =
           Detail.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
             ~max_passes:ctx.Ctx.config.Config.detail_passes
-            ~skip:ctx.Ctx.skip ~netbox:(Ctx.netbox ctx)
+            ~skip:ctx.Ctx.skip ?bound:ctx.Ctx.bound ~netbox:(Ctx.netbox ctx)
             ~hypergraph:(Lazy.force ctx.Ctx.hypergraph) ~legal ()
         in
         ctx.Ctx.detail_stats <- Some stats;
@@ -242,7 +243,8 @@ let flip_stage =
            stays valid — no rebuild. *)
         let stats =
           Dpp_place.Flip.run ctx.Ctx.design ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
-            ~netbox:(Ctx.netbox ctx) ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
+            ~skip:ctx.Ctx.flip_skip ~netbox:(Ctx.netbox ctx) ~cx:ctx.Ctx.cx
+            ~cy:ctx.Ctx.cy ()
         in
         ctx.Ctx.flip_stats <- Some stats;
         ctx);
@@ -270,9 +272,19 @@ let stages (cfg : Config.t) =
   | Config.Structure_aware -> [ extract_stage ])
   @ [ init_stage; gp_stage; snap_stage; legal_stage; detail_stage; flip_stage; metrics_stage ]
 
+let eco_stages = [ legal_stage; detail_stage; flip_stage; metrics_stage ]
+
+let resume_stages ~stages:stage_list ~after =
+  let rec drop = function
+    | [] -> []
+    | s :: rest -> if s.name = after then rest else drop rest
+  in
+  if List.exists (fun s -> s.name = after) stage_list then drop stage_list
+  else invalid_arg (Printf.sprintf "resume_stages: no stage named %S" after)
+
 (* ----- driver ----- *)
 
-let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
+let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : Design.t)
     (cfg : Config.t) =
   let issues = Validate.check input in
   if not (Validate.is_clean issues) then raise (Invalid_design (Validate.errors issues));
@@ -284,6 +296,7 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
     issues;
   let t_start = Unix.gettimeofday () in
   let ctx = Ctx.create (copy_design input) cfg in
+  (match prepare with Some f -> f ctx | None -> ());
   (* the worker pool must not outlive the flow, even on Check_failed *)
   Fun.protect ~finally:(fun () -> Dpp_par.Pool.shutdown ctx.Ctx.pool) @@ fun () ->
   let reports = ref [] in
@@ -323,6 +336,7 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
           overflow;
           levels;
           check = verdict;
+          extra = [];
         }
       in
       reports := rep :: !reports;
@@ -346,22 +360,25 @@ let run_stages ?observer ?(check = false) ~stages:stage_list (input : Design.t)
     else Alignment.total_error ctx.Ctx.dgroups ~cx:fx ~cy:fy
   in
   Pins.apply_centers d fx fy;
-  let gp = Option.get ctx.Ctx.gp in
+  (* partial pipelines (incremental ECO, checkpoint resume) never run a gp
+     stage; the gp-derived fields then report the placement they started
+     from instead of erroring *)
+  let gp = ctx.Ctx.gp in
   {
     design = d;
     config = cfg;
     hpwl_init = ctx.Ctx.hpwl_init;
-    hpwl_gp = gp.Gp.final_hpwl;
+    hpwl_gp = (match gp with Some g -> g.Gp.final_hpwl | None -> ctx.Ctx.hpwl_init);
     hpwl_legal = ctx.Ctx.hpwl_legal;
     hpwl_final;
     steiner_final = ctx.Ctx.steiner_final;
     congestion = Option.get ctx.Ctx.congestion;
     critical_delay = ctx.Ctx.critical_delay;
-    overflow_gp = gp.Gp.final_overflow;
+    overflow_gp = (match gp with Some g -> g.Gp.final_overflow | None -> 0.0);
     align_error_final;
     groups_used = ctx.Ctx.groups_used;
     extraction = ctx.Ctx.extraction;
-    trace = gp.Gp.trace;
+    trace = (match gp with Some g -> g.Gp.trace | None -> []);
     stage_trace;
     times = List.map (fun (r : Trace.stage) -> r.Trace.name, r.Trace.wall_s) stage_trace;
     total_time = Unix.gettimeofday () -. t_start;

@@ -55,6 +55,10 @@ val stages : Config.t -> stage list
 (** The stage list the driver executes for a given configuration (the
     extract stage is present only in [Structure_aware] mode). *)
 
+val extract_stage : stage
+(** The extraction stage on its own — the serve layer substitutes a
+    cache-backed variant for it by name. *)
+
 val run :
   ?observer:(Dpp_report.Trace.stage -> unit) ->
   ?check:bool ->
@@ -69,6 +73,7 @@ val run :
     {!Check_failed}. *)
 
 val run_stages :
+  ?prepare:(Ctx.t -> unit) ->
   ?observer:(Dpp_report.Trace.stage -> unit) ->
   ?check:bool ->
   stages:stage list ->
@@ -77,8 +82,22 @@ val run_stages :
   result
 (** Like {!run} but over an explicit stage list — the hook the mutation
     tests and the fuzz harness use to splice fault-injection stages into
-    the pipeline.  The list must still produce a complete context (gp and
-    metrics stages present) for the result to be assembled. *)
+    the pipeline, and the one incremental ECO re-placement and checkpoint
+    resume build on.  [prepare] runs right after context creation, before
+    any stage — it may install coordinates, skip sets, obstacles, and the
+    ECO [bound].  The list must end in a metrics stage for the result to
+    be assembled; when no gp stage is present the gp-derived result
+    fields report the starting placement. *)
+
+val eco_stages : stage list
+(** [legal; detail; flip; metrics] — the incremental ECO re-placement
+    suffix.  Driven by the context's [bound], [skip], [flip_skip] and
+    [obstacles] (see {!Eco}), all installed through [prepare]. *)
+
+val resume_stages : stages:stage list -> after:string -> stage list
+(** The suffix of [stages] strictly after the named stage — the stage
+    list a checkpoint resume runs.
+    @raise Invalid_argument if no stage has that name. *)
 
 val trace_of_result : result -> Dpp_report.Trace.t
 (** The result's stage trace bundled for {!Dpp_report.Trace.write}. *)

@@ -22,6 +22,7 @@ type case = {
   moves : int;
   dp_fraction : float;
   jobs : int;
+  eco_ops : int;
 }
 
 type failure = { case : case; kind : string; stage : string; detail : string list }
@@ -35,11 +36,12 @@ let case_of_seed seed =
     moves = 160 + Rng.int rng 340;
     dp_fraction = float_of_int (Rng.int rng 8) /. 10.0;
     jobs = 1;
+    eco_ops = 3 + Rng.int rng 6;
   }
 
 let replay_command c =
-  Printf.sprintf "dpp_fuzz --seed %d --cells %d --nets %d --moves %d --dp-fraction %g%s"
-    c.seed c.cells c.nets c.moves c.dp_fraction
+  Printf.sprintf "dpp_fuzz --seed %d --cells %d --nets %d --moves %d --dp-fraction %g --eco-ops %d%s"
+    c.seed c.cells c.nets c.moves c.dp_fraction c.eco_ops
     (if c.jobs = 1 then "" else Printf.sprintf " --jobs %d" c.jobs)
 
 let pp_failure ppf f =
@@ -502,6 +504,95 @@ let ml_checks (c : case) =
       ( "multilevel-validate",
         List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
 
+(* ----- incremental-ECO differential -----
+
+   The ECO contract fuzzed here: for a seeded edit list against a placed
+   base, the incremental path must (a) keep every frozen cell bit-identical
+   to the base placement and (b) pass the full legality oracles from the
+   legalize boundary on (Eco.run's check mode).  A fallback run trivially
+   satisfies both, so fallbacks are not failures.  On failure the edit
+   list itself is minimized: greedily drop edits while the failure still
+   reproduces — the seeded generator only ever references base cell ids,
+   so every sublist is a valid edit list. *)
+
+let eco_edit_failure ~base ~cfg es =
+  if es = [] then None
+  else
+    match Eco.run ~check:true ~base es cfg with
+    | (r : Eco.result) ->
+      if r.Eco.fallback then None
+      else begin
+        let rd = r.Eco.flow.Flow.design in
+        let bad = ref None in
+        Array.iter
+          (fun i ->
+            if
+              !bad = None
+              && not
+                   (Float.equal rd.Design.x.(i) base.Design.x.(i)
+                   && Float.equal rd.Design.y.(i) base.Design.y.(i)
+                   && rd.Design.orient.(i) = base.Design.orient.(i))
+            then bad := Some i)
+          r.Eco.plan.Eco.frozen;
+        Option.map
+          (fun i ->
+            ( "clean-region",
+              [
+                Printf.sprintf "frozen cell %d moved: base (%.17g, %.17g) -> eco (%.17g, %.17g)"
+                  i base.Design.x.(i) base.Design.y.(i) rd.Design.x.(i) rd.Design.y.(i);
+              ] ))
+          !bad
+      end
+    | exception Flow.Check_failed { stage; violations } -> Some (stage, violations)
+    | exception Invalid_argument m -> Some ("apply", [ m ])
+
+(* Greedy one-at-a-time delta debugging over the edit list, to fixpoint. *)
+let minimize_edits failing edits =
+  let rec drop es =
+    let n = List.length es in
+    if n <= 1 then es
+    else begin
+      let rec try_k k =
+        if k >= n then es
+        else begin
+          let es' = List.filteri (fun i _ -> i <> k) es in
+          match failing es' with Some _ -> drop es' | None -> try_k (k + 1)
+        end
+      in
+      try_k 0
+    end
+  in
+  drop edits
+
+let eco_checks (c : case) =
+  let spec =
+    Dpp_gen.Presets.scaled
+      ~name:(Printf.sprintf "fuzzeco%d" c.seed)
+      ~seed:c.seed ~cells:(max 100 c.cells) ~dp_fraction:c.dp_fraction
+  in
+  let d = Dpp_gen.Compose.build spec in
+  let cfg = { (flow_config c) with Config.mode = Config.Baseline } in
+  let base = (Flow.run d cfg).Flow.design in
+  let failing = eco_edit_failure ~base ~cfg in
+  match Eco.random_edits ~ops:c.eco_ops ~seed:c.seed base with
+  | exception Invalid_argument m -> Some ("edit-gen", [ m ])
+  | edits -> (
+    match failing edits with
+    | None -> None
+    | Some _ ->
+      let minimal = minimize_edits failing edits in
+      let stage, detail =
+        match failing minimal with Some f -> f | None -> Option.get (failing edits)
+      in
+      Some
+        ( stage,
+          detail
+          @ [
+              Printf.sprintf "minimal edit list (%d of %d edits): %s" (List.length minimal)
+                (List.length edits)
+                (Dpp_report.Json.encode (Eco.edits_to_json minimal));
+            ] ))
+
 let run_case ?(flow = true) (c : case) =
   match unit_checks c with
   | Some (kind, stage, detail) -> Some { case = c; kind; stage; detail }
@@ -522,7 +613,10 @@ let run_case ?(flow = true) (c : case) =
           | None -> (
             match ml_checks c with
             | Some (stage, detail) -> Some { case = c; kind = "multilevel"; stage; detail }
-            | None -> None)))))
+            | None -> (
+              match eco_checks c with
+              | Some (stage, detail) -> Some { case = c; kind = "eco"; stage; detail }
+              | None -> None))))))
 
 let shrink rerun failure =
   let rec go (f : failure) =
@@ -534,6 +628,7 @@ let shrink rerun failure =
         { c with nets = max 1 (c.nets / 2) };
         { c with moves = max 1 (c.moves / 2) };
         { c with jobs = (if c.jobs > 2 then c.jobs / 2 else 1) };
+        { c with eco_ops = max 1 (c.eco_ops / 2) };
       ]
       |> List.filter (fun c' -> c' <> c)
     in

@@ -20,11 +20,18 @@
       multilevel V-cycle forced on (thresholds lowered so it engages at
       fuzz sizes) and once forced flat, both in check mode — so the
       cluster-integrity oracle gates every level boundary — and the final
-      HPWLs must agree within a bounded factor.
+      HPWLs must agree within a bounded factor;
+    - {b eco}: a seeded {!Eco.random_edits} list is replayed incrementally
+      against a placed base ({!Eco.run} in check mode); every frozen cell
+      must stay bit-identical to the base placement and the result must
+      pass the legality oracles.  On failure the {e edit list itself} is
+      minimized (greedy one-at-a-time delta debugging) and the minimal
+      still-failing list is printed as JSON, replayable through
+      [dpp_serve eco --edits].
 
     On failure, {!shrink} greedily halves the case (fewer cells, fewer
-    nets, shorter move sequence) while the failure reproduces, yielding a
-    minimal reproducer. *)
+    nets, shorter move sequence, fewer ECO edits) while the failure
+    reproduces, yielding a minimal reproducer. *)
 
 type case = {
   seed : int;
@@ -37,6 +44,7 @@ type case = {
           differentials on every pooled kernel, plus a jobs-N vs jobs-1
           whole-flow determinism differential — all with [Float.equal],
           no tolerance *)
+  eco_ops : int;  (** length of the seeded ECO edit list *)
 }
 
 type failure = {
@@ -54,7 +62,7 @@ val case_of_seed : int -> case
 
 val replay_command : case -> string
 (** The one-command reproducer, e.g.
-    ["dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3"]. *)
+    ["dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3 --eco-ops 4"]. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -26,7 +26,15 @@ let write_nodes (d : Design.t) path =
       Printf.fprintf oc "NumTerminals : %d\n" terminals;
       Array.iter
         (fun (c : Types.cell) ->
-          let term = if Types.is_fixed_kind c.c_kind then " terminal" else "" in
+          (* ISPD convention: [terminal_NI] is a terminal that does not
+             block placement — exactly our [Pad] kind, so the kind
+             round-trips instead of collapsing into [Fixed]. *)
+          let term =
+            match c.c_kind with
+            | Types.Pad -> " terminal_NI"
+            | Types.Fixed -> " terminal"
+            | Types.Movable -> ""
+          in
           Printf.fprintf oc "  %s %.4f %.4f%s\n" c.c_name c.c_width c.c_height term)
         d.Design.cells)
 
@@ -240,9 +248,15 @@ let stream_nodes path b ~fixed_names ~masters =
         | Some [ "NumNodes"; ":"; _ ] | Some [ "NumTerminals"; ":"; _ ] -> loop ()
         | Some (name :: w :: h :: rest) ->
           let terminal = List.mem "terminal" rest in
+          let terminal_ni = List.mem "terminal_NI" rest in
           let w = float_tok lr w and h = float_tok lr h in
           let kind =
-            if terminal || Hashtbl.mem fixed_names name then
+            (* [terminal_NI] is a non-blocking terminal -> Pad exactly;
+               a plain [terminal] (or /FIXED in the .pl) is Fixed unless
+               it has no area, the usual pad encoding in foreign
+               benchmarks. *)
+            if terminal_ni then Types.Pad
+            else if terminal || Hashtbl.mem fixed_names name then
               if w *. h <= 1e-9 then Types.Pad else Types.Fixed
             else Types.Movable
           in

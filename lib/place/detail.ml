@@ -193,7 +193,7 @@ let swap_pass (s : Soa.t) pool nb skip (legal : Legal.t) =
    median interval of its incident nets' bounding boxes computed without
    the cell itself.  A cell outside its region is moved into a free gap
    near the region if that lowers the HPWL of its nets. *)
-let move_pass (d : Design.t) (s : Soa.t) pool nb h skip (legal : Legal.t) =
+let move_pass (d : Design.t) (s : Soa.t) pool nb h skip bound (legal : Legal.t) =
   let cx = legal.Legal.cx and cy = legal.Legal.cy in
   let occ = Occ.build ~soa:s d ~cx ~cy in
   let die = d.Design.die in
@@ -248,19 +248,31 @@ let move_pass (d : Design.t) (s : Soa.t) pool nb h skip (legal : Legal.t) =
           in
           if not already_there then begin
             let target_row = Design.row_of_y d (ty -. (s.Soa.height.(i) /. 2.0)) in
-            (* search free gaps in rows near the target *)
+            (* search free gaps in rows near the target; in region-bounded
+               mode (incremental ECO) a candidate slot must keep the whole
+               cell inside the bound *)
+            let slot_ok r cand_cx =
+              match bound with
+              | None -> true
+              | Some (b : Dpp_geom.Rect.t) ->
+                let y_lo = Design.row_y d r in
+                cand_cx -. (w /. 2.0) >= b.Dpp_geom.Rect.xl -. 1e-9
+                && cand_cx +. (w /. 2.0) <= b.Dpp_geom.Rect.xh +. 1e-9
+                && y_lo >= b.Dpp_geom.Rect.yl -. 1e-9
+                && y_lo +. d.Design.row_height <= b.Dpp_geom.Rect.yh +. 1e-9
+            in
             let best = ref None in
             for dr = -1 to 1 do
               let r = target_row + dr in
               if r >= 0 && r < d.Design.num_rows then begin
                 let row_cy = Design.row_y d r +. (d.Design.row_height /. 2.0) in
                 match Occ.best_gap occ r ~w ~tx ~align:align_up with
-                | Some (gcost, cand_cx) ->
+                | Some (gcost, cand_cx) when slot_ok r cand_cx ->
                   let cost = gcost +. abs_float (row_cy -. ty) in
                   (match !best with
                   | Some (bc, _, _) when bc <= cost -> ()
                   | Some _ | None -> best := Some (cost, r, cand_cx))
-                | None -> ()
+                | Some _ | None -> ()
               end
             done;
             match !best with
@@ -299,7 +311,7 @@ let move_pass (d : Design.t) (s : Soa.t) pool nb h skip (legal : Legal.t) =
   !gain, !moves
 
 let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(max_passes = 3) ?(skip = fun _ -> false)
-    ?netbox ?hypergraph ~legal () =
+    ?bound ?netbox ?hypergraph ~legal () =
   let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nb =
     match netbox with
@@ -314,7 +326,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(max_passes = 3) ?(skip = fun
     incr pass;
     let g1, m1 = reorder_pass s pool nb skip legal in
     let g2, m2 = swap_pass s pool nb skip legal in
-    let g3, m3 = move_pass d s pool nb h skip legal in
+    let g3, m3 = move_pass d s pool nb h skip bound legal in
     reorder_gain := !reorder_gain +. g1;
     swap_gain := !swap_gain +. g2 +. g3;
     moves := !moves + m1 + m2 + m3;

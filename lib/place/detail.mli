@@ -38,6 +38,7 @@ val run :
   ?soa:Dpp_netlist.Soa.t ->
   ?max_passes:int ->
   ?skip:(int -> bool) ->
+  ?bound:Dpp_geom.Rect.t ->
   ?netbox:Dpp_wirelen.Netbox.t ->
   ?hypergraph:Dpp_netlist.Hypergraph.t ->
   legal:Legal.t ->
@@ -45,6 +46,12 @@ val run :
   stats
 (** Mutates [legal.cx]/[legal.cy] in place.  Default [max_passes] is 3;
     a pass that improves nothing stops the loop early.
+
+    [bound] (region-bounded mode, incremental ECO): the global-move pass
+    only accepts candidate slots that keep the whole cell inside the
+    rectangle, so re-detailed cells never leave the dirty region (reorder
+    and swap already stay put — they permute existing slots of non-skipped
+    cells).
 
     [netbox], when given, {e must} have been built over the [legal.cx] /
     [legal.cy] arrays (the flow's shared context guarantees this); when

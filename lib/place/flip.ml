@@ -7,7 +7,8 @@ module Pool = Dpp_par.Pool
 
 type stats = { flips : int; gain : float; flipped : int list }
 
-let run (d : Design.t) ?(pool = Pool.serial) ?soa ?netbox ~cx ~cy () =
+let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(skip = fun _ -> false) ?netbox ~cx ~cy
+    () =
   let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nb = match netbox with Some nb -> nb | None -> Netbox.build (Pins.of_soa s) ~cx ~cy in
   (* evaluate-parallel/commit-serial: workers score every candidate flip
@@ -17,7 +18,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?soa ?netbox ~cx ~cy () =
      flip of a net neighbour can change the sign of a later delta. *)
   let cands =
     Array.to_list (Design.movable_ids d)
-    |> List.filter (fun i -> s.Soa.height.(i) <= s.Soa.row_height +. 1e-9)
+    |> List.filter (fun i -> (not (skip i)) && s.Soa.height.(i) <= s.Soa.row_height +. 1e-9)
     |> Array.of_list
   in
   let proposals = Array.make Pool.chunk_count [] in

@@ -20,12 +20,15 @@ val run :
   Dpp_netlist.Design.t ->
   ?pool:Dpp_par.Pool.t ->
   ?soa:Dpp_netlist.Soa.t ->
+  ?skip:(int -> bool) ->
   ?netbox:Dpp_wirelen.Netbox.t ->
   cx:float array ->
   cy:float array ->
   unit ->
   stats
-(** Greedy single pass over all movable cells at the given placement;
+(** Greedy single pass over all movable cells at the given placement
+    ([skip], used by incremental ECO re-placement, exempts cells — their
+    orientations must stay bit-identical to the base placement);
     mutates [design.orient] (and the pin view's x-offsets) for accepted
     flips.  Multi-row macros (RAMs) are skipped — their pin symmetry
     assumptions do not hold.  [netbox], when given, must be live over

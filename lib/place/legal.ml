@@ -14,10 +14,18 @@ let src = Logs.Src.create "dpp.legal" ~doc:"legalization"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Free segments of row [r]: the die span minus obstacle x-intervals,
-   as ascending (lo, hi) pairs. *)
+(* Free segments of row [r]: the die span minus obstacle x-intervals, as
+   ascending (lo, hi) pairs.  Each segment is shrunk inward to the site
+   grid (origin [die.xl]): obstacles need not be site-aligned (foreign
+   benchmarks, pad rings at fractional x), but placed cells are, so a
+   cell flush against a fractional segment edge would be pushed into the
+   obstacle by the later site snap.  Aligning here makes the capacity the
+   legalizer fits against and the positions Abacus emits agree. *)
 let row_segments (d : Design.t) obstacles r =
   let die = d.Design.die in
+  let site = d.Design.site_width in
+  let align_up v = die.Rect.xl +. (ceil (((v -. die.Rect.xl) /. site) -. 1e-9) *. site) in
+  let align_down v = die.Rect.xl +. (floor (((v -. die.Rect.xl) /. site) +. 1e-9) *. site) in
   let y_lo = Design.row_y d r and y_hi = Design.row_y d r +. d.Design.row_height in
   let blocked =
     List.filter_map
@@ -29,13 +37,17 @@ let row_segments (d : Design.t) obstacles r =
     |> List.sort compare
   in
   let segments = ref [] in
+  let add lo hi =
+    let lo = align_up lo and hi = align_down hi in
+    if hi -. lo > 1e-9 then segments := (lo, hi) :: !segments
+  in
   let cursor = ref die.Rect.xl in
   List.iter
     (fun (lo, hi) ->
-      if lo > !cursor then segments := (!cursor, lo) :: !segments;
+      if lo > !cursor then add !cursor lo;
       cursor := max !cursor hi)
     blocked;
-  if !cursor < die.Rect.xh then segments := (!cursor, die.Rect.xh) :: !segments;
+  if !cursor < die.Rect.xh then add !cursor die.Rect.xh;
   List.rev !segments
 
 let row_segments_for_test = row_segments
@@ -59,11 +71,34 @@ let row_segments_for_test = row_segments
    a row set, the search expands outward from the target row and stops
    once the vertical displacement alone exceeds the best cost found. *)
 let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(extra_obstacles = [])
-    ?(skip = fun _ -> false) ~cx ~cy () =
+    ?(skip = fun _ -> false) ?bound ~cx ~cy () =
   let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nc = Soa.num_cells s in
   let nrows = d.Design.num_rows in
   let rh = d.Design.row_height in
+  (* region-bounded mode: only rows overlapping [bound] get free
+     intervals, and those intervals are clipped to the bound's x-span, so
+     every legalized cell lands inside the bound.  Target rows are clamped
+     into the bound; everything else (chunking, spill merge) is untouched,
+     so the bounded run keeps the worker-count determinism contract. *)
+  let row_lo, row_hi =
+    match bound with
+    | None -> 0, nrows
+    | Some (b : Rect.t) ->
+      let lo = Design.row_of_y d (b.Rect.yl +. 1e-9) in
+      let hi = Design.row_of_y d (b.Rect.yh -. 1e-9) + 1 in
+      max 0 lo, min nrows (max hi (lo + 1))
+  in
+  let clip_segments segs =
+    match bound with
+    | None -> segs
+    | Some (b : Rect.t) ->
+      List.filter_map
+        (fun (lo, hi) ->
+          let lo = max lo b.Rect.xl and hi = min hi b.Rect.xh in
+          if hi -. lo > 1e-9 then Some (lo, hi) else None)
+        segs
+  in
   let fixed_rects = ref [] in
   for i = nc - 1 downto 0 do
     if s.Soa.kind.(i) = Soa.kind_fixed then
@@ -138,14 +173,16 @@ let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(extra_obstacles = [])
     List.iter
       (fun (target_xl, i) ->
         let tr = Design.row_of_y d (cy.(i) -. (s.Soa.height.(i) /. 2.0)) in
-        let tr = max 0 (min (nrows - 1) tr) in
+        let tr = max row_lo (min (row_hi - 1) tr) in
         buckets.(chunk_of_row.(tr)) <- (target_xl, tr, i) :: buckets.(chunk_of_row.(tr)))
       todo;
     Array.iteri (fun c b -> buckets.(c) <- List.rev b) buckets;
     let spills = Array.make Pool.chunk_count [] in
     Pool.iter_chunks pool ~n:nrows (fun ~worker:_ ~chunk ~lo ~hi ->
         for r = lo to hi - 1 do
-          Intervals.reset stores.(r) (row_segments d obstacles r)
+          Intervals.reset stores.(r)
+            (if r < row_lo || r >= row_hi then []
+             else clip_segments (row_segments d obstacles r))
         done;
         let spill = ref [] in
         List.iter

@@ -26,6 +26,7 @@ val run :
   ?soa:Dpp_netlist.Soa.t ->
   ?extra_obstacles:Dpp_geom.Rect.t list ->
   ?skip:(int -> bool) ->
+  ?bound:Dpp_geom.Rect.t ->
   cx:float array ->
   cy:float array ->
   unit ->
@@ -35,7 +36,14 @@ val run :
     fans the chunk-local phase out over worker domains; the result does
     not depend on the worker count.  [soa] supplies the flow's flat view
     so the sort keys and interval widths come from flat arrays; without
-    it one is derived on the spot. *)
+    it one is derived on the spot.
+
+    [bound] is the region-bounded mode behind incremental ECO
+    re-placement: only rows overlapping the rectangle get free intervals
+    and those are clipped to its x-span, so every non-skipped cell is
+    legalized {e inside} the bound (pass the frozen cells' rectangles as
+    [extra_obstacles] to keep them from being overlapped).  The bounded
+    run keeps the worker-count determinism contract. *)
 
 val row_segments_for_test : Dpp_netlist.Design.t -> Dpp_geom.Rect.t list -> int -> (float * float) list
 (** The free x-spans of a row given obstacle rectangles — shared with

@@ -145,6 +145,37 @@ let parse s =
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec encode = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f ->
+    if Float.is_finite f then
+      if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.12g" f
+    else "null"
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr xs -> "[" ^ String.concat "," (List.map encode xs) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ encode v) fields)
+    ^ "}"
+
 let to_list = function Arr xs -> xs | _ -> raise (Parse_error "expected an array")
 let to_float = function Num f -> f | _ -> raise (Parse_error "expected a number")
 let to_string = function Str s -> s | _ -> raise (Parse_error "expected a string")

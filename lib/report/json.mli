@@ -21,6 +21,11 @@ val parse : string -> t
 val member : string -> t -> t option
 (** Field lookup in an [Obj] ([None] on missing field or non-object). *)
 
+val encode : t -> string
+(** Compact serialization; [parse (encode v)] reproduces [v] up to float
+    formatting ([%.12g], integral floats printed without a point).
+    Non-finite numbers encode as [null], matching the {!Trace} writer. *)
+
 val to_list : t -> t list
 (** Elements of an [Arr]. @raise Parse_error on any other constructor. *)
 

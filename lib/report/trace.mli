@@ -52,12 +52,32 @@ type stage = {
       (** multilevel V-cycle solves, ascending level order; empty for
           every stage except a multilevel gp stage *)
   check : check option;  (** oracle verdict, when the run checks stages *)
+  extra : (string * Json.t) list;
+      (** unknown per-stage fields, preserved verbatim so the schema can
+          evolve: a producer may attach new keys (the serve layer's event
+          stream does) and [to_json (stage_of_json s)] round-trips them
+          instead of erroring.  Empty for stages built by the flow. *)
 }
 
 type t = { design : string; mode : string; total_s : float; stages : stage list }
 
 val to_json : t -> string
 (** One run as a compact JSON object. *)
+
+val stage_to_json : stage -> Json.t
+(** One stage record as a JSON object — the serve layer's per-stage event
+    payload.  [extra] fields are appended verbatim. *)
+
+val stage_of_json : Json.t -> stage
+(** Tolerant stage parser: known fields are decoded ([levels] is accepted
+    on {e any} stage, not just [gp]); unrecognized object fields land in
+    {!stage.extra} and survive a re-encode.  Missing numeric fields
+    default to [0.].
+    @raise Json.Parse_error if the value is not an object. *)
+
+val of_json : Json.t -> t
+(** Parse one run object (an element of the array {!write} emits).
+    @raise Json.Parse_error if the value is not an object. *)
 
 val write : path:string -> t list -> unit
 (** Write runs as a JSON array (pretty enough: one object per line). *)

@@ -1,0 +1,88 @@
+(* Bounded job queue over a fixed set of worker domains. *)
+
+type job = { id : int; run : id:int -> unit }
+
+type t = {
+  capacity : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* a job was queued, or shutdown began *)
+  idle : Condition.t;  (* a job finished or was dequeued *)
+  mutable next_id : int;
+  mutable running : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec worker_loop t =
+  let job =
+    with_lock t (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.nonempty t.lock
+        done;
+        if Queue.is_empty t.queue then None
+        else begin
+          let j = Queue.pop t.queue in
+          t.running <- t.running + 1;
+          Some j
+        end)
+  in
+  match job with
+  | None -> ()  (* stopping and drained: exit the domain *)
+  | Some j ->
+    (* the job owns its error reporting; a raise must never kill the
+       worker, or the pool would silently lose capacity *)
+    (try j.run ~id:j.id with _ -> ());
+    with_lock t (fun () ->
+        t.running <- t.running - 1;
+        Condition.broadcast t.idle);
+    worker_loop t
+
+let create ~workers ~queue:capacity =
+  let t =
+    {
+      capacity = max 1 capacity;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      next_id = 1;
+      running = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t run =
+  with_lock t (fun () ->
+      if t.stopping || Queue.length t.queue >= t.capacity then `Busy
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Queue.push { id; run } t.queue;
+        Condition.signal t.nonempty;
+        `Queued id
+      end)
+
+let pending t = with_lock t (fun () -> Queue.length t.queue + t.running)
+
+let drain t =
+  with_lock t (fun () ->
+      while not (Queue.is_empty t.queue) || t.running > 0 do
+        Condition.wait t.idle t.lock
+      done)
+
+let shutdown t =
+  with_lock t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.nonempty);
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let alive_workers t = List.length t.domains

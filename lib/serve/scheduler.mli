@@ -1,0 +1,40 @@
+(** A bounded job queue drained by a fixed pool of worker domains.
+
+    The serve layer's concurrency backbone: client handler threads
+    [submit] job closures; worker {e domains} (real parallelism, unlike
+    threads sharing one runtime lock) pop and run them.  The queue bound
+    is the server's backpressure — a full queue answers [`Busy] instead
+    of buffering unboundedly, and the client sees a [Rejected] response
+    it can retry.
+
+    Each job typically runs a full placement flow, whose kernels fan out
+    over their own {!Dpp_par.Pool}; the scheduler's [workers] therefore
+    sets how many {e jobs} progress concurrently, and the per-job
+    [jobs] config how many domains each one uses — the sharding knob
+    pair the SRV bench sweeps. *)
+
+type t
+
+val create : workers:int -> queue:int -> t
+(** Spawn [max 1 workers] worker domains over a queue bounded at
+    [max 1 queue] waiting jobs. *)
+
+val submit : t -> (id:int -> unit) -> [ `Queued of int | `Busy ]
+(** Enqueue a job closure; it runs on some worker with its assigned id.
+    [`Busy] when the queue is full or the scheduler is stopping.  A
+    raising job is contained (the worker survives); jobs own their own
+    error reporting. *)
+
+val pending : t -> int
+(** Queued plus running jobs, a snapshot. *)
+
+val drain : t -> unit
+(** Block until no job is queued or running. *)
+
+val shutdown : t -> unit
+(** Stop accepting, let the workers finish the queue, join every worker
+    domain.  After it returns, {!alive_workers} is 0 — the no-orphaned-
+    domains assertion the fault-injection tests make. *)
+
+val alive_workers : t -> int
+(** Worker domains not yet joined. *)

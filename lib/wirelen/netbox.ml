@@ -44,6 +44,11 @@ type t = {
   mutable n_mirrored : int;
   mutable total : float;
   mutable active : bool;
+  (* dirty-set export: nets whose committed box changed since the last
+     [clear_dirty] (or since build), in first-dirtied order *)
+  dirty_mark : bool array;
+  mutable dirty : int array;
+  mutable n_dirty : int;
 }
 
 (* Nets up to this degree skip the multiplicity bookkeeping entirely: any
@@ -123,6 +128,9 @@ let build ?pool (pins : Pins.t) ~cx ~cy =
       n_mirrored = 0;
       total = 0.0;
       active = false;
+      dirty_mark = Array.make nn false;
+      dirty = Array.make 64 0;
+      n_dirty = 0;
     }
   in
   (* Per-net scans write disjoint slots, so they can fan out over a pool;
@@ -324,11 +332,36 @@ let finish t =
   t.n_mirrored <- 0;
   t.active <- false
 
+let mark_dirty t n =
+  if not t.dirty_mark.(n) then begin
+    t.dirty_mark.(n) <- true;
+    if t.n_dirty = Array.length t.dirty then t.dirty <- grow_int t.dirty;
+    t.dirty.(t.n_dirty) <- n;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+let dirty_nets t =
+  let a = Array.sub t.dirty 0 t.n_dirty in
+  Array.sort compare a;
+  a
+
+let clear_dirty t =
+  for k = 0 to t.n_dirty - 1 do
+    t.dirty_mark.(t.dirty.(k)) <- false
+  done;
+  t.n_dirty <- 0
+
 let commit t =
   if t.active then begin
     t.total <- t.total +. delta t;
     for k = 0 to t.n_touched - 1 do
       let n = t.touched.(k) in
+      if
+        t.xmin.(n) <> t.sxmin.(n)
+        || t.xmax.(n) <> t.sxmax.(n)
+        || t.ymin.(n) <> t.symin.(n)
+        || t.ymax.(n) <> t.symax.(n)
+      then mark_dirty t n;
       t.xmin.(n) <- t.sxmin.(n);
       t.xmax.(n) <- t.sxmax.(n);
       t.ymin.(n) <- t.symin.(n);

@@ -73,6 +73,18 @@ val eval_flip : t -> int -> float
     orientation-flip analogue of {!eval_moves}; same concurrency
     contract). *)
 
+val dirty_nets : t -> int array
+(** Ids of the nets whose {e committed} box changed in at least one
+    {!commit} since the cache was built (or since the last
+    {!clear_dirty}), ascending.  Rolled-back transactions never dirty a
+    net, and neither does a commit that happens to restore a box to its
+    exact previous extent.  This is the delta export the incremental ECO
+    flow uses to bound its dirty region: apply an edit list through
+    {!move_cell}/{!flip_cell} + {!commit}, then ask which nets moved. *)
+
+val clear_dirty : t -> unit
+(** Reset the dirty set (e.g. after consuming {!dirty_nets}). *)
+
 val audit : ?pool:Dpp_par.Pool.t -> ?tol:float -> t -> (int option * string) list
 (** Compare every committed per-net box and the committed total against a
     fresh rescan of the live coordinates and pin offsets.  Returns one

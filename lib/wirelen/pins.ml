@@ -58,6 +58,13 @@ let clone_scratch t =
     scratch_w2 = Array.make k 0.0;
   }
 
+let flip_cell_x t i =
+  let s = t.soa in
+  for k = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
+    let p = s.Soa.cell_pin.(k) in
+    t.off_x.(p) <- -.t.off_x.(p)
+  done
+
 let pin_x t ~cx p = cx.(t.pin_cell.(p)) +. t.off_x.(p)
 let pin_y t ~cy p = cy.(t.pin_cell.(p)) +. t.off_y.(p)
 

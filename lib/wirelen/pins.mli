@@ -35,6 +35,13 @@ val clone_scratch : t -> t
     on purpose: the flip stage's in-place mirroring remains visible to
     every view. *)
 
+val flip_cell_x : t -> int -> unit
+(** Mirror cell [i]'s pin x offsets in place — the pin-view effect of an
+    [N] <-> [FN] orientation change, identical to what a committed
+    {!Netbox.flip_cell} applies.  For callers that adopt an orientation
+    array {e before} any netbox exists (checkpoint resume); the caller
+    must keep [design.orient] in step. *)
+
 val pin_x : t -> cx:float array -> int -> float
 (** Pin absolute x given cell centers [cx]. *)
 

@@ -23,15 +23,19 @@ let test_case_bounds () =
     [ 1; 2; 3; 100; 12345 ]
 
 let test_replay_command () =
-  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 1 } in
+  let c =
+    { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 1; eco_ops = 4 }
+  in
   Alcotest.(check string) "one-command reproducer"
-    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3"
+    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3 --eco-ops 4"
     (Fuzz.replay_command c)
 
 let test_replay_command_jobs () =
-  let c = { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 4 } in
+  let c =
+    { Fuzz.seed = 7; cells = 140; nets = 52; moves = 80; dp_fraction = 0.3; jobs = 4; eco_ops = 4 }
+  in
   Alcotest.(check string) "reproducer carries the worker count"
-    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3 --jobs 4"
+    "dpp_fuzz --seed 7 --cells 140 --nets 52 --moves 80 --dp-fraction 0.3 --eco-ops 4 --jobs 4"
     (Fuzz.replay_command c)
 
 let test_random_design_deterministic () =
@@ -92,7 +96,9 @@ let test_shrink_minimizes () =
       Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
     else None
   in
-  let start = { Fuzz.seed = 1; cells = 300; nets = 80; moves = 500; dp_fraction = 0.5; jobs = 1 } in
+  let start =
+    { Fuzz.seed = 1; cells = 300; nets = 80; moves = 500; dp_fraction = 0.5; jobs = 1; eco_ops = 4 }
+  in
   let failure = Option.get (rerun start) in
   let minimal = Fuzz.shrink rerun failure in
   let c = minimal.Fuzz.case in
@@ -112,7 +118,9 @@ let test_shrink_jobs () =
       Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
     else None
   in
-  let start = { Fuzz.seed = 3; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 8 } in
+  let start =
+    { Fuzz.seed = 3; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 8; eco_ops = 4 }
+  in
   let failure = Option.get (rerun start) in
   let minimal = Fuzz.shrink rerun failure in
   Alcotest.(check int) "jobs shrunk to the smallest failing count" 2
@@ -124,7 +132,9 @@ let test_shrink_keeps_nonshrinkable () =
       Some { Fuzz.case = c; kind = "synthetic"; stage = "predicate"; detail = [] }
     else None
   in
-  let start = { Fuzz.seed = 2; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 1 } in
+  let start =
+    { Fuzz.seed = 2; cells = 100; nets = 1; moves = 1; dp_fraction = 0.0; jobs = 1; eco_ops = 1 }
+  in
   let failure = Option.get (rerun start) in
   let minimal = Fuzz.shrink rerun failure in
   Alcotest.(check bool) "already-minimal case unchanged" true

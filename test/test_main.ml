@@ -20,6 +20,8 @@ let () =
       "place", Test_place.suite;
       "coarsen", Test_coarsen.suite;
       "flow", Test_flow.suite;
+      "eco", Test_eco.suite;
+      "serve", Test_serve.suite;
       "check", Test_check.suite;
       "fuzz", Test_fuzz.suite;
       "soa", Test_soa.suite;

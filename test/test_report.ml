@@ -97,6 +97,27 @@ let test_json_errors () =
   Alcotest.(check bool) "unclosed array" true (rejects "[1, 2");
   Alcotest.(check bool) "empty input" true (rejects "")
 
+(* Regression: the stage parser must carry unknown fields through a
+   round-trip instead of dropping them (an earlier reader rejected any
+   schema extension outright).  The serve layer's event stream relies on
+   this to tag stage payloads with job-level extras. *)
+let test_trace_unknown_field_roundtrip () =
+  let module Trace = Dpp_report.Trace in
+  let src =
+    {|{"name":"gp","wall_s":1.5,"t_s":2.0,"hpwl_before":100,"hpwl_after":90,
+       "overflow":0.25,"levels":[],"check":null,
+       "eco":{"fallback":false},"job":7,"new_metric":[1,2]}|}
+  in
+  let s = Trace.stage_of_json (Json.parse src) in
+  Alcotest.(check string) "known field parsed" "gp" s.Trace.name;
+  Alcotest.(check int) "unknown fields collected" 3 (List.length s.Trace.extra);
+  Alcotest.(check bool) "unknown field value intact" true
+    (List.assoc_opt "job" s.Trace.extra = Some (Json.Num 7.0));
+  (* re-encode and re-parse: the extras must survive unchanged *)
+  let s' = Trace.stage_of_json (Json.parse (Json.encode (Trace.stage_to_json s))) in
+  Alcotest.(check bool) "extras survive re-encode" true (s'.Trace.extra = s.Trace.extra);
+  Alcotest.(check bool) "stage equal after roundtrip" true (s' = s)
+
 let suite =
   [
     Alcotest.test_case "table render" `Quick test_table_render;
@@ -109,4 +130,5 @@ let suite =
     Alcotest.test_case "json values" `Quick test_json_values;
     Alcotest.test_case "json nested" `Quick test_json_nested;
     Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "trace unknown-field roundtrip" `Quick test_trace_unknown_field_roundtrip;
   ]
