@@ -638,6 +638,84 @@ let run_ml_bench () =
   if not (rerun_ok && jobs_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Routability: congestion-driven GP tradeoff                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Congestion-blind vs congestion-steered placement on two designs: the
+   rt_channel stress preset (a cell-free routing channel that the blind
+   flow floods with crossing-net demand) and the big mixed datapath
+   benchmark.  The steered run must hold two quality gates on the
+   channel — ACE congestion down at least 20%, HPWL up at most 2% — and
+   two hard determinism gates: the steered trajectory rerun at the same
+   seed, and rerun at 4 worker domains, must reproduce the exact final
+   coordinates.  Emits BENCH_rt.json. *)
+let run_rt_bench () =
+  let module Design = Dpp_netlist.Design in
+  let module Flow = Dpp_core.Flow in
+  let module Config = Dpp_core.Config in
+  let module Rudy = Dpp_congest.Rudy in
+  let row name (d : Design.t) base =
+    let cfg rt jobs = { base with Config.routability = rt; jobs } in
+    let off = Flow.run d (cfg false 1) in
+    let on = Flow.run d (cfg true 1) in
+    let ace (r : Flow.result) = r.Flow.congestion.Rudy.ace_ratio in
+    let reduction = 100.0 *. (1.0 -. (ace on /. ace off)) in
+    let hpwl_delta =
+      100.0 *. (on.Flow.hpwl_final -. off.Flow.hpwl_final) /. off.Flow.hpwl_final
+    in
+    say "  %-10s off: ACE %.3f  max %.3f  HPWL %12.0f  Steiner %12.0f" name (ace off)
+      off.Flow.congestion.Rudy.max_ratio off.Flow.hpwl_final off.Flow.steiner_final;
+    say "  %-10s on:  ACE %.3f  max %.3f  HPWL %12.0f  Steiner %12.0f  (%d steering updates)"
+      name (ace on) on.Flow.congestion.Rudy.max_ratio on.Flow.hpwl_final
+      on.Flow.steiner_final
+      (List.length on.Flow.rt_trace);
+    say "  %-10s ACE reduction %.1f%%, HPWL delta %+.2f%%" name reduction hpwl_delta;
+    let same (a : Flow.result) (b : Flow.result) =
+      Array.for_all2 Float.equal a.Flow.design.Design.x b.Flow.design.Design.x
+      && Array.for_all2 Float.equal a.Flow.design.Design.y b.Flow.design.Design.y
+    in
+    let rerun_ok = same on (Flow.run d (cfg true 1)) in
+    let jobs_ok = same on (Flow.run d (cfg true 4)) in
+    if not rerun_ok then say "RT: MISMATCH: %s steered rerun diverged" name;
+    if not jobs_ok then say "RT: MISMATCH: %s 4-domain steered run diverged" name;
+    let json =
+      Printf.sprintf
+        {|{"design":"%s","cells":%d,"off_ace":%.4f,"off_max":%.4f,"off_hpwl":%.1f,"off_steiner":%.1f,"on_ace":%.4f,"on_max":%.4f,"on_hpwl":%.1f,"on_steiner":%.1f,"steering_updates":%d,"ace_reduction_pct":%.2f,"hpwl_delta_pct":%.3f,"deterministic_rerun":%b,"deterministic_jobs_1v4":%b}|}
+        name (Design.num_cells d) (ace off) off.Flow.congestion.Rudy.max_ratio
+        off.Flow.hpwl_final off.Flow.steiner_final (ace on)
+        on.Flow.congestion.Rudy.max_ratio on.Flow.hpwl_final on.Flow.steiner_final
+        (List.length on.Flow.rt_trace)
+        reduction hpwl_delta rerun_ok jobs_ok
+    in
+    json, reduction, hpwl_delta, rerun_ok && jobs_ok
+  in
+  let channel = Dpp_gen.Channel.build () in
+  say "RT: congestion-blind vs congestion-steered placement";
+  let j_ch, red_ch, dh_ch, det_ch =
+    row "rt_channel" channel { Config.baseline with Config.multilevel = Config.Ml_off }
+  in
+  let dp =
+    match Dpp_gen.Presets.by_name "dp_mix_l" with
+    | Some spec -> Dpp_gen.Compose.build spec
+    | None -> failwith "preset dp_mix_l missing"
+  in
+  let j_dp, _, _, det_dp = row "dp_mix_l" dp Config.structure_aware in
+  (* quality gates apply to the channel preset, where congestion is the
+     designed failure mode; on dp_mix_l the tradeoff is only reported *)
+  if red_ch < 20.0 then
+    say "RT: warning: channel ACE reduction %.1f%% below the 20%% target" red_ch;
+  if dh_ch > 2.0 then
+    say "RT: warning: channel HPWL delta %+.2f%% above the 2%% band" dh_ch;
+  if det_ch && det_dp then
+    say "RT: steered runs bit-identical across rerun and across 1 vs 4 worker domains";
+  let oc = open_out "BENCH_rt.json" in
+  Printf.fprintf oc {|{"rows":[%s,%s]}
+|} j_ch j_dp;
+  close_out oc;
+  say "  written BENCH_rt.json";
+  if not (det_ch && det_dp) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* XL scaling: the flat SoA core against the record kernels            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1117,6 +1195,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "ML",
       "multilevel vs flat global placement (V-cycle speedup behind determinism gates)",
       run_ml_bench );
+    ( "RT",
+      "congestion-driven placement tradeoff (ACE/HPWL, off vs on, equality gated)",
+      run_rt_bench );
     ( "XL",
       "flat SoA core vs record kernels at 10k..250k cells (bit-equality gated)",
       run_xl_bench );

@@ -18,11 +18,15 @@ let load ~preset ~bookshelf =
     | None -> (
       match Dpp_gen.Xl.by_name name with
       | Some d -> Ok d
-      | None ->
-        Error
-          (Printf.sprintf "unknown preset %S (available: %s)" name
-             (String.concat ", "
-                (Dpp_gen.Presets.names @ Dpp_gen.Xl.preset_names)))))
+      | None -> (
+        match Dpp_gen.Channel.by_name name with
+        | Some d -> Ok d
+        | None ->
+          Error
+            (Printf.sprintf "unknown preset %S (available: %s)" name
+               (String.concat ", "
+                  (Dpp_gen.Presets.names @ Dpp_gen.Xl.preset_names
+                 @ [ Dpp_gen.Channel.name ]))))))
   | None, Some base -> (
     try Ok (Dpp_netlist.Bookshelf.read ~basename:base) with
     | Dpp_netlist.Bookshelf.Parse_error msg -> Error msg
@@ -30,8 +34,8 @@ let load ~preset ~bookshelf =
   | Some _, Some _ -> Error "give either --preset or --bookshelf, not both"
   | None, None -> Error "give --preset <name> or --bookshelf <basename>"
 
-let run verbose preset bookshelf mode beta density seed jobs multilevel flat out svg compare
-    trace check =
+let run verbose preset bookshelf mode beta density seed jobs multilevel flat routability out
+    svg compare trace check =
   setup_logs verbose;
   match if multilevel && flat then Error "give either --multilevel or --flat, not both"
         else load ~preset ~bookshelf with
@@ -52,6 +56,7 @@ let run verbose preset bookshelf mode beta density seed jobs multilevel flat out
         seed;
         jobs;
         multilevel = ml_mode;
+        routability;
       }
     in
     let report tag (r : Dpp_core.Flow.result) =
@@ -59,6 +64,13 @@ let run verbose preset bookshelf mode beta density seed jobs multilevel flat out
         r.Dpp_core.Flow.hpwl_final r.Dpp_core.Flow.steiner_final r.Dpp_core.Flow.overflow_gp
         (List.length r.Dpp_core.Flow.groups_used)
         r.Dpp_core.Flow.total_time;
+      let c = r.Dpp_core.Flow.congestion in
+      Printf.printf "  congestion: max %.3f  ACE(5%%) %.3f  overflowed bins %.1f%%%s\n"
+        c.Dpp_congest.Rudy.max_ratio c.Dpp_congest.Rudy.ace_ratio
+        (100.0 *. c.Dpp_congest.Rudy.overflowed_bins)
+        (match r.Dpp_core.Flow.rt_trace with
+        | [] -> ""
+        | rt -> Printf.sprintf "  (rt steering: %d updates)" (List.length rt - 1));
       List.iter (fun (s, t) -> Printf.printf "  %-8s %6.2fs\n" s t) r.Dpp_core.Flow.times
     in
     let write_trace results =
@@ -143,6 +155,9 @@ let cmd =
   let flat =
     Arg.(value & flag & info [ "flat" ] ~doc:"Force flat (single-level) global placement, disabling the multilevel V-cycle.")
   in
+  let routability =
+    Arg.(value & flag & info [ "routability" ] ~doc:"Congestion-driven global placement: steer the RUDY congestion map into the density model (cell inflation) and the gradient (per-bin penalty). Deterministic at every --jobs value.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"BASE" ~doc:"Write the placed design as Bookshelf BASE.*.")
   in
@@ -157,7 +172,7 @@ let cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate invariant oracles (legality, group rigidity, incremental-cache consistency) at every stage boundary; the first violation aborts with exit code 2 and names the offending stage.")
   in
   let term =
-    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ jobs $ multilevel $ flat $ out $ svg $ compare $ trace $ check)
+    Term.(const run $ verbose $ preset $ bookshelf $ mode $ beta $ density $ seed $ jobs $ multilevel $ flat $ routability $ out $ svg $ compare $ trace $ check)
   in
   Cmd.v (Cmd.info "dpp_place" ~doc:"Structure-aware analytical placement") term
 

@@ -213,6 +213,67 @@ let gradient ?pool ?(samples = 12) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gam
     picks;
   List.rev !acc
 
+(* ----- routability / congestion ----- *)
+
+module Rudy = Dpp_congest.Rudy
+module Gp = Dpp_place.Gp
+
+let congestion ?pool ?pins ?(tol = 1e-9) d ~(stats : Rudy.stats) ~cx ~cy =
+  let oracle = "congestion" in
+  let r = Rudy.compute ?pool ?pins d ~cx ~cy in
+  let s = Rudy.stats r in
+  let acc = ref [] in
+  let check subject fresh stored =
+    let err = abs_float (fresh -. stored) /. max 1.0 (abs_float fresh) in
+    if err > tol then
+      acc :=
+        Violation.v ~oracle ~subject
+          "stored %.9g disagrees with recomputed %.9g (rel err %.3g)" stored fresh err
+        :: !acc
+  in
+  check "max_ratio" s.Rudy.max_ratio stats.Rudy.max_ratio;
+  check "avg_ratio" s.Rudy.avg_ratio stats.Rudy.avg_ratio;
+  check "p95_ratio" s.Rudy.p95_ratio stats.Rudy.p95_ratio;
+  check "ace_ratio" s.Rudy.ace_ratio stats.Rudy.ace_ratio;
+  check "overflowed_bins" s.Rudy.overflowed_bins stats.Rudy.overflowed_bins;
+  List.rev !acc
+
+let rt_ledger ?(tol = 1e-9) (rounds : Gp.rt_round list) =
+  let oracle = "rt-ledger" in
+  let acc = ref [] in
+  let add subject fmt =
+    Printf.ksprintf
+      (fun detail -> acc := Violation.v ~oracle ~subject "%s" detail :: !acc)
+      fmt
+  in
+  let best = ref infinity in
+  let prev_round = ref min_int in
+  List.iter
+    (fun (r : Gp.rt_round) ->
+      let subject = Printf.sprintf "round %d" r.Gp.rt_round in
+      if r.Gp.rt_round < !prev_round then
+        add subject "steering rounds out of order (previous %d)" !prev_round;
+      prev_round := r.Gp.rt_round;
+      best := min !best r.Gp.rt_ace;
+      if abs_float (r.Gp.rt_best -. !best) > tol *. max 1.0 (abs_float !best) then
+        add subject "best-ACE envelope %.9g is not the running minimum %.9g" r.Gp.rt_best
+          !best;
+      if not (Float.is_finite r.Gp.rt_virtual) || r.Gp.rt_virtual < 0.0 then
+        add subject "virtual area %.9g is negative or non-finite" r.Gp.rt_virtual;
+      if r.Gp.rt_virtual > r.Gp.rt_budget +. (tol *. max 1.0 r.Gp.rt_budget) then
+        add subject "virtual area %.9g exceeds the budget %.9g" r.Gp.rt_virtual
+          r.Gp.rt_budget;
+      if r.Gp.rt_inflated < 0 then
+        add subject "negative inflated-cell count %d" r.Gp.rt_inflated)
+    rounds;
+  (match List.rev rounds with
+  | last :: _ ->
+    if last.Gp.rt_virtual <> 0.0 || last.Gp.rt_inflated <> 0 then
+      add "close" "ledger not closed: %.9g virtual area over %d cells outstanding"
+        last.Gp.rt_virtual last.Gp.rt_inflated
+  | [] -> ());
+  List.rev !acc
+
 let validate d =
   Validate.check d |> Validate.errors
   |> List.map (fun (i : Validate.issue) ->

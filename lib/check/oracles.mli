@@ -82,6 +82,32 @@ val gradient :
     sample batch both fan out over the workers.  Evaluates at the
     design's current placement. *)
 
+val congestion :
+  ?pool:Dpp_par.Pool.t ->
+  ?pins:Dpp_wirelen.Pins.t ->
+  ?tol:float ->
+  Dpp_netlist.Design.t ->
+  stats:Dpp_congest.Rudy.stats ->
+  cx:float array ->
+  cy:float array ->
+  Violation.t list
+(** The stored congestion statistics agree with a freshly recomputed
+    {!Dpp_congest.Rudy} map over the same coordinates (relative error
+    below [tol], default 1e-9 — with the same pool the recomputation is
+    bit-identical, so this catches stale stats, not float noise).  This is
+    the oracle that catches a flow reporting congestion for coordinates a
+    later mutation moved away from. *)
+
+val rt_ledger : ?tol:float -> Dpp_place.Gp.rt_round list -> Violation.t list
+(** Bookkeeping invariants of a routability-steering ledger
+    ({!Dpp_place.Gp.result.rt_trace}): entries in round order; the
+    [rt_best] envelope is exactly the running minimum of [rt_ace]
+    (monotone non-increasing across the inflate/retry loop); outstanding
+    virtual area is finite, non-negative and never exceeds the budget;
+    and the final entry closes the ledger (zero virtual area, zero
+    inflated cells — everything deflated at flow end).  The empty list is
+    vacuously clean. *)
+
 val validate : Dpp_netlist.Design.t -> Violation.t list
 (** {!Dpp_netlist.Validate} errors lifted to violations, carrying the
     validator's named subjects (cell/net/group names, not bare indices). *)

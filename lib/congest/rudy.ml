@@ -22,10 +22,22 @@ module Pool = Dpp_par.Pool
 
 let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
   let dnx, dny = default_dims d in
-  let nx = Option.value nx ~default:dnx and ny = Option.value ny ~default:dny in
+  (* a non-positive request (or a degenerate derivation) collapses to the
+     single-bin grid rather than a zero-length demand array *)
+  let nx = max 1 (Option.value nx ~default:dnx)
+  and ny = max 1 (Option.value ny ~default:dny) in
   let die = d.Design.die in
-  let bin_w = Rect.width die /. float_of_int nx in
-  let bin_h = Rect.height die /. float_of_int ny in
+  (* zero-extent dies (all rows degenerate, or a single-point outline)
+     would make every bin zero-area and the normalisation below divide by
+     zero; fall back to unit bins so the map stays finite *)
+  let bin_w =
+    let w = Rect.width die /. float_of_int nx in
+    if w > 0.0 then w else 1.0
+  in
+  let bin_h =
+    let h = Rect.height die /. float_of_int ny in
+    if h > 0.0 then h else 1.0
+  in
   let demand = Array.make (nx * ny) 0.0 in
   (* the flow hands down its shared pin view; standalone callers pay one
      flat-core derivation *)
@@ -104,17 +116,31 @@ type stats = {
   max_ratio : float;
   avg_ratio : float;
   p95_ratio : float;
+  ace_ratio : float;
   overflowed_bins : float;
 }
+
+let ace_fraction = 0.05
 
 let stats t =
   let ratios = Array.map (fun v -> v /. t.supply) t.demand in
   let n = Array.length ratios in
   let over = Array.fold_left (fun acc r -> if r > 1.0 then acc + 1 else acc) 0 ratios in
+  (* ACE-style top-k average: mean utilisation of the hottest 5% of bins
+     (at least one), the congestion headline less noisy than the single
+     hottest bin *)
+  let sorted = Array.copy ratios in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  let k = max 1 (int_of_float (ace_fraction *. float_of_int n)) in
+  let top = ref 0.0 in
+  for i = 0 to k - 1 do
+    top := !top +. sorted.(i)
+  done;
   {
     max_ratio = Dpp_util.Statx.maximum ratios;
     avg_ratio = Dpp_util.Statx.mean ratios;
     p95_ratio = Dpp_util.Statx.quantile ratios 0.95;
+    ace_ratio = !top /. float_of_int k;
     overflowed_bins = float_of_int over /. float_of_int (max 1 n);
   }
 

@@ -42,12 +42,21 @@ val compute :
     With [pool], nets scatter into {!Dpp_par.Pool.chunk_count} fixed
     chunk-local grids merged per bin in ascending chunk order: the map is
     bit-stable across worker counts (but not bit-equal to the serial
-    scatter, whose single grid accumulates in net order). *)
+    scatter, whose single grid accumulates in net order).
+
+    Degenerate inputs are clamped rather than rejected: non-positive
+    [nx]/[ny] collapse to the single-bin grid, and a zero-extent die
+    (zero-height rows, point outlines) falls back to unit bins so the
+    per-area normalisation never divides by zero. *)
 
 type stats = {
   max_ratio : float;  (** hottest bin demand / supply *)
   avg_ratio : float;
   p95_ratio : float;  (** 95th percentile *)
+  ace_ratio : float;
+      (** ACE-style metric: mean demand/supply over the hottest 5% of bins
+          (at least one) — the headline congestion-overflow number the
+          routability loop steers and reports *)
   overflowed_bins : float;  (** fraction of bins with demand > supply *)
 }
 

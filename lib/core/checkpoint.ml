@@ -33,6 +33,14 @@ let run ~stage (ctx : Ctx.t) =
   | "gp", (_ :: _ as levels) ->
     oracle "clusters" (List.concat_map Check.cluster_integrity levels)
   | _ -> ());
+  (match (stage, ctx.Ctx.gp) with
+  | "gp", Some g -> oracle "rt-ledger" (Check.rt_ledger g.Dpp_place.Gp.rt_trace)
+  | _ -> ());
+  (match (stage, ctx.Ctx.congestion) with
+  | "metrics", Some stats ->
+    oracle "congestion"
+      (Check.congestion ~pool:ctx.Ctx.pool ~pins:ctx.Ctx.pins d ~stats ~cx ~cy)
+  | _ -> ());
   if List.mem stage legality_from then begin
     oracle "legal" (Check.legal d ~cx ~cy);
     match snapped_dgroups ctx with

@@ -26,6 +26,10 @@ type t = {
   ml_threshold : int;
   ml_min_cells : int;
   ml_max_levels : int;
+  routability : bool;
+  rt_interval : int;
+  rt_overflow : float;
+  rt_max_inflate : float;
 }
 
 let baseline =
@@ -49,6 +53,10 @@ let baseline =
     ml_threshold = 1500;
     ml_min_cells = 500;
     ml_max_levels = 3;
+    routability = false;
+    rt_interval = 3;
+    rt_overflow = 1.0;
+    rt_max_inflate = 0.15;
   }
 
 let structure_aware = { baseline with mode = Structure_aware }

@@ -55,6 +55,17 @@ type t = {
       (** coarsening stops once a level has at most this many movables
           (default 500) *)
   ml_max_levels : int;  (** maximum coarse levels (default 3) *)
+  routability : bool;
+      (** congestion-driven GP: RUDY feedback inflates cells in overflowed
+          bins (virtual area in the density model) and adds a congestion
+          penalty to the gradient — see {!Dpp_place.Gp.config}.  Off by
+          default; deterministic at every [jobs] value. *)
+  rt_interval : int;  (** GP rounds between congestion steering updates (default 3) *)
+  rt_overflow : float;
+      (** RUDY bin demand/supply ratio treated as congested (default 1.0) *)
+  rt_max_inflate : float;
+      (** total virtual-area budget as a fraction of movable area
+          (default 0.15) *)
 }
 
 val baseline : t

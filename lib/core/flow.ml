@@ -15,6 +15,7 @@ module Legal = Dpp_place.Legal
 module Abacus = Dpp_place.Abacus
 module Detail = Dpp_place.Detail
 module Trace = Dpp_report.Trace
+module Json = Dpp_report.Json
 
 exception Invalid_design of Validate.issue list
 
@@ -35,6 +36,7 @@ type result = {
   groups_used : Groups.t list;
   extraction : (Slicer.result * Exmetrics.t) option;
   trace : Gp.round_info list;
+  rt_trace : Gp.rt_round list;
   stage_trace : Trace.stage list;
   times : (string * float) list;
   total_time : float;
@@ -142,6 +144,10 @@ let gp_stage =
             groups = ctx.Ctx.soft_dgs;
             rigid_groups = ctx.Ctx.rigid_dgs @ ctx.Ctx.macro_dgs;
             pool = Some ctx.Ctx.pool;
+            routability = cfg.Config.routability;
+            rt_interval = cfg.Config.rt_interval;
+            rt_overflow = cfg.Config.rt_overflow;
+            rt_max_inflate = cfg.Config.rt_max_inflate;
           }
         in
         let movables = Array.length (Design.movable_ids d) in
@@ -326,6 +332,30 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
               })
             ctx.Ctx.gp_levels
       in
+      (* schema-tolerant extras: congestion/steiner headline numbers ride
+         the stage records without widening the core schema *)
+      let extra =
+        match stage.name with
+        | "gp" -> (
+          match ctx.Ctx.gp with
+          | Some g when g.Gp.rt_trace <> [] ->
+            let last = List.nth g.Gp.rt_trace (List.length g.Gp.rt_trace - 1) in
+            [
+              "rt_rounds", Json.Num (float_of_int (List.length g.Gp.rt_trace));
+              "rt_best_ace", Json.Num last.Gp.rt_best;
+            ]
+          | _ -> [])
+        | "metrics" -> (
+          match ctx.Ctx.congestion with
+          | Some s ->
+            [
+              "steiner", Json.Num ctx.Ctx.steiner_final;
+              "rudy_max", Json.Num s.Dpp_congest.Rudy.max_ratio;
+              "rudy_ace", Json.Num s.Dpp_congest.Rudy.ace_ratio;
+            ]
+          | None -> [])
+        | _ -> []
+      in
       let rep =
         {
           Trace.name = stage.name;
@@ -336,7 +366,7 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
           overflow;
           levels;
           check = verdict;
-          extra = [];
+          extra;
         }
       in
       reports := rep :: !reports;
@@ -379,6 +409,7 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
     groups_used = ctx.Ctx.groups_used;
     extraction = ctx.Ctx.extraction;
     trace = (match gp with Some g -> g.Gp.trace | None -> []);
+    rt_trace = (match gp with Some g -> g.Gp.rt_trace | None -> []);
     stage_trace;
     times = List.map (fun (r : Trace.stage) -> r.Trace.name, r.Trace.wall_s) stage_trace;
     total_time = Unix.gettimeofday () -. t_start;

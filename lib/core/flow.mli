@@ -42,6 +42,9 @@ type result = {
       (** present when extraction ran; metrics compare against the design's
           ground-truth labels (empty truth yields trivial metrics) *)
   trace : Dpp_place.Gp.round_info list;
+  rt_trace : Dpp_place.Gp.rt_round list;
+      (** the GP routability-steering ledger (flat refinement in multilevel
+          runs); [[]] unless [routability] was on and steering ran *)
   stage_trace : Dpp_report.Trace.stage list;
       (** one record per pipeline stage, flow order *)
   times : (string * float) list;  (** stage name -> seconds, flow order *)

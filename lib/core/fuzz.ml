@@ -504,6 +504,75 @@ let ml_checks (c : case) =
       ( "multilevel-validate",
         List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
 
+(* ----- routability differential -----
+
+   Two promises fuzzed with routability steering on: the virtual-area
+   inflation is a pure density-model overlay (setting factors and
+   resetting restores the potential bit for bit), and a
+   congestion-steered flow still satisfies every stage oracle — legality,
+   group rigidity, the congestion/rt-ledger audits — while staying within
+   a bounded HPWL factor of the congestion-blind flow on the same
+   design. *)
+
+let rt_hpwl_factor = 1.5
+
+let rt_checks (c : case) =
+  (* inflation round trip on the adversarial micro-designs *)
+  let d = random_design ~seed:c.seed ~cells:(c.cells / 4) ~nets:c.nets in
+  let cx, cy = Pins.centers_of_design d in
+  let nx, ny = Grid.default_dims d in
+  let grid = Grid.build d ~nx ~ny in
+  let bell = Bell.create d ~grid ~target_density:0.9 in
+  let v0 = Bell.value bell ~cx ~cy in
+  let rng = Rng.create ((c.seed * 17) + 3) in
+  let factors =
+    Array.init (Design.num_cells d) (fun _ -> 1.0 +. Rng.float rng 1.0)
+  in
+  Bell.set_inflation bell factors;
+  Bell.reset_inflation bell;
+  let v1 = Bell.value bell ~cx ~cy in
+  Bell.set_inflation bell (Array.make (Design.num_cells d) 1.0);
+  let v2 = Bell.value bell ~cx ~cy in
+  if not (Float.equal v0 v1) then
+    Some
+      ( "inflation-roundtrip",
+        [ Printf.sprintf "reset_inflation: %.17g vs pristine %.17g" v1 v0 ] )
+  else if not (Float.equal v0 v2) then
+    Some
+      ( "inflation-roundtrip",
+        [ Printf.sprintf "all-ones inflation: %.17g vs pristine %.17g" v2 v0 ] )
+  else begin
+    (* steered-vs-blind flow differential under full check mode *)
+    let spec =
+      Dpp_gen.Presets.scaled
+        ~name:(Printf.sprintf "fuzzrt%d" c.seed)
+        ~seed:c.seed ~cells:(max 100 c.cells) ~dp_fraction:c.dp_fraction
+    in
+    let d = Dpp_gen.Compose.build spec in
+    let cfg = flow_config c in
+    try
+      let on =
+        Flow.run ~check:true d { cfg with Config.routability = true; rt_interval = 2 }
+      in
+      let off = Flow.run d cfg in
+      let ratio = on.Flow.hpwl_final /. off.Flow.hpwl_final in
+      if Float.is_finite ratio && ratio <= rt_hpwl_factor then None
+      else
+        Some
+          ( "routability-vs-blind",
+            [
+              Printf.sprintf "steered HPWL %.0f vs blind %.0f: ratio %.3f above bound %.2f"
+                on.Flow.hpwl_final off.Flow.hpwl_final ratio rt_hpwl_factor;
+            ] )
+    with
+    | Flow.Check_failed { stage; violations } ->
+      Some (Printf.sprintf "routability-%s" stage, violations)
+    | Flow.Invalid_design issues ->
+      Some
+        ( "routability-validate",
+          List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues )
+  end
+
 (* ----- incremental-ECO differential -----
 
    The ECO contract fuzzed here: for a seeded edit list against a placed
@@ -614,9 +683,13 @@ let run_case ?(flow = true) (c : case) =
             match ml_checks c with
             | Some (stage, detail) -> Some { case = c; kind = "multilevel"; stage; detail }
             | None -> (
-              match eco_checks c with
-              | Some (stage, detail) -> Some { case = c; kind = "eco"; stage; detail }
-              | None -> None))))))
+              match rt_checks c with
+              | Some (stage, detail) ->
+                Some { case = c; kind = "routability"; stage; detail }
+              | None -> (
+                match eco_checks c with
+                | Some (stage, detail) -> Some { case = c; kind = "eco"; stage; detail }
+                | None -> None)))))))
 
 let shrink rerun failure =
   let rec go (f : failure) =

@@ -21,6 +21,13 @@
       fuzz sizes) and once forced flat, both in check mode — so the
       cluster-integrity oracle gates every level boundary — and the final
       HPWLs must agree within a bounded factor;
+    - {b routability}: the virtual-area inflation overlay must round-trip
+      bit for bit on the density potential
+      ({!Dpp_density.Bell.set_inflation} / [reset_inflation]), and a
+      congestion-steered flow ([routability] on, short steering interval,
+      full check mode — so the legality, group-rigidity, congestion and
+      rt-ledger oracles all gate it) must stay within a bounded HPWL
+      factor of the congestion-blind flow on the same design;
     - {b eco}: a seeded {!Eco.random_edits} list is replayed incrementally
       against a placed base ({!Eco.run} in check mode); every frozen cell
       must stay bit-identical to the base placement and the result must

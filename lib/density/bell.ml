@@ -10,6 +10,9 @@ type t = {
   radius_x : float array;
   radius_y : float array;
   normalizer : float array;
+  base_normalizer : float array;
+      (** the uninflated normalizers; [normalizer] is this array scaled by
+          the routability loop's per-cell inflation factors *)
   target : float array;  (** per bin *)
   phi : float array;  (** scratch bin field *)
 }
@@ -85,9 +88,28 @@ let of_soa ?(frozen = fun _ -> false) (s : Soa.t) ~grid ~target_density =
     radius_x;
     radius_y;
     normalizer;
+    base_normalizer = Array.copy normalizer;
     target;
     phi = Array.make (Array.length grid.Grid.capacity) 0.0;
   }
+
+(* The normalizer makes a cell's bell contributions sum to its area, so
+   scaling it by a factor >= 1 is exactly "virtual area added to the
+   density model": the spreading force sees an inflated cell while the
+   geometry (radii, overlap, legality) is untouched.  Serial and pooled
+   kernels both read [normalizer] afresh on every evaluation, so a
+   mutation here is visible to an existing [par] handle. *)
+let set_inflation t factors =
+  Array.iter
+    (fun i ->
+      let f = factors.(i) in
+      if not (Float.is_finite f) || f < 1.0 then
+        invalid_arg "Bell.set_inflation: factors must be finite and >= 1";
+      t.normalizer.(i) <- t.base_normalizer.(i) *. f)
+    t.movable
+
+let reset_inflation t =
+  Array.iter (fun i -> t.normalizer.(i) <- t.base_normalizer.(i)) t.movable
 
 let create ?frozen ?soa (d : Design.t) ~grid ~target_density =
   let s = match soa with Some s -> s | None -> Soa.of_design d in

@@ -47,6 +47,23 @@ val value_grad :
 val bin_potential : t -> cx:float array -> cy:float array -> float array
 (** The smoothed per-bin area field (fresh array), for inspection/tests. *)
 
+val set_inflation : t -> float array -> unit
+(** [set_inflation t factors] scales each movable cell's normaliser by
+    [factors.(i)] (indexed by cell id, each finite and [>= 1.0]) over its
+    uninflated base.  Since the normaliser makes a cell's bell
+    contributions sum to its area, this is exactly the routability loop's
+    virtual-area cell inflation: the density force sees a larger cell,
+    geometry is untouched.  Factors are absolute (not cumulative): calling
+    with all-ones is identical to {!reset_inflation}.  Mutations are
+    visible to existing {!par} handles — both kernel families read the
+    live normaliser on every evaluation.
+    @raise Invalid_argument on a NaN/infinite or sub-1.0 factor. *)
+
+val reset_inflation : t -> unit
+(** Restore every normaliser to its uninflated base — the ledger-closing
+    deflation at the end of a routability-driven solve.  After this the
+    potential is bit-identical to a freshly built [t]. *)
+
 val theta : r:float -> float -> float
 (** The raw bump function, exposed for unit tests. *)
 

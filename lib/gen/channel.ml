@@ -1,0 +1,122 @@
+module Rect = Dpp_geom.Rect
+module Types = Dpp_netlist.Types
+module Builder = Dpp_netlist.Builder
+module Rng = Dpp_util.Rng
+
+let name = "rt_channel"
+
+(* Geometry: a 640x320 die split by a full-height fixed blocker over
+   x in [240, 400] — a narrow cell-free routing channel every cross wire
+   must span.  [pairs] left/right movable pairs are wired by 2-pin cross
+   nets across the channel.  Two anchor nets with decoupled axes hold
+   each cell:
+
+   - a [hold_weight] 3-pin net to the two corner pads of the cell's side.
+     Its bounding box spans the full die height, so it is a pure
+     horizontal pull — strong enough (>= the cross weight) that dragging
+     a cell across the channel to its partner never pays, which is what
+     keeps the cross spans wide;
+   - a [stack_weight] 2-pin net to a mid-height pad on the same side.
+     Along y it is the only preference the design has, so the quadratic
+     init stacks every pair at mid-height and a congestion-blind GP keeps
+     the stack — the cross-net bounding boxes pile into one hot RUDY band
+     across the channel.
+
+   Vertical spreading — the congestion-driven fix — therefore fights only
+   the weak stacking nets: its HPWL cost is a fraction of a percent while
+   the band congestion drops by whole multiples. *)
+let die_w = 640.0
+
+let die_h = 320.0
+
+let row_h = 8.0
+
+let blocker_w = 160.0
+
+(* blocked x band: cells live in x < channel_lo or x > channel_hi *)
+let channel_lo = 240.0
+
+let channel_hi = 400.0
+
+let cell_w = 4.0
+
+(* Cross-net wire weight: keeps the total RUDY mass well under the die
+   area, so congestion stays a local property of the stacked band instead
+   of saturating the whole map. *)
+let wire_weight = 0.25
+
+(* Horizontal hold: must beat [wire_weight] or GP drags left cells across
+   the channel and the cross spans collapse. *)
+let hold_weight = 0.3
+
+(* Vertical stacking: weak, so congestion-driven spreading is nearly
+   HPWL-free — but strong enough to hold the stack against the density
+   spreading of a congestion-blind GP. *)
+let stack_weight = 0.04
+
+let build ?(seed = 1) ?(pairs = 240) () =
+  if pairs < 2 then invalid_arg "Channel.build: need at least 2 pairs";
+  let die = Rect.make ~xl:0.0 ~yl:0.0 ~xh:die_w ~yh:die_h in
+  let b = Builder.create ~name ~die ~row_height:row_h ~site_width:1.0 () in
+  let blocker =
+    Builder.add_cell b ~name:"blk_0" ~master:"BLOCK" ~w:blocker_w ~h:die_h
+      ~kind:Types.Fixed
+  in
+  Builder.set_position b blocker ~x:channel_lo ~y:0.0;
+  let pad idx x y =
+    let id =
+      Builder.add_cell b
+        ~name:(Printf.sprintf "pad_%d" idx)
+        ~master:"PAD" ~w:1.0 ~h:1.0 ~kind:Types.Pad
+    in
+    Builder.set_position b id ~x ~y;
+    id
+  in
+  let mid_y = (die_h /. 2.0) -. 0.5 in
+  let l_bot = pad 0 0.0 0.0 and l_top = pad 1 0.0 (die_h -. 1.0) in
+  let l_mid = pad 2 0.0 mid_y in
+  let r_bot = pad 3 (die_w -. 1.0) 0.0 and r_top = pad 4 (die_w -. 1.0) (die_h -. 1.0) in
+  let r_mid = pad 5 (die_w -. 1.0) mid_y in
+  let rng = Rng.create seed in
+  let mk_cell side i x_lo x_hi =
+    let id =
+      Builder.add_cell b
+        ~name:(Printf.sprintf "%s_%d" side i)
+        ~master:"STD" ~w:cell_w ~h:row_h ~kind:Types.Movable
+    in
+    Builder.set_position b id ~x:(Rng.float_in rng x_lo (x_hi -. cell_w))
+      ~y:(Rng.float_in rng 0.0 (die_h -. row_h));
+    id
+  in
+  let left = Array.init pairs (fun i -> mk_cell "l" i 0.0 channel_lo) in
+  let right = Array.init pairs (fun i -> mk_cell "r" i channel_hi die_w) in
+  let pin id = Builder.add_pin b ~cell:id ~dir:Types.Inout () in
+  let pad_pin id = Builder.add_pin b ~cell:id ~dir:Types.Inout ~dx:0.5 ~dy:0.5 () in
+  Array.iteri
+    (fun i l ->
+      ignore
+        (Builder.add_net b
+           ~name:(Printf.sprintf "x_%d" i)
+           ~weight:wire_weight
+           [ pin l; pin right.(i) ]))
+    left;
+  let anchor side bot top mid cells =
+    Array.iteri
+      (fun i c ->
+        ignore
+          (Builder.add_net b
+             ~name:(Printf.sprintf "h%s_%d" side i)
+             ~weight:hold_weight
+             [ pin c; pad_pin bot; pad_pin top ]);
+        ignore
+          (Builder.add_net b
+             ~name:(Printf.sprintf "s%s_%d" side i)
+             ~weight:stack_weight
+             [ pin c; pad_pin mid ]))
+      cells
+  in
+  anchor "l" l_bot l_top l_mid left;
+  anchor "r" r_bot r_top r_mid right;
+  Builder.finish b
+
+let by_name ?seed ?pairs n = if String.equal n name then Some (build ?seed ?pairs ()) else None

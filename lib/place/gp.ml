@@ -11,6 +11,7 @@ module Overflow = Dpp_density.Overflow
 module Nlcg = Dpp_numeric.Nlcg
 module Dgroup = Dpp_structure.Dgroup
 module Alignment = Dpp_structure.Alignment
+module Rudy = Dpp_congest.Rudy
 
 type config = {
   model : Model.kind;
@@ -26,6 +27,10 @@ type config = {
   groups : Dgroup.t list;  (** soft groups: alignment penalty *)
   rigid_groups : Dgroup.t list;  (** rigid groups: one macro variable each *)
   pool : Dpp_par.Pool.t option;  (** worker pool for the cost kernels *)
+  routability : bool;  (** congestion-driven placement (RUDY feedback) *)
+  rt_interval : int;  (** rounds between RUDY evaluations *)
+  rt_overflow : float;  (** bin demand/supply ratio treated as congested *)
+  rt_max_inflate : float;  (** total virtual-area budget, as a fraction of movable area *)
 }
 
 let default_config =
@@ -43,6 +48,10 @@ let default_config =
     groups = [];
     rigid_groups = [];
     pool = None;
+    routability = false;
+    rt_interval = 3;
+    rt_overflow = 1.0;
+    rt_max_inflate = 0.15;
   }
 
 type round_info = {
@@ -55,12 +64,24 @@ type round_info = {
   align_error : float;
 }
 
+type rt_round = {
+  rt_round : int;
+  rt_max : float;
+  rt_ace : float;
+  rt_overflowed : float;
+  rt_best : float;
+  rt_inflated : int;
+  rt_virtual : float;
+  rt_budget : float;
+}
+
 type result = {
   cx : float array;
   cy : float array;
   trace : round_info list;
   final_overflow : float;
   final_hpwl : float;
+  rt_trace : rt_round list;
 }
 
 let grad_l1 g = Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 g
@@ -131,6 +152,94 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     | Some pool, Some bp -> Bell.par_value_grad bp pool ~cx ~cy ~gx ~gy
     | _ -> Bell.value_grad bell ~cx ~cy ~gx ~gy
   in
+  (* ----- routability state (RUDY feedback) -----
+
+     Every [rt_interval] rounds the RUDY map is evaluated over the current
+     coordinates, then (a) cells sitting in bins whose demand/supply ratio
+     exceeds [rt_overflow] get their bell normaliser scaled up — virtual
+     area only the density force sees — under a total budget of
+     [rt_max_inflate * movable area], deflating again once their bin
+     recovers; and (b) the per-bin excess field becomes a congestion
+     penalty [mu * sum_i area_i * C(x_i, y_i)] with [C] the bilinear
+     interpolation of the excess over bin centers, held fixed until the
+     next evaluation.  Every step below is either serial in ascending cell
+     order or routed through the pooled chunk-merged kernels, so the
+     trajectory stays independent of the worker count. *)
+  let rt_on = cfg.routability && cfg.rt_interval > 0 in
+  let rt_cells =
+    if not rt_on then [||]
+    else
+      Array.of_list
+        (List.filter (fun i -> not (frozen i)) (Array.to_list (Design.movable_ids d)))
+  in
+  let inflate = Array.make (if rt_on then nc else 0) 1.0 in
+  let rt_budget = cfg.rt_max_inflate *. load_area in
+  let rt_cell_max = 2.0 in
+  let gxc = Array.make nc 0.0 and gyc = Array.make nc 0.0 in
+  let mu = ref 0.0 in
+  let rt_field : (Rudy.t * float array) option ref = ref None in
+  let rt_trace = ref [] in
+  let rt_best = ref infinity in
+  (* bilinear sample of the excess field at (x, y): value and gradient.
+     Outside the bin-center lattice the field is extended constant, so the
+     gradient vanishes there. *)
+  let congest_sample (r : Rudy.t) p x y =
+    let fx = ((x -. d.Design.die.Rect.xl) /. r.Rudy.bin_w) -. 0.5 in
+    let fy = ((y -. d.Design.die.Rect.yl) /. r.Rudy.bin_h) -. 0.5 in
+    let ux = max 0.0 (min (float_of_int (r.Rudy.nx - 1)) fx) in
+    let uy = max 0.0 (min (float_of_int (r.Rudy.ny - 1)) fy) in
+    let ix = min (max 0 (r.Rudy.nx - 2)) (int_of_float ux) in
+    let iy = min (max 0 (r.Rudy.ny - 2)) (int_of_float uy) in
+    if r.Rudy.nx < 2 || r.Rudy.ny < 2 then p.((iy * r.Rudy.nx) + ix), 0.0, 0.0
+    else begin
+      let tx = ux -. float_of_int ix and ty = uy -. float_of_int iy in
+      let b = (iy * r.Rudy.nx) + ix in
+      let p00 = p.(b) and p10 = p.(b + 1) in
+      let p01 = p.(b + r.Rudy.nx) and p11 = p.(b + r.Rudy.nx + 1) in
+      let v =
+        ((1.0 -. tx) *. (1.0 -. ty) *. p00)
+        +. (tx *. (1.0 -. ty) *. p10)
+        +. ((1.0 -. tx) *. ty *. p01)
+        +. (tx *. ty *. p11)
+      in
+      let dx =
+        if Float.equal ux fx then
+          (((1.0 -. ty) *. (p10 -. p00)) +. (ty *. (p11 -. p01))) /. r.Rudy.bin_w
+        else 0.0
+      in
+      let dy =
+        if Float.equal uy fy then
+          (((1.0 -. tx) *. (p01 -. p00)) +. (tx *. (p11 -. p10))) /. r.Rudy.bin_h
+        else 0.0
+      in
+      v, dx, dy
+    end
+  in
+  let congest_value ~cx ~cy =
+    match !rt_field with
+    | None -> 0.0
+    | Some (r, p) ->
+      let acc = ref 0.0 in
+      Array.iter
+        (fun i ->
+          let a = soa.Soa.width.(i) *. soa.Soa.height.(i) in
+          let v, _, _ = congest_sample r p cx.(i) cy.(i) in
+          acc := !acc +. (a *. v))
+        rt_cells;
+      !acc
+  in
+  let congest_grad ~cx ~cy ~gx ~gy =
+    match !rt_field with
+    | None -> ()
+    | Some (r, p) ->
+      Array.iter
+        (fun i ->
+          let a = soa.Soa.width.(i) *. soa.Soa.height.(i) in
+          let _, dx, dy = congest_sample r p cx.(i) cy.(i) in
+          gx.(i) <- gx.(i) +. (a *. dx);
+          gy.(i) <- gy.(i) +. (a *. dy))
+        rt_cells
+  in
   (* working copies of the full center arrays; fixed/frozen entries never
      change *)
   let wx = Array.copy cx and wy = Array.copy cy in
@@ -186,20 +295,23 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     let w = model_value ~gamma:!gamma ~cx:wx ~cy:wy in
     let dv = if !lambda > 0.0 then bell_value ~cx:wx ~cy:wy else 0.0 in
     let av = if !beta > 0.0 && soft <> [] then Alignment.value soft ~cx:wx ~cy:wy else 0.0 in
-    w +. (!lambda *. dv) +. (!beta *. av)
+    let cv = if !mu > 0.0 then congest_value ~cx:wx ~cy:wy else 0.0 in
+    w +. (!lambda *. dv) +. (!beta *. av) +. (!mu *. cv)
   in
   let gather g =
     for k = 0 to m - 1 do
       let i = movable_free.(k) in
-      g.(k) <- gx.(i) +. (!lambda *. gxd.(i)) +. (!beta *. gxa.(i));
-      g.(nvar + k) <- gy.(i) +. (!lambda *. gyd.(i)) +. (!beta *. gya.(i))
+      g.(k) <- gx.(i) +. (!lambda *. gxd.(i)) +. (!beta *. gxa.(i)) +. (!mu *. gxc.(i));
+      g.(nvar + k) <- gy.(i) +. (!lambda *. gyd.(i)) +. (!beta *. gya.(i)) +. (!mu *. gyc.(i))
     done;
     for j = 0 to ng - 1 do
       let sx = ref 0.0 and sy = ref 0.0 in
       Array.iter
         (fun c ->
-          sx := !sx +. gx.(c) +. (!lambda *. gxd.(c)) +. (!beta *. gxa.(c));
-          sy := !sy +. gy.(c) +. (!lambda *. gyd.(c)) +. (!beta *. gya.(c)))
+          sx :=
+            !sx +. gx.(c) +. (!lambda *. gxd.(c)) +. (!beta *. gxa.(c)) +. (!mu *. gxc.(c));
+          sy :=
+            !sy +. gy.(c) +. (!lambda *. gyd.(c)) +. (!beta *. gya.(c)) +. (!mu *. gyc.(c)))
         rigid.(j).Dgroup.cells;
       g.(m + j) <- !sx;
       g.(nvar + m + j) <- !sy
@@ -215,7 +327,12 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     Array.fill gxa 0 nc 0.0;
     Array.fill gya 0 nc 0.0;
     if !beta > 0.0 && soft <> [] then
-      ignore (Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya)
+      ignore (Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya);
+    if !mu > 0.0 then begin
+      Array.fill gxc 0 nc 0.0;
+      Array.fill gyc 0 nc 0.0;
+      congest_grad ~cx:wx ~cy:wy ~gx:gxc ~gy:gyc
+    end
   in
   let grad v g =
     scatter v;
@@ -267,12 +384,17 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
      wirelength term entirely. *)
   let best_x = Array.copy wx and best_y = Array.copy wy in
   let best_score = ref infinity and best_ovf = ref infinity in
-  let score ~overflow ~hpwl =
-    hpwl *. (1.0 +. (3.0 *. max 0.0 (overflow -. cfg.overflow_target)))
+  (* With routability on, iterates also compete on their ACE congestion
+     excess: without the term, best-seen would keep a pre-inflation
+     iterate whose wirelength is marginally better and throw the
+     congestion work away. *)
+  let score ~overflow ~hpwl ~ace =
+    let rt_pen = match ace with None -> 0.0 | Some a -> max 0.0 (a -. cfg.rt_overflow) in
+    hpwl *. (1.0 +. (3.0 *. max 0.0 (overflow -. cfg.overflow_target)) +. rt_pen)
   in
   let stagnant = ref 0 in
-  let consider ~overflow ~hpwl =
-    let sc = score ~overflow ~hpwl in
+  let consider ~overflow ~hpwl ~ace =
+    let sc = score ~overflow ~hpwl ~ace in
     if sc < !best_score then begin
       Array.blit wx 0 best_x 0 (Array.length wx);
       Array.blit wy 0 best_y 0 (Array.length wy);
@@ -281,6 +403,79 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     end;
     if overflow > cfg.overflow_target && overflow > 0.98 *. !final_overflow then incr stagnant
     else stagnant := 0
+  in
+  (* post-solve RUDY measurement — every round when routability is on *)
+  let rt_measure () =
+    let r = Rudy.compute ?pool:cfg.pool ~pins d ~cx:wx ~cy:wy in
+    r, Rudy.stats r
+  in
+  (* steering: refresh the fixed congestion field, update the inflation
+     ledger under its budget, renormalise mu — all serial in ascending
+     cell order (the RUDY map itself came off the pooled scatter) *)
+  let rt_stall = ref 0 and rt_prev_ace = ref infinity in
+  let rt_virtual_area () =
+    Array.fold_left
+      (fun acc i -> acc +. ((inflate.(i) -. 1.0) *. soa.Soa.width.(i) *. soa.Soa.height.(i)))
+      0.0 rt_cells
+  in
+  let rt_steer (r : Rudy.t) (s : Rudy.stats) =
+    let p =
+      Array.map (fun dem -> max 0.0 ((dem /. r.Rudy.supply) -. cfg.rt_overflow)) r.Rudy.demand
+    in
+    rt_field := Some (r, p);
+    let clamp_ix v = max 0 (min (r.Rudy.nx - 1) v) in
+    let clamp_iy v = max 0 (min (r.Rudy.ny - 1) v) in
+    Array.iter
+      (fun i ->
+        let ix =
+          clamp_ix (int_of_float ((wx.(i) -. d.Design.die.Rect.xl) /. r.Rudy.bin_w))
+        in
+        let iy =
+          clamp_iy (int_of_float ((wy.(i) -. d.Design.die.Rect.yl) /. r.Rudy.bin_h))
+        in
+        let ratio = r.Rudy.demand.((iy * r.Rudy.nx) + ix) /. r.Rudy.supply in
+        if ratio > cfg.rt_overflow then
+          inflate.(i) <-
+            min rt_cell_max (inflate.(i) *. (1.0 +. min 0.25 (ratio -. cfg.rt_overflow)))
+        else if ratio < 0.9 *. cfg.rt_overflow then
+          inflate.(i) <- max 1.0 (inflate.(i) *. 0.9))
+      rt_cells;
+    let va = rt_virtual_area () in
+    let va =
+      if va > rt_budget && va > 0.0 then begin
+        (* uniform scale-back of every cell's excess keeps the budget an
+           invariant, not a soft goal *)
+        let sc = rt_budget /. va in
+        Array.iter (fun i -> inflate.(i) <- 1.0 +. ((inflate.(i) -. 1.0) *. sc)) rt_cells;
+        rt_virtual_area ()
+      end
+      else va
+    in
+    Bell.set_inflation bell inflate;
+    Array.fill gx 0 nc 0.0;
+    Array.fill gy 0 nc 0.0;
+    ignore (model_value_grad ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+    Array.fill gxc 0 nc 0.0;
+    Array.fill gyc 0 nc 0.0;
+    congest_grad ~cx:wx ~cy:wy ~gx:gxc ~gy:gyc;
+    let c_norm = grad_l1 gxc +. grad_l1 gyc in
+    mu := (if c_norm > 0.0 then 0.5 *. (grad_l1 gx +. grad_l1 gy) /. c_norm else 0.0);
+    let inflated =
+      Array.fold_left (fun n i -> if inflate.(i) > 1.0 then n + 1 else n) 0 rt_cells
+    in
+    rt_best := min !rt_best s.Rudy.ace_ratio;
+    rt_trace :=
+      {
+        rt_round = !round;
+        rt_max = s.Rudy.max_ratio;
+        rt_ace = s.Rudy.ace_ratio;
+        rt_overflowed = s.Rudy.overflowed_bins;
+        rt_best = !rt_best;
+        rt_inflated = inflated;
+        rt_virtual = va;
+        rt_budget;
+      }
+      :: !rt_trace
   in
   while (not !stop) && !round < cfg.rounds do
     incr round;
@@ -333,16 +528,52 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     in
     trace := info :: !trace;
     (match on_round with Some f -> f info | None -> ());
-    consider ~overflow ~hpwl;
+    let rt_ms = if rt_on then Some (rt_measure ()) else None in
+    consider ~overflow ~hpwl ~ace:(Option.map (fun (_, s) -> s.Rudy.ace_ratio) rt_ms);
     final_overflow := overflow;
-    if overflow <= cfg.overflow_target || !stagnant >= 4 then stop := true
+    (* With routability on, a density-feasible but congested iterate keeps
+       the loop alive (the inflate/retry loop) until the ACE excess clears
+       or stalls. *)
+    let congested =
+      match rt_ms with
+      | Some (_, s) ->
+        let c = s.Rudy.ace_ratio > cfg.rt_overflow in
+        (* the stall counter judges whether steering is still paying off, so
+           it only runs once at least one steering update has been applied *)
+        if c && !rt_trace <> [] then begin
+          if s.Rudy.ace_ratio > 0.995 *. !rt_prev_ace then incr rt_stall else rt_stall := 0;
+          rt_prev_ace := s.Rudy.ace_ratio
+        end;
+        c
+      | None -> false
+    in
+    if
+      (overflow <= cfg.overflow_target || !stagnant >= 4)
+      && ((not congested) || !rt_stall >= 3)
+    then stop := true
     else begin
-      lambda := !lambda *. cfg.lambda_mult;
-      gamma := max (!gamma *. cfg.gamma_shrink) (0.02 *. gamma0);
-      (* the soft alignment force tightens along with the density force *)
-      if !beta > 0.0 then beta := !beta *. sqrt cfg.lambda_mult
+      if overflow > cfg.overflow_target then begin
+        lambda := !lambda *. cfg.lambda_mult;
+        gamma := max (!gamma *. cfg.gamma_shrink) (0.02 *. gamma0);
+        (* the soft alignment force tightens along with the density force *)
+        if !beta > 0.0 then beta := !beta *. sqrt cfg.lambda_mult
+      end;
+      if rt_on && !round mod cfg.rt_interval = 0 then
+        match rt_ms with Some (r, s) -> rt_steer r s | None -> ()
     end
   done;
+  (* ledger close: the virtual area is a per-solve artifact — deflate
+     everything so the density model (shared [bell] state) and the trace
+     both end with zero inflation outstanding *)
+  if rt_on then begin
+    Array.fill inflate 0 nc 1.0;
+    Bell.reset_inflation bell;
+    match !rt_trace with
+    | [] -> ()
+    | last :: _ ->
+      rt_trace :=
+        { last with rt_round = !round; rt_inflated = 0; rt_virtual = 0.0 } :: !rt_trace
+  end;
   (* return the best solution seen, not necessarily the last iterate *)
   Array.blit best_x 0 wx 0 (Array.length wx);
   Array.blit best_y 0 wy 0 (Array.length wy);
@@ -352,6 +583,7 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     trace = List.rev !trace;
     final_overflow = (if !best_score = infinity then !final_overflow else !best_ovf);
     final_hpwl = Hpwl.total pins ~cx:wx ~cy:wy;
+    rt_trace = List.rev !rt_trace;
   }
 
 (* ----- multilevel V-cycle ----- *)

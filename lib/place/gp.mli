@@ -40,6 +40,29 @@ type config = {
           the chunk-merged {!Dpp_density.Bell} kernels (bit-stable across
           worker counts), so the trajectory is the same at every [jobs]
           value. *)
+  routability : bool;
+      (** congestion-driven placement: every round the {!Dpp_congest.Rudy}
+          map is measured over the current coordinates (sharing the flow's
+          pool and pin view), and every [rt_interval] rounds the loop (a)
+          inflates cells in overflowed bins — virtual area only the density
+          model sees, via {!Dpp_density.Bell.set_inflation}, deflating once
+          the bin recovers, under a total budget — and (b) refreshes a
+          per-bin congestion penalty [mu * sum_i area_i * C(x_i, y_i)],
+          with [C] the bilinear interpolation of the per-bin excess
+          [max 0 (demand/supply - rt_overflow)], held fixed between
+          evaluations ([mu] renormalised to half the wirelength gradient
+          norm at each refresh).  A density-feasible but congested iterate
+          keeps the loop alive until the ACE excess clears or stalls.  All
+          bookkeeping is serial in ascending cell order and the RUDY/bell
+          kernels are chunk-merged, so the trajectory stays bit-identical
+          at every [jobs] value.  The inflation ledger is closed (fully
+          deflated) before [run] returns. *)
+  rt_interval : int;  (** rounds between congestion steering updates; default 3 *)
+  rt_overflow : float;  (** bin demand/supply ratio treated as congested; default 1.0 *)
+  rt_max_inflate : float;
+      (** total virtual-area budget as a fraction of the movable area;
+          default 0.15.  When the per-cell updates (each clamped to 2x)
+          exceed it, every cell's excess is scaled back uniformly. *)
 }
 
 val default_config : config
@@ -55,12 +78,31 @@ type round_info = {
   align_error : float;
 }
 
+type rt_round = {
+  rt_round : int;  (** outer round the steering update ran after *)
+  rt_max : float;  (** hottest-bin demand/supply at that point *)
+  rt_ace : float;  (** ACE top-5% average ratio *)
+  rt_overflowed : float;  (** fraction of bins over supply *)
+  rt_best : float;  (** running minimum of [rt_ace] — non-increasing *)
+  rt_inflated : int;  (** cells carrying virtual area after the update *)
+  rt_virtual : float;  (** total virtual area outstanding *)
+  rt_budget : float;  (** the budget [rt_virtual] is clamped under *)
+}
+
 type result = {
   cx : float array;
   cy : float array;
   trace : round_info list;  (** chronological *)
   final_overflow : float;
   final_hpwl : float;
+  rt_trace : rt_round list;
+      (** chronological routability-steering ledger; [[]] unless
+          [routability] was on and at least one steering update ran.  The
+          last entry is the ledger close: [rt_virtual = 0],
+          [rt_inflated = 0] (everything deflated before return).  The
+          [rt_best] envelope is non-increasing across entries — the
+          inflate/retry loop's monotonicity contract, checked by
+          [Check.rt_ledger]. *)
 }
 
 val run :
@@ -102,8 +144,13 @@ val run_multilevel :
     group machinery — group clusters are single cells there), interpolate
     cluster centers down (group slices re-seeded in bit order), and
     finish with a short flat refinement of the full config on [d].
-    With [levels = []] this is exactly {!run}.  [on_round] observes the
-    flat refinement only; [on_level] fires after each coarse solve,
+    With [levels = []] this is exactly {!run}.  [routability] stays in
+    force at every level: each per-level solve re-derives its inflation
+    and congestion field from its own coarse netlist's RUDY map and
+    closes its ledger before interpolation, so only coordinates cross
+    levels — no stale virtual area is restricted or interpolated.
+    [rt_trace] in [result] is the flat refinement's ledger.  [on_round]
+    observes the flat refinement only; [on_level] fires after each coarse solve,
     coarsest first.  [level_trace] lists levels in ascending order
     (finest coarse level first).  Deterministic under the same contract
     as {!run}: the trajectory depends on the config, the hierarchy and

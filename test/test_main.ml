@@ -28,6 +28,7 @@ let () =
       "par", Test_par.suite;
       "report", Test_report.suite;
       "congest", Test_congest.suite;
+      "routability", Test_routability.suite;
       "timing", Test_timing.suite;
       "viz", Test_viz.suite;
       "macros", Test_macros.suite;
