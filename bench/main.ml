@@ -719,7 +719,7 @@ let run_rt_bench () =
 (* XL scaling: the flat SoA core against the record kernels            *)
 (* ------------------------------------------------------------------ *)
 
-(* Kernel sweep over the XL preset family (10k .. 250k cells), behind
+(* Kernel sweep over the XL preset family (10k .. 1m cells), behind
    two gates per size: (1) every SoA kernel — WA/LSE gradients, HPWL,
    serial bell density, serial RUDY, the net-box cache — must be
    bit-identical to the preserved record-path implementation in
@@ -784,7 +784,20 @@ let run_xl_bench () =
       exit 1
     end
   in
-  let sizes = [ "xl10k"; "xl25k"; "xl100k"; "xl250k" ] in
+  (* DPP_XL_MAX caps the sweep (and skips the xl1m flow below it) so CI's
+     gating job can stop at 250k while the nightly/full run — and the
+     committed BENCH_xl.json — covers the million-cell presets *)
+  let all_sizes = [ "xl10k"; "xl25k"; "xl100k"; "xl250k"; "xl500k"; "xl1m" ] in
+  let sizes =
+    match Sys.getenv_opt "DPP_XL_MAX" with
+    | None -> all_sizes
+    | Some cap ->
+      let rec take = function
+        | [] -> []
+        | s :: rest -> if s = cap then [ s ] else s :: take rest
+      in
+      take all_sizes
+  in
   let gamma = 5.0 in
   let rows =
     List.map
@@ -965,6 +978,27 @@ let run_xl_bench () =
   say "XL: full flow on xl100k (%d cells): %.1f s, final HPWL %.0f" (Design.num_cells fd)
     flow_s fr.Flow.hpwl_final;
   List.iter (fun (stage, s) -> say "    %-8s %8.2f s" stage s) fr.Flow.times;
+  (* --- the million-cell flow: wall clock + peak RSS, end to end --- *)
+  let flow_xl1m_json =
+    if not (List.mem "xl1m" sizes) then "null"
+    else begin
+      let md = Option.get (Dpp_gen.Xl.by_name ~seed:1 "xl1m") in
+      let t0 = Unix.gettimeofday () in
+      let mr = Flow.run md cfg in
+      let mflow_s = Unix.gettimeofday () -. t0 in
+      let mflow_hwm = vm_hwm_kb () in
+      say "XL: full flow on xl1m (%d cells): %.1f s, final HPWL %.0f, peak rss %d MB"
+        (Design.num_cells md) mflow_s mr.Flow.hpwl_final (mflow_hwm / 1024);
+      List.iter (fun (stage, s) -> say "    %-8s %8.2f s" stage s) mr.Flow.times;
+      Printf.sprintf
+        {|{"design":"xl1m","cells":%d,"wall_s":%.2f,"hpwl":%.1f,"vm_hwm_kb":%d,"stages":[%s]}|}
+        (Design.num_cells md) mflow_s mr.Flow.hpwl_final mflow_hwm
+        (String.concat ","
+           (List.map
+              (fun (stage, s) -> Printf.sprintf {|{"stage":"%s","s":%.2f}|} stage s)
+              mr.Flow.times))
+    end
+  in
   (* --- PEKO: absolute optimality gap ---
      Flat GP: a PEKO netlist is fully disconnected (nets are cell-disjoint
      by construction), which degenerates the multilevel coarsening — the
@@ -984,7 +1018,7 @@ let run_xl_bench () =
   let largest, _, _, _, _, _, largest_timed, _, _ = List.nth rows (List.length rows - 1) in
   let oc = open_out "BENCH_xl.json" in
   Printf.fprintf oc
-    {|{"sizes":[%s],"speedup_at_largest":{"size":"%s",%s},"determinism":{"jobs":[1,2,4],"bit_identical":true},"parse":{"design":"%s","read_s":%.3f,"alloc_mwords":%.1f,"words_per_pin":%.1f,"reader":"streaming"},"flow":{"design":"xl100k","cells":%d,"wall_s":%.2f,"hpwl":%.1f,"stages":[%s]},"peko":{"cells":%d,"optimal_hpwl":%.1f,"flow_hpwl":%.1f,"gap_pct":%.2f,"wall_s":%.2f}}
+    {|{"sizes":[%s],"speedup_at_largest":{"size":"%s",%s},"determinism":{"jobs":[1,2,4],"bit_identical":true},"parse":{"design":"%s","read_s":%.3f,"alloc_mwords":%.1f,"words_per_pin":%.1f,"reader":"streaming"},"flow":{"design":"xl100k","cells":%d,"wall_s":%.2f,"hpwl":%.1f,"stages":[%s]},"flow_xl1m":%s,"peko":{"cells":%d,"optimal_hpwl":%.1f,"flow_hpwl":%.1f,"gap_pct":%.2f,"wall_s":%.2f}}
 |}
     (String.concat ","
        (List.map
@@ -1011,6 +1045,7 @@ let run_xl_bench () =
        (List.map
           (fun (stage, s) -> Printf.sprintf {|{"stage":"%s","s":%.2f}|} stage s)
           fr.Flow.times))
+    flow_xl1m_json
     (Design.num_cells pk) pk_opt pr.Flow.hpwl_final gap_pct peko_s;
   close_out oc;
   say "  written BENCH_xl.json"
@@ -1199,7 +1234,7 @@ let experiments : (string * string * (unit -> unit)) list =
       "congestion-driven placement tradeoff (ACE/HPWL, off vs on, equality gated)",
       run_rt_bench );
     ( "XL",
-      "flat SoA core vs record kernels at 10k..250k cells (bit-equality gated)",
+      "flat SoA core vs record kernels at 10k..1m cells (bit-equality gated; DPP_XL_MAX caps)",
       run_xl_bench );
     ( "SRV",
       "placement-as-a-service throughput + incremental-ECO latency (equality gated)",

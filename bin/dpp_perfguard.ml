@@ -1,0 +1,91 @@
+(* Perf-regression guard: compare a freshly produced BENCH_xl.json
+   against the committed reference and fail when any watched wall-clock
+   number regresses past a generous tolerance factor.
+
+   Watched numbers: the xl100k full-flow wall time and every per-size
+   SoA kernel time present in both files.  The tolerance defaults to
+   2.5x — CI runners are slow and noisy relative to the machine the
+   reference was recorded on, so this only catches order-of-magnitude
+   regressions (an accidentally quadratic loop, a lost optimization),
+   not jitter.  Sizes or kernels present in only one file are skipped,
+   so the guard keeps working when the sweep is capped via DPP_XL_MAX. *)
+
+module Json = Dpp_report.Json
+
+let usage () =
+  prerr_endline "usage: dpp_perfguard REFERENCE.json FRESH.json [TOLERANCE]";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let num path v =
+  match v with
+  | Some (Json.Num f) -> Some f
+  | _ ->
+    Printf.eprintf "warning: %s missing or not a number, skipped\n" path;
+    None
+
+let () =
+  let ref_path, fresh_path, tol =
+    match Array.to_list Sys.argv with
+    | [ _; r; f ] -> r, f, 2.5
+    | [ _; r; f; t ] -> r, f, float_of_string t
+    | _ -> usage ()
+  in
+  let reference = Json.parse (read_file ref_path) in
+  let fresh = Json.parse (read_file fresh_path) in
+  let failures = ref 0 in
+  let check label r f =
+    match r, f with
+    | Some r, Some f when r > 0.0 ->
+      let ratio = f /. r in
+      let bad = ratio > tol in
+      if bad then incr failures;
+      Printf.printf "%-28s ref %8.3f s  fresh %8.3f s  %5.2fx %s\n" label r f ratio
+        (if bad then "FAIL" else "ok")
+    | _ -> ()
+  in
+  let flow_wall doc =
+    num "flow.wall_s" (Option.bind (Json.member "flow" doc) (Json.member "wall_s"))
+  in
+  check "flow xl100k" (flow_wall reference) (flow_wall fresh);
+  (* per-size kernel times, joined by size name *)
+  let sizes doc =
+    match Json.member "sizes" doc with
+    | Some (Json.Arr xs) ->
+      List.filter_map
+        (fun x ->
+          match Json.member "name" x with Some (Json.Str n) -> Some (n, x) | _ -> None)
+        xs
+    | _ -> []
+  in
+  let ref_sizes = sizes reference in
+  List.iter
+    (fun (name, fx) ->
+      match List.assoc_opt name ref_sizes with
+      | None -> ()
+      | Some rx -> (
+        match Json.member "kernels" rx, Json.member "kernels" fx with
+        | Some (Json.Obj rk), Some (Json.Obj fk) ->
+          List.iter
+            (fun (kname, rv) ->
+              match List.assoc_opt kname fk with
+              | None -> ()
+              | Some fv ->
+                check
+                  (Printf.sprintf "%s %s" name kname)
+                  (num "soa_s" (Json.member "soa_s" rv))
+                  (num "soa_s" (Json.member "soa_s" fv)))
+            rk
+        | _ -> ()))
+    (sizes fresh);
+  if !failures > 0 then begin
+    Printf.printf "%d regression(s) past %.1fx tolerance\n" !failures tol;
+    exit 1
+  end
+  else Printf.printf "perf guard clean (tolerance %.1fx)\n" tol

@@ -71,7 +71,17 @@ let run verbose preset bookshelf mode beta density seed jobs multilevel flat rou
         (match r.Dpp_core.Flow.rt_trace with
         | [] -> ""
         | rt -> Printf.sprintf "  (rt steering: %d updates)" (List.length rt - 1));
-      List.iter (fun (s, t) -> Printf.printf "  %-8s %6.2fs\n" s t) r.Dpp_core.Flow.times
+      List.iter
+        (fun (st : Dpp_report.Trace.stage) ->
+          let gc key =
+            match List.assoc_opt key st.Dpp_report.Trace.extra with
+            | Some (Dpp_report.Json.Num v) -> v
+            | _ -> 0.0
+          in
+          Printf.printf "  %-8s %6.2fs  gc: minor %8.1f Mw  major %7.1f Mw  majors %3.0f\n"
+            st.Dpp_report.Trace.name st.Dpp_report.Trace.wall_s (gc "gc_minor_mwords")
+            (gc "gc_major_mwords") (gc "gc_majors"))
+        r.Dpp_core.Flow.stage_trace
     in
     let write_trace results =
       match trace with

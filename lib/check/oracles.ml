@@ -165,8 +165,8 @@ let gradient ?pool ?(samples = 12) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gam
           view.Pins.scratch_x.(idx) <- px +. view.Pins.off_x.(p);
           view.Pins.scratch_y.(idx) <- py +. view.Pins.off_y.(p)
         done;
-        let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~want_grad:false in
-        let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~want_grad:false in
+        let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad:false in
+        let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad:false in
         acc +. ((Design.net d nid).Types.n_weight *. (vx +. vy)))
       0.0 nets
   in

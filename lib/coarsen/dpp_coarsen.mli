@@ -44,7 +44,10 @@ val build :
     (default 3), or when a level shrinks the movable count by less than
     10%.  [area_cap_factor] (default 4.0) bounds a merged cluster's area
     to that multiple of the level's mean movable-cell area.  Returns
-    [[]] when the design is already at or below the floor. *)
+    [[]] when the design is already at or below the floor, or when its
+    largest connected component of movable cells is itself at or below
+    [min_cells] — a PEKO-style dust of tiny islands where heavy-edge
+    matching degenerates; flat GP is the better start there. *)
 
 val cluster_centers :
   level -> cx:float array -> cy:float array -> float array * float array

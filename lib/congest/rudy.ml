@@ -20,7 +20,7 @@ let default_dims (d : Design.t) =
 
 module Pool = Dpp_par.Pool
 
-let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
+let compute ?pool ?arena ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
   let dnx, dny = default_dims d in
   (* a non-positive request (or a degenerate derivation) collapses to the
      single-bin grid rather than a zero-length demand array *)
@@ -38,14 +38,27 @@ let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
     let h = Rect.height die /. float_of_int ny in
     if h > 0.0 then h else 1.0
   in
-  let demand = Array.make (nx * ny) 0.0 in
+  (* arena-recycled buffers make the routability loop's every-round RUDY
+     evaluation allocation-free; [floats] zero-fills, so the scatter sees
+     exactly what a fresh [Array.make] would.  The returned map then
+     aliases the arena: it is invalidated by the next [compute] against
+     the same arena. *)
+  let afloats key n =
+    match arena with Some a -> Dpp_util.Arena.floats a key n | None -> Array.make n 0.0
+  in
+  let demand = afloats "rudy.demand" (nx * ny) in
   (* the flow hands down its shared pin view; standalone callers pay one
      flat-core derivation *)
   let pins = match pins with Some p -> p | None -> Pins.build d in
   let soa = pins.Pins.soa in
   let clamp_ix v = max 0 (min (nx - 1) v) in
   let clamp_iy v = max 0 (min (ny - 1) v) in
-  let scatter_net (view : Pins.t) grid n =
+  (* [wrow] hoists the per-column x-overlap widths of the net box across
+     the window's rows; the widths and the (w > 0 && h > 0 then w *. h)
+     gate are exactly [Rect.overlap_area]'s floats, so the scatter is
+     bit-identical to the old per-bin [Rect.make] + [overlap_area] pair
+     without its per-bin allocation. *)
+  let scatter_net (view : Pins.t) (wrow : float array) grid n =
     let k = Pins.load_net view ~cx ~cy n in
     if k >= 2 then begin
       let xmin = ref view.Pins.scratch_x.(0) and xmax = ref view.Pins.scratch_x.(0) in
@@ -61,30 +74,39 @@ let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
       let w = max 1.0 (!xmax -. !xmin) and h = max 1.0 (!ymax -. !ymin) in
       let weight = soa.Soa.net_weight.(n) in
       let density = weight *. (w +. h) /. (w *. h) in
-      let box = Rect.make ~xl:!xmin ~yl:!ymin ~xh:(!xmin +. w) ~yh:(!ymin +. h) in
-      let ix0 = clamp_ix (int_of_float (floor ((box.Rect.xl -. die.Rect.xl) /. bin_w))) in
-      let ix1 = clamp_ix (int_of_float (ceil ((box.Rect.xh -. die.Rect.xl) /. bin_w)) - 1) in
-      let iy0 = clamp_iy (int_of_float (floor ((box.Rect.yl -. die.Rect.yl) /. bin_h))) in
-      let iy1 = clamp_iy (int_of_float (ceil ((box.Rect.yh -. die.Rect.yl) /. bin_h)) - 1) in
+      let box_xl = !xmin and box_yl = !ymin in
+      let box_xh = !xmin +. w and box_yh = !ymin +. h in
+      let ix0 = clamp_ix (int_of_float (floor ((box_xl -. die.Rect.xl) /. bin_w))) in
+      let ix1 = clamp_ix (int_of_float (ceil ((box_xh -. die.Rect.xl) /. bin_w)) - 1) in
+      let iy0 = clamp_iy (int_of_float (floor ((box_yl -. die.Rect.yl) /. bin_h))) in
+      let iy1 = clamp_iy (int_of_float (ceil ((box_yh -. die.Rect.yl) /. bin_h)) - 1) in
+      for ix = ix0 to ix1 do
+        let bxl = die.Rect.xl +. (float_of_int ix *. bin_w) in
+        let bxh = die.Rect.xl +. (float_of_int (ix + 1) *. bin_w) in
+        wrow.(ix) <- min box_xh bxh -. max box_xl bxl
+      done;
       for iy = iy0 to iy1 do
-        for ix = ix0 to ix1 do
-          let bin =
-            Rect.make
-              ~xl:(die.Rect.xl +. (float_of_int ix *. bin_w))
-              ~yl:(die.Rect.yl +. (float_of_int iy *. bin_h))
-              ~xh:(die.Rect.xl +. (float_of_int (ix + 1) *. bin_w))
-              ~yh:(die.Rect.yl +. (float_of_int (iy + 1) *. bin_h))
-          in
-          let ov = Rect.overlap_area box bin in
-          if ov > 0.0 then grid.((iy * nx) + ix) <- grid.((iy * nx) + ix) +. (density *. ov)
-        done
+        let byl = die.Rect.yl +. (float_of_int iy *. bin_h) in
+        let byh = die.Rect.yl +. (float_of_int (iy + 1) *. bin_h) in
+        let hh = min box_yh byh -. max box_yl byl in
+        if hh > 0.0 then begin
+          let row = iy * nx in
+          for ix = ix0 to ix1 do
+            let ww = wrow.(ix) in
+            if ww > 0.0 then begin
+              let ov = ww *. hh in
+              if ov > 0.0 then grid.(row + ix) <- grid.(row + ix) +. (density *. ov)
+            end
+          done
+        end
       done
     end
   in
   (match pool with
   | None ->
+    let wrow = afloats "rudy.wrow" nx in
     for n = 0 to Soa.num_nets soa - 1 do
-      scatter_net pins demand n
+      scatter_net pins wrow demand n
     done
   | Some pool ->
     (* Chunk-local demand grids merged per bin in ascending chunk order:
@@ -93,11 +115,17 @@ let compute ?pool ?pins ?nx ?ny (d : Design.t) ~cx ~cy =
     let views =
       Array.init (Pool.nworkers pool) (fun w -> if w = 0 then pins else Pins.clone_scratch pins)
     in
-    let chunk_demand = Array.init Pool.chunk_count (fun _ -> Array.make (nx * ny) 0.0) in
+    let chunk_demand =
+      Array.init Pool.chunk_count (fun c -> afloats (Printf.sprintf "rudy.chunk%d" c) (nx * ny))
+    in
+    let chunk_wrow =
+      Array.init Pool.chunk_count (fun c -> afloats (Printf.sprintf "rudy.wrow%d" c) nx)
+    in
     Pool.iter_chunks pool ~n:(Soa.num_nets soa) (fun ~worker ~chunk ~lo ~hi ->
         let grid = chunk_demand.(chunk) in
+        let wrow = chunk_wrow.(chunk) in
         for n = lo to hi - 1 do
-          scatter_net views.(worker) grid n
+          scatter_net views.(worker) wrow grid n
         done);
     Pool.iter_chunks pool ~n:(nx * ny) (fun ~worker:_ ~chunk:_ ~lo ~hi ->
         for b = lo to hi - 1 do

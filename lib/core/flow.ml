@@ -162,7 +162,10 @@ let gp_stage =
           else []
         in
         ctx.Ctx.ml_levels <- levels;
-        let mlr = Gp.run_multilevel d gp_cfg ~levels ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy in
+        let mlr =
+          Gp.run_multilevel ~arena:ctx.Ctx.arena ~soa:ctx.Ctx.soa ~pins:ctx.Ctx.pins d
+            gp_cfg ~levels ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy
+        in
         ctx.Ctx.gp <- Some mlr.Gp.result;
         ctx.Ctx.gp_levels <- mlr.Gp.level_trace;
         Ctx.set_coords ctx mlr.Gp.result.Gp.cx mlr.Gp.result.Gp.cy;
@@ -208,7 +211,7 @@ let legal_stage =
       (fun (ctx : Ctx.t) ->
         let d = ctx.Ctx.design in
         let l =
-          Legal.run d ~pool:ctx.Ctx.pool ~soa:ctx.Ctx.soa
+          Legal.run d ~pool:ctx.Ctx.pool ~arena:ctx.Ctx.arena ~soa:ctx.Ctx.soa
             ~extra_obstacles:ctx.Ctx.obstacles ~skip:ctx.Ctx.skip ?bound:ctx.Ctx.bound
             ~cx:ctx.Ctx.cx ~cy:ctx.Ctx.cy ()
         in
@@ -309,9 +312,11 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
   let hpwl_before = ref (Ctx.hpwl ctx) in
   List.iter
     (fun stage ->
+      let g0 = Gc.quick_stat () in
       let t0 = Unix.gettimeofday () in
       let _ = stage.run ctx in
       let wall = Unix.gettimeofday () -. t0 in
+      let g1 = Gc.quick_stat () in
       let hpwl_after = Ctx.hpwl ctx in
       let overflow =
         if stage.name = "gp" then Option.map (fun g -> g.Gp.final_overflow) ctx.Ctx.gp
@@ -333,7 +338,20 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
             ctx.Ctx.gp_levels
       in
       (* schema-tolerant extras: congestion/steiner headline numbers ride
-         the stage records without widening the core schema *)
+         the stage records without widening the core schema.  Every stage
+         additionally carries its Gc.quick_stat delta — the allocation
+         ledger behind the scratch-arena work (a stage that recycles its
+         buffers shows near-zero major Mwords here). *)
+      let gc_extra =
+        [
+          ( "gc_minor_mwords",
+            Json.Num ((g1.Gc.minor_words -. g0.Gc.minor_words) /. 1e6) );
+          ( "gc_major_mwords",
+            Json.Num ((g1.Gc.major_words -. g0.Gc.major_words) /. 1e6) );
+          ( "gc_majors",
+            Json.Num (float_of_int (g1.Gc.major_collections - g0.Gc.major_collections)) );
+        ]
+      in
       let extra =
         match stage.name with
         | "gp" -> (
@@ -356,6 +374,7 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
           | None -> [])
         | _ -> []
       in
+      let extra = extra @ gc_extra in
       let rep =
         {
           Trace.name = stage.name;

@@ -15,6 +15,8 @@ type t = {
           the routability loop's per-cell inflation factors *)
   target : float array;  (** per bin *)
   phi : float array;  (** scratch bin field *)
+  tx_row : float array;  (** per-column theta row, hoisted across the window's rows *)
+  dtx_row : float array;  (** per-column theta' row (gradient kernels) *)
 }
 
 let theta ~r d =
@@ -91,6 +93,8 @@ let of_soa ?(frozen = fun _ -> false) (s : Soa.t) ~grid ~target_density =
     base_normalizer = Array.copy normalizer;
     target;
     phi = Array.make (Array.length grid.Grid.capacity) 0.0;
+    tx_row = Array.make grid.Grid.nx 0.0;
+    dtx_row = Array.make grid.Grid.nx 0.0;
   }
 
 (* The normalizer makes a cell's bell contributions sum to its area, so
@@ -115,9 +119,18 @@ let create ?frozen ?soa (d : Design.t) ~grid ~target_density =
   let s = match soa with Some s -> s | None -> Soa.of_design d in
   of_soa ?frozen s ~grid ~target_density
 
-(* Iterate the bins within the influence window of cell [i] centered at
-   (x, y), calling [f ix iy tx ty] with the per-axis bump values. *)
-let iter_window t i x y f =
+(* The hot kernels below inline their window walks directly — a closure
+   callback taking float arguments (the old [iter_window] helper) boxes
+   them on every bin visit, which used to dominate the kernels'
+   allocation.  lib/refkernels keeps an independent closure-based copy of
+   the window walk as the equivalence oracle. *)
+
+(* Scatter one cell's bell contribution into [phi].  The per-column theta
+   values are hoisted into [tx_row] once per cell instead of being
+   recomputed for every window row — same floats, and the accumulation
+   still walks (iy outer, ix inner), so [phi] is bit-identical to the
+   closure-based reference in lib/refkernels. *)
+let scatter_cell t ~(tx_row : float array) (phi : float array) i x y cv =
   let g = t.grid in
   let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
   let ix0, ix1 =
@@ -128,23 +141,24 @@ let iter_window t i x y f =
     Grid.range_of_interval ~lo:(y -. ry) ~hi:(y +. ry) ~origin:g.Grid.die.Rect.yl
       ~step:g.Grid.bin_h ~n:g.Grid.ny
   in
+  for ix = ix0 to ix1 do
+    tx_row.(ix) <- theta ~r:rx (x -. Grid.bin_center_x g ix)
+  done;
   for iy = iy0 to iy1 do
     let ty = theta ~r:ry (y -. Grid.bin_center_y g iy) in
-    if ty > 0.0 then
+    if ty > 0.0 then begin
+      let row = iy * g.Grid.nx in
       for ix = ix0 to ix1 do
-        let tx = theta ~r:rx (x -. Grid.bin_center_x g ix) in
-        if tx > 0.0 then f ix iy tx ty
+        let tx = tx_row.(ix) in
+        if tx > 0.0 then phi.(row + ix) <- phi.(row + ix) +. (cv *. tx *. ty)
       done
+    end
   done
 
 let fill_phi t ~cx ~cy =
   Array.fill t.phi 0 (Array.length t.phi) 0.0;
   Array.iter
-    (fun i ->
-      let cv = t.normalizer.(i) in
-      iter_window t i cx.(i) cy.(i) (fun ix iy tx ty ->
-          let b = Grid.index t.grid ix iy in
-          t.phi.(b) <- t.phi.(b) +. (cv *. tx *. ty)))
+    (fun i -> scatter_cell t ~tx_row:t.tx_row t.phi i cx.(i) cy.(i) t.normalizer.(i))
     t.movable
 
 let penalty t =
@@ -159,21 +173,52 @@ let value t ~cx ~cy =
   fill_phi t ~cx ~cy;
   penalty t
 
+(* Accumulate one cell's density gradient against the (frozen) [phi]
+   field.  [tx]/[theta'] per column and [ty]/[theta'] per row are each
+   computed once — the old closure recomputed both derivs per bin — and
+   the (iy outer, ix inner) accumulation order into gx/gy is unchanged,
+   so the sums are bit-identical. *)
+let grad_cell t ~(tx_row : float array) ~(dtx_row : float array) i x y cv ~(gx : float array)
+    ~(gy : float array) =
+  let g = t.grid in
+  let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
+  let ix0, ix1 =
+    Grid.range_of_interval ~lo:(x -. rx) ~hi:(x +. rx) ~origin:g.Grid.die.Rect.xl
+      ~step:g.Grid.bin_w ~n:g.Grid.nx
+  in
+  let iy0, iy1 =
+    Grid.range_of_interval ~lo:(y -. ry) ~hi:(y +. ry) ~origin:g.Grid.die.Rect.yl
+      ~step:g.Grid.bin_h ~n:g.Grid.ny
+  in
+  for ix = ix0 to ix1 do
+    let dx = x -. Grid.bin_center_x g ix in
+    tx_row.(ix) <- theta ~r:rx dx;
+    dtx_row.(ix) <- theta_deriv ~r:rx dx
+  done;
+  for iy = iy0 to iy1 do
+    let dy = y -. Grid.bin_center_y g iy in
+    let ty = theta ~r:ry dy in
+    if ty > 0.0 then begin
+      let dty = theta_deriv ~r:ry dy in
+      let row = iy * g.Grid.nx in
+      for ix = ix0 to ix1 do
+        let tx = tx_row.(ix) in
+        if tx > 0.0 then begin
+          let b = row + ix in
+          let e = 2.0 *. (t.phi.(b) -. t.target.(b)) in
+          gx.(i) <- gx.(i) +. (e *. cv *. dtx_row.(ix) *. ty);
+          gy.(i) <- gy.(i) +. (e *. cv *. tx *. dty)
+        end
+      done
+    end
+  done
+
 let value_grad t ~cx ~cy ~gx ~gy =
   fill_phi t ~cx ~cy;
-  let g = t.grid in
   Array.iter
     (fun i ->
-      let cv = t.normalizer.(i) in
-      let x = cx.(i) and y = cy.(i) in
-      let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
-      iter_window t i x y (fun ix iy tx ty ->
-          let b = Grid.index g ix iy in
-          let e = 2.0 *. (t.phi.(b) -. t.target.(b)) in
-          let dtx = theta_deriv ~r:rx (x -. Grid.bin_center_x g ix) in
-          let dty = theta_deriv ~r:ry (y -. Grid.bin_center_y g iy) in
-          gx.(i) <- gx.(i) +. (e *. cv *. dtx *. ty);
-          gy.(i) <- gy.(i) +. (e *. cv *. tx *. dty)))
+      grad_cell t ~tx_row:t.tx_row ~dtx_row:t.dtx_row i cx.(i) cy.(i) t.normalizer.(i) ~gx
+        ~gy)
     t.movable;
   penalty t
 
@@ -186,13 +231,20 @@ module Pool = Dpp_par.Pool
 type par = {
   bell : t;
   chunk_phi : float array array;  (** [Pool.chunk_count] local bin fields *)
+  chunk_tx : float array array;
+      (** per-chunk theta rows: chunks run on different domains concurrently,
+          so they must not share the serial kernels' [t.tx_row] *)
+  chunk_dtx : float array array;
 }
 
 let par_create bell =
+  let nx = bell.grid.Grid.nx in
   {
     bell;
     chunk_phi =
       Array.init Pool.chunk_count (fun _ -> Array.make (Array.length bell.phi) 0.0);
+    chunk_tx = Array.init Pool.chunk_count (fun _ -> Array.make nx 0.0);
+    chunk_dtx = Array.init Pool.chunk_count (fun _ -> Array.make nx 0.0);
   }
 
 (* Chunked phi accumulation: each of the [Pool.chunk_count] fixed chunks
@@ -206,13 +258,11 @@ let fill_phi_par p pool ~cx ~cy =
   let nbins = Array.length t.phi in
   Pool.iter_chunks pool ~n:(Array.length t.movable) (fun ~worker:_ ~chunk ~lo ~hi ->
       let local = p.chunk_phi.(chunk) in
+      let tx_row = p.chunk_tx.(chunk) in
       Array.fill local 0 nbins 0.0;
       for k = lo to hi - 1 do
         let i = t.movable.(k) in
-        let cv = t.normalizer.(i) in
-        iter_window t i cx.(i) cy.(i) (fun ix iy tx ty ->
-            let b = Grid.index t.grid ix iy in
-            local.(b) <- local.(b) +. (cv *. tx *. ty))
+        scatter_cell t ~tx_row local i cx.(i) cy.(i) t.normalizer.(i)
       done);
   Pool.iter_chunks pool ~n:nbins (fun ~worker:_ ~chunk:_ ~lo ~hi ->
       for b = lo to hi - 1 do
@@ -230,23 +280,15 @@ let par_value p pool ~cx ~cy =
 let par_value_grad p pool ~cx ~cy ~gx ~gy =
   fill_phi_par p pool ~cx ~cy;
   let t = p.bell in
-  let g = t.grid in
   (* Each movable cell owns its gx/gy slots and reads the (now frozen)
      phi field, so the fan-out is write-disjoint and the per-cell window
      walk keeps the serial accumulation order — deterministic under any
      partition. *)
-  Pool.iter_chunks pool ~n:(Array.length t.movable) (fun ~worker:_ ~chunk:_ ~lo ~hi ->
+  Pool.iter_chunks pool ~n:(Array.length t.movable) (fun ~worker:_ ~chunk ~lo ~hi ->
+      let tx_row = p.chunk_tx.(chunk) in
+      let dtx_row = p.chunk_dtx.(chunk) in
       for k = lo to hi - 1 do
         let i = t.movable.(k) in
-        let cv = t.normalizer.(i) in
-        let x = cx.(i) and y = cy.(i) in
-        let rx = t.radius_x.(i) and ry = t.radius_y.(i) in
-        iter_window t i x y (fun ix iy tx ty ->
-            let b = Grid.index g ix iy in
-            let e = 2.0 *. (t.phi.(b) -. t.target.(b)) in
-            let dtx = theta_deriv ~r:rx (x -. Grid.bin_center_x g ix) in
-            let dty = theta_deriv ~r:ry (y -. Grid.bin_center_y g iy) in
-            gx.(i) <- gx.(i) +. (e *. cv *. dtx *. ty);
-            gy.(i) <- gy.(i) +. (e *. cv *. tx *. dty))
+        grad_cell t ~tx_row ~dtx_row i cx.(i) cy.(i) t.normalizer.(i) ~gx ~gy
       done);
   penalty t

@@ -4,10 +4,13 @@ let armijo ?(c1 = 1e-4) ?(shrink = 0.5) ?(max_trials = 30) ~f ~x ~d ~f0 ~slope ~
   let n = Array.length x in
   if Array.length d <> n || Array.length scratch <> n then
     invalid_arg "Linesearch.armijo: size mismatch";
-  let trial t =
+  let fill t =
     for i = 0 to n - 1 do
       scratch.(i) <- x.(i) +. (t *. d.(i))
-    done;
+    done
+  in
+  let trial t =
+    fill t;
     f scratch
   in
   (* After the first Armijo-acceptable step, keep shrinking while that
@@ -21,8 +24,9 @@ let armijo ?(c1 = 1e-4) ?(shrink = 0.5) ?(max_trials = 30) ~f ~x ~d ~f0 ~slope ~
       let ft' = trial t' in
       if Float.is_finite ft' && ft' < ft then refine t' ft' (k + 1)
       else begin
-        (* restore scratch to the winning step *)
-        ignore (trial t);
+        (* restore scratch to the winning step: its value is already known,
+           so this is a pure vector fill, not another objective pass *)
+        fill t;
         { step = t; f_new = ft; evaluations = k + 1; ok = true }
       end
     end

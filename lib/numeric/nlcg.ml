@@ -2,7 +2,10 @@ type problem = {
   n : int;
   eval : float array -> float;
   grad : float array -> float array -> unit;
+  eval_grad : (float array -> float array -> float) option;
 }
+
+let problem ~n ~eval ~grad ?eval_grad () = { n; eval; grad; eval_grad }
 
 type options = {
   max_iter : int;
@@ -32,21 +35,66 @@ type result = {
   f_evals : int;
 }
 
-let minimize ?(options = default_options) p x0 =
+let minimize ?arena ?(options = default_options) p x0 =
   if Array.length x0 <> p.n then invalid_arg "Nlcg.minimize: x0 size mismatch";
-  let x = Array.copy x0 in
+  (* With an arena the five working vectors are recycled across calls —
+     the steady-state GP rounds' main residual allocation.  [x] is then
+     an arena buffer too: it escapes in the result, and stays valid only
+     until the next [minimize] against the same arena (the GP loop feeds
+     it straight back in as the next round's start point). *)
+  let alloc key =
+    match arena with
+    | Some a -> Dpp_util.Arena.floats a ("nlcg." ^ key) p.n
+    | None -> Array.make p.n 0.0
+  in
+  (* raw: x is fully overwritten by the blit below, and the recycled
+     buffer may BE [x0] (the previous call's result fed back in) — a
+     zero-fill would destroy it before the copy *)
+  let x =
+    match arena with
+    | Some a -> Dpp_util.Arena.floats_raw a "nlcg.x" p.n
+    | None -> Array.make p.n 0.0
+  in
+  if x != x0 then Array.blit x0 0 x 0 p.n;
   (match options.project with Some proj -> proj x | None -> ());
-  let g = Array.make p.n 0.0 in
-  let g_prev = Array.make p.n 0.0 in
-  let d = Array.make p.n 0.0 in
-  let scratch = Array.make p.n 0.0 in
+  let g = alloc "g" in
+  let g_prev = alloc "g_prev" in
+  let d = alloc "d" in
+  let scratch = alloc "scratch" in
   let f_evals = ref 0 in
   let eval x =
     incr f_evals;
     p.eval x
   in
-  let f = ref (eval x) in
-  p.grad x g;
+  (* Fused value+gradient at a point where both are needed: one pass over
+     the objective's kernels instead of two.  The caller guarantees the
+     fused value is bit-identical to [eval]'s. *)
+  let eval_and_grad x g =
+    match p.eval_grad with
+    | Some eg ->
+      incr f_evals;
+      eg x g
+    | None ->
+      let fv = eval x in
+      p.grad x g;
+      fv
+  in
+  (* [scratch] holds the accepted pre-projection point; if projection left
+     every coordinate unchanged, the line-search value is still exact and
+     the re-evaluation can be skipped (the objective is deterministic). *)
+  let projection_moved x scratch =
+    let moved = ref false in
+    (try
+       for i = 0 to p.n - 1 do
+         if x.(i) <> scratch.(i) then begin
+           moved := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !moved
+  in
+  let f = ref (eval_and_grad x g) in
   for i = 0 to p.n - 1 do
     d.(i) <- -.g.(i)
   done;
@@ -86,11 +134,20 @@ let minimize ?(options = default_options) p x0 =
         if not ls2.Linesearch.ok then stalled := true
         else begin
           Vec.copy_into scratch x;
-          (match options.project with Some proj -> proj x | None -> ());
+          let moved =
+            match options.project with
+            | Some proj ->
+              proj x;
+              projection_moved x scratch
+            | None -> false
+          in
           let f_old = !f in
-          f := eval x;
           Vec.copy_into g g_prev;
-          p.grad x g;
+          if moved then f := eval_and_grad x g
+          else begin
+            f := ls2.Linesearch.f_new;
+            p.grad x g
+          end;
           for i = 0 to p.n - 1 do
             d.(i) <- -.g.(i)
           done;
@@ -106,15 +163,23 @@ let minimize ?(options = default_options) p x0 =
       end
       else begin
         Vec.copy_into scratch x;
-        (match options.project with Some proj -> proj x | None -> ());
+        let moved =
+          match options.project with
+          | Some proj ->
+            proj x;
+            projection_moved x scratch
+          | None -> false
+        in
         let f_old = !f in
-        (* Projection may have moved the point; recompute f there only if a
-           projection exists, otherwise reuse the line-search value. *)
-        (match options.project with
-        | Some _ -> f := eval x
-        | None -> f := ls.Linesearch.f_new);
         Vec.copy_into g g_prev;
-        p.grad x g;
+        (* Projection may have moved the point; recompute f there only if it
+           actually did (fused with the gradient pass), otherwise the
+           line-search value is exact and only the gradient is needed. *)
+        if moved then f := eval_and_grad x g
+        else begin
+          f := ls.Linesearch.f_new;
+          p.grad x g
+        end;
         (* Polak–Ribière+ beta. *)
         let gg_prev = Vec.dot g_prev g_prev in
         let beta =

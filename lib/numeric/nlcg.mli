@@ -6,7 +6,20 @@ type problem = {
   n : int;  (** number of variables *)
   eval : float array -> float;  (** objective value *)
   grad : float array -> float array -> unit;  (** [grad x g] fills [g] *)
+  eval_grad : (float array -> float array -> float) option;
+      (** optional fused pass: [eval_grad x g] fills [g] and returns the
+          objective value in one sweep over the problem's kernels.  The
+          value MUST be bit-identical to [eval x] — the optimizer
+          substitutes one for the other freely. *)
 }
+
+val problem :
+  n:int ->
+  eval:(float array -> float) ->
+  grad:(float array -> float array -> unit) ->
+  ?eval_grad:(float array -> float array -> float) ->
+  unit ->
+  problem
 
 type options = {
   max_iter : int;
@@ -32,5 +45,13 @@ type result = {
   f_evals : int;
 }
 
-val minimize : ?options:options -> problem -> float array -> result
-(** [minimize p x0] starts from a copy of [x0]. *)
+val minimize : ?arena:Dpp_util.Arena.t -> ?options:options -> problem -> float array -> result
+(** [minimize p x0] starts from a copy of [x0].
+
+    With [~arena], the five working vectors come from the arena instead
+    of fresh allocation, making repeated solves of the same size (the GP
+    round loop) allocation-free.  [result.x] is then an arena buffer:
+    it remains valid only until the next [minimize] against the same
+    arena — which may receive it back as its [x0] (the GP loop does
+    exactly that).  Results are bit-identical with and without an
+    arena. *)

@@ -86,12 +86,27 @@ type result = {
 
 let grad_l1 g = Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 g
 
-let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design.t) cfg ~cx ~cy =
+let run ?arena ?soa ?pins ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = [])
+    (d : Design.t) cfg ~cx ~cy =
   let nc = Design.num_cells d in
+  (* Arena-backed working buffers: [afloats]/[aints] are zero-filled
+     drop-ins for [Array.make], [afloats_raw] is for buffers that are
+     fully overwritten before any read (a recycled buffer may alias this
+     run's own inputs, so those must not be pre-zeroed). *)
+  let afloats key n =
+    match arena with Some a -> Dpp_util.Arena.floats a key n | None -> Array.make n 0.0
+  in
+  let afloats_raw key n =
+    match arena with Some a -> Dpp_util.Arena.floats_raw a key n | None -> Array.make n 0.0
+  in
+  let aints key n =
+    match arena with Some a -> Dpp_util.Arena.ints a key n | None -> Array.make n 0
+  in
   (* rigid-group membership *)
   let rigid = Array.of_list cfg.rigid_groups in
   let ng = Array.length rigid in
-  let member_of = Array.make nc (-1) in
+  let member_of = aints "gp.member_of" nc in
+  Array.fill member_of 0 nc (-1);
   Array.iteri
     (fun j (dg : Dgroup.t) -> Array.iter (fun c -> member_of.(c) <- j) dg.Dgroup.cells)
     rigid;
@@ -104,10 +119,10 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   in
   let m = Array.length movable_free in
   let nvar = m + ng in
-  (* one flat-core derivation per level: every kernel below (wirelength,
-     density, projection bounds) reads these arrays, never the records *)
-  let soa = Soa.of_design d in
-  let pins = Pins.of_soa soa in
+  (* one flat-core derivation per level — or none at all when the caller
+     (the flow context) already owns the views for this design *)
+  let soa = match soa with Some s -> s | None -> Soa.of_design d in
+  let pins = match pins with Some p -> p | None -> Pins.of_soa soa in
   let nx, ny = match cfg.grid with Some (nx, ny) -> nx, ny | None -> Grid.default_dims d in
   let grid = Grid.build ~extra_obstacles d ~nx ~ny in
   (* An unreachable density target makes lambda escalate until wirelength
@@ -172,10 +187,17 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
       Array.of_list
         (List.filter (fun i -> not (frozen i)) (Array.to_list (Design.movable_ids d)))
   in
-  let inflate = Array.make (if rt_on then nc else 0) 1.0 in
+  let inflate =
+    if rt_on then begin
+      let a = afloats_raw "gp.inflate" nc in
+      Array.fill a 0 nc 1.0;
+      a
+    end
+    else [||]
+  in
   let rt_budget = cfg.rt_max_inflate *. load_area in
   let rt_cell_max = 2.0 in
-  let gxc = Array.make nc 0.0 and gyc = Array.make nc 0.0 in
+  let gxc = afloats "gp.gxc" nc and gyc = afloats "gp.gyc" nc in
   let mu = ref 0.0 in
   let rt_field : (Rudy.t * float array) option ref = ref None in
   let rt_trace = ref [] in
@@ -240,12 +262,31 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
           gy.(i) <- gy.(i) +. (a *. dy))
         rt_cells
   in
+  (* fused congestion value+gradient: same cell order and value expression
+     as [congest_value], so the value is bit-identical to it *)
+  let congest_value_grad ~cx ~cy ~gx ~gy =
+    match !rt_field with
+    | None -> 0.0
+    | Some (r, p) ->
+      let acc = ref 0.0 in
+      Array.iter
+        (fun i ->
+          let a = soa.Soa.width.(i) *. soa.Soa.height.(i) in
+          let v, dx, dy = congest_sample r p cx.(i) cy.(i) in
+          acc := !acc +. (a *. v);
+          gx.(i) <- gx.(i) +. (a *. dx);
+          gy.(i) <- gy.(i) +. (a *. dy))
+        rt_cells;
+      !acc
+  in
   (* working copies of the full center arrays; fixed/frozen entries never
      change *)
-  let wx = Array.copy cx and wy = Array.copy cy in
-  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
-  let gxd = Array.make nc 0.0 and gyd = Array.make nc 0.0 in
-  let gxa = Array.make nc 0.0 and gya = Array.make nc 0.0 in
+  let wx = afloats_raw "gp.wx" nc and wy = afloats_raw "gp.wy" nc in
+  Array.blit cx 0 wx 0 nc;
+  Array.blit cy 0 wy 0 nc;
+  let gx = afloats "gp.gx" nc and gy = afloats "gp.gy" nc in
+  let gxd = afloats "gp.gxd" nc and gyd = afloats "gp.gyd" nc in
+  let gxa = afloats "gp.gxa" nc and gya = afloats "gp.gya" nc in
   (* variable packing: [x of free cells, x of group origins,
                         y of free cells, y of group origins] *)
   let scatter v =
@@ -264,8 +305,11 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     done
   in
   let die = d.Design.die in
-  let half_w = Array.map (fun i -> soa.Soa.width.(i) /. 2.0) movable_free in
-  let half_h = Array.map (fun i -> soa.Soa.height.(i) /. 2.0) movable_free in
+  let half_w = afloats_raw "gp.half_w" m and half_h = afloats_raw "gp.half_h" m in
+  for k = 0 to m - 1 do
+    half_w.(k) <- soa.Soa.width.(movable_free.(k)) /. 2.0;
+    half_h.(k) <- soa.Soa.height.(movable_free.(k)) /. 2.0
+  done;
   let project v =
     for k = 0 to m - 1 do
       let hw = half_w.(k) and hh = half_h.(k) in
@@ -317,30 +361,48 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
       g.(nvar + m + j) <- !sy
     done
   in
-  let fill_gradients () =
+  (* One fused sweep per term: every *_value_grad kernel returns the same
+     value its value-only twin computes (identical accumulation order), so
+     the objective comes out of the gradient pass for free — the combining
+     expression mirrors [eval] exactly for bit-identity. *)
+  let fill_gradients_value () =
     Array.fill gx 0 nc 0.0;
     Array.fill gy 0 nc 0.0;
-    ignore (model_value_grad ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy);
+    let w = model_value_grad ~gamma:!gamma ~cx:wx ~cy:wy ~gx ~gy in
     Array.fill gxd 0 nc 0.0;
     Array.fill gyd 0 nc 0.0;
-    if !lambda > 0.0 then ignore (bell_value_grad ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd);
+    let dv = if !lambda > 0.0 then bell_value_grad ~cx:wx ~cy:wy ~gx:gxd ~gy:gyd else 0.0 in
     Array.fill gxa 0 nc 0.0;
     Array.fill gya 0 nc 0.0;
-    if !beta > 0.0 && soft <> [] then
-      ignore (Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya);
-    if !mu > 0.0 then begin
-      Array.fill gxc 0 nc 0.0;
-      Array.fill gyc 0 nc 0.0;
-      congest_grad ~cx:wx ~cy:wy ~gx:gxc ~gy:gyc
-    end
+    let av =
+      if !beta > 0.0 && soft <> [] then
+        Alignment.value_grad soft ~cx:wx ~cy:wy ~gx:gxa ~gy:gya
+      else 0.0
+    in
+    let cv =
+      if !mu > 0.0 then begin
+        Array.fill gxc 0 nc 0.0;
+        Array.fill gyc 0 nc 0.0;
+        congest_value_grad ~cx:wx ~cy:wy ~gx:gxc ~gy:gyc
+      end
+      else 0.0
+    in
+    w +. (!lambda *. dv) +. (!beta *. av) +. (!mu *. cv)
   in
+  let fill_gradients () = ignore (fill_gradients_value ()) in
   let grad v g =
     scatter v;
     fill_gradients ();
     gather g
   in
-  (* initial variable vector *)
-  let v0 = Array.make (2 * nvar) 0.0 in
+  let eval_grad v g =
+    scatter v;
+    let f = fill_gradients_value () in
+    gather g;
+    f
+  in
+  (* initial variable vector (every slot is written below) *)
+  let v0 = afloats_raw "gp.v0" (2 * nvar) in
   for k = 0 to m - 1 do
     v0.(k) <- cx.(movable_free.(k));
     v0.(nvar + k) <- cy.(movable_free.(k))
@@ -369,7 +431,7 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
     let a_norm = grad_l1 gxa +. grad_l1 gya in
     beta := if a_norm > 0.0 then cfg.beta *. wl_grad_norm /. a_norm else 0.0
   end;
-  let problem = { Nlcg.n = 2 * nvar; eval; grad } in
+  let problem = { Nlcg.n = 2 * nvar; eval; grad; eval_grad = Some eval_grad } in
   let v = ref v0 in
   let trace = ref [] in
   let stop = ref false in
@@ -382,7 +444,11 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
      over-spread designs that reach the target late).  The loop also stops
      once overflow stagnates, instead of letting lambda erase the
      wirelength term entirely. *)
-  let best_x = Array.copy wx and best_y = Array.copy wy in
+  (* raw + blit: the recycled best_x/best_y may be this run's own [cx]/[cy]
+     inputs when the caller loops placements through the same arena *)
+  let best_x = afloats_raw "gp.best_x" nc and best_y = afloats_raw "gp.best_y" nc in
+  Array.blit wx 0 best_x 0 nc;
+  Array.blit wy 0 best_y 0 nc;
   let best_score = ref infinity and best_ovf = ref infinity in
   (* With routability on, iterates also compete on their ACE congestion
      excess: without the term, best-seen would keep a pre-inflation
@@ -406,7 +472,7 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
   in
   (* post-solve RUDY measurement — every round when routability is on *)
   let rt_measure () =
-    let r = Rudy.compute ?pool:cfg.pool ~pins d ~cx:wx ~cy:wy in
+    let r = Rudy.compute ?pool:cfg.pool ?arena ~pins d ~cx:wx ~cy:wy in
     r, Rudy.stats r
   in
   (* steering: refresh the fixed congestion field, update the inflation
@@ -419,9 +485,11 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
       0.0 rt_cells
   in
   let rt_steer (r : Rudy.t) (s : Rudy.stats) =
-    let p =
-      Array.map (fun dem -> max 0.0 ((dem /. r.Rudy.supply) -. cfg.rt_overflow)) r.Rudy.demand
-    in
+    let nb = Array.length r.Rudy.demand in
+    let p = afloats_raw "gp.rt_excess" nb in
+    for b = 0 to nb - 1 do
+      p.(b) <- max 0.0 ((r.Rudy.demand.(b) /. r.Rudy.supply) -. cfg.rt_overflow)
+    done;
     rt_field := Some (r, p);
     let clamp_ix v = max 0 (min (r.Rudy.nx - 1) v) in
     let clamp_iy v = max 0 (min (r.Rudy.ny - 1) v) in
@@ -489,7 +557,7 @@ let run ?on_round ?(frozen = fun _ -> false) ?(extra_obstacles = []) (d : Design
         project = Some project;
       }
     in
-    let r = Nlcg.minimize ~options problem !v in
+    let r = Nlcg.minimize ?arena ~options problem !v in
     v := r.Nlcg.x;
     scatter !v;
     (* Overflow is measured on the free cells only: rigid arrays are ~100%
@@ -619,10 +687,10 @@ let coarse_config cfg =
    cold start — this is where the multilevel speedup comes from. *)
 let refine_config cfg = { cfg with rounds = min cfg.rounds (max 4 (cfg.rounds / 3)) }
 
-let run_multilevel ?on_round ?on_level (d : Design.t) cfg
+let run_multilevel ?arena ?soa ?pins ?on_round ?on_level (d : Design.t) cfg
     ~(levels : Dpp_coarsen.level list) ~cx ~cy =
   match levels with
-  | [] -> { result = run ?on_round d cfg ~cx ~cy; level_trace = [] }
+  | [] -> { result = run ?arena ?soa ?pins ?on_round d cfg ~cx ~cy; level_trace = [] }
   | levels ->
     let larr = Array.of_list levels in
     let nl = Array.length larr in
@@ -660,5 +728,8 @@ let run_multilevel ?on_round ?on_level (d : Design.t) cfg
       Dpp_coarsen.interpolate lvl ~ccx:r.cx ~ccy:r.cy ~cx:fcx ~cy:fcy
     done;
     let fcx, fcy = coords.(0) in
-    let r = run ?on_round d (refine_config cfg) ~cx:fcx ~cy:fcy in
+    (* only the flat refinement shares the arena: the coarse levels all
+       have different sizes, so recycling across them would just thrash
+       the buffers (their views are also per-level by construction) *)
+    let r = run ?arena ?soa ?pins ?on_round d (refine_config cfg) ~cx:fcx ~cy:fcy in
     { result = r; level_trace = !trace }

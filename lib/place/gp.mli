@@ -106,6 +106,9 @@ type result = {
 }
 
 val run :
+  ?arena:Dpp_util.Arena.t ->
+  ?soa:Dpp_netlist.Soa.t ->
+  ?pins:Dpp_wirelen.Pins.t ->
   ?on_round:(round_info -> unit) ->
   ?frozen:(int -> bool) ->
   ?extra_obstacles:Dpp_geom.Rect.t list ->
@@ -115,7 +118,15 @@ val run :
   cy:float array ->
   result
 (** [cx]/[cy] provide the start (typically {!Qp.run} output); they are not
-    modified. *)
+    modified.
+
+    [soa]/[pins] reuse the caller's flat views of [d] (the flow passes
+    its context's) instead of re-deriving them.  [arena] recycles the
+    working buffers — gradient banks, NLCG vectors, RUDY grids — so the
+    round loop does no steady-state allocation; the result's [cx]/[cy]
+    then live in the arena and stay valid only until the next [run]
+    against it (they may be fed back as the next start, which is
+    handled).  Results are bit-identical with and without an arena. *)
 
 type level_info = {
   level : int;  (** 1 = first coarse level, larger = coarser *)
@@ -129,6 +140,9 @@ type level_info = {
 type ml_result = { result : result; level_trace : level_info list }
 
 val run_multilevel :
+  ?arena:Dpp_util.Arena.t ->
+  ?soa:Dpp_netlist.Soa.t ->
+  ?pins:Dpp_wirelen.Pins.t ->
   ?on_round:(round_info -> unit) ->
   ?on_level:(level_info -> unit) ->
   Dpp_netlist.Design.t ->

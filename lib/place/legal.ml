@@ -70,7 +70,7 @@ let row_segments_for_test = row_segments
    cursor, so it only fails when the die is genuinely overfull.  Within
    a row set, the search expands outward from the target row and stops
    once the vertical displacement alone exceeds the best cost found. *)
-let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(extra_obstacles = [])
+let run (d : Design.t) ?(pool = Pool.serial) ?arena ?soa ?(extra_obstacles = [])
     ?(skip = fun _ -> false) ?bound ~cx ~cy () =
   let s = match soa with Some s -> s | None -> Soa.of_design d in
   let nc = Soa.num_cells s in
@@ -118,7 +118,17 @@ let run (d : Design.t) ?(pool = Pool.serial) ?soa ?(extra_obstacles = [])
   if nrows = 0 then
     { assignment; cx = out_cx; cy = out_cy; failed = List.map snd todo }
   else begin
-    let stores = Array.init nrows (fun _ -> Intervals.create ()) in
+    (* every store is reset below before any read, so recycling the
+       array across runs (the serve daemon's repeated legalizations) is
+       free; the key carries the row count so a dimension change misses *)
+    let stores =
+      match arena with
+      | Some a ->
+        Dpp_util.Arena.cached a
+          (Printf.sprintf "legal.stores.%d" nrows)
+          (fun () -> Array.init nrows (fun _ -> Intervals.create ()))
+      | None -> Array.init nrows (fun _ -> Intervals.create ())
+    in
     (* best (cost, row, interval index, xl) over rows [lo, hi), expanding
        outward from the target row with the vertical-displacement prune *)
     let search_rows ~lo ~hi target_row w target_xl =

@@ -23,6 +23,7 @@ type t = {
 val run :
   Dpp_netlist.Design.t ->
   ?pool:Dpp_par.Pool.t ->
+  ?arena:Dpp_util.Arena.t ->
   ?soa:Dpp_netlist.Soa.t ->
   ?extra_obstacles:Dpp_geom.Rect.t list ->
   ?skip:(int -> bool) ->
@@ -36,7 +37,9 @@ val run :
     fans the chunk-local phase out over worker domains; the result does
     not depend on the worker count.  [soa] supplies the flow's flat view
     so the sort keys and interval widths come from flat arrays; without
-    it one is derived on the spot.
+    it one is derived on the spot.  [arena] recycles the per-row
+    free-interval stores across runs (every store is reset before use,
+    so the result is bit-identical with or without one).
 
     [bound] is the region-bounded mode behind incremental ECO
     re-placement: only rows overlapping the rectangle get free intervals

@@ -1,0 +1,98 @@
+(* A keyed scratch-buffer arena: recycles the big per-round / per-rescan
+   working arrays of the flow (GP gradient banks, NLCG vectors, RUDY
+   grids, legalizer stores) so steady-state iterations stop allocating on
+   the major heap.  [floats]/[ints] are drop-in replacements for
+   [Array.make n 0.0] / [Array.make n 0]: the returned buffer is always
+   zero-filled, whether it was recycled or fresh, so callers inherit no
+   stale state and bit-determinism is untouched.
+
+   An arena is confined to a single domain: give every worker its own
+   (see lib/serve) — the buffers it hands out are unsynchronized.
+
+   A buffer stays valid until the same key is requested again with a
+   different length (it is then dropped and reallocated), so two live
+   uses of one key must not overlap. *)
+
+type entry =
+  | Floats of float array
+  | Ints of int array
+  | Other of Obj.t
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let floats t key n =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Floats a) when Array.length a = n ->
+    t.hits <- t.hits + 1;
+    Array.fill a 0 n 0.0;
+    a
+  | _ ->
+    t.misses <- t.misses + 1;
+    let a = Array.make n 0.0 in
+    Hashtbl.replace t.tbl key (Floats a);
+    a
+
+(* As [floats] but with unspecified contents — for callers that fully
+   overwrite the buffer before reading it (and in particular for buffers
+   the caller may be handed back as their own input: zero-filling first
+   would destroy the aliased source). *)
+let floats_raw t key n =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Floats a) when Array.length a = n ->
+    t.hits <- t.hits + 1;
+    a
+  | _ ->
+    t.misses <- t.misses + 1;
+    let a = Array.make n 0.0 in
+    Hashtbl.replace t.tbl key (Floats a);
+    a
+
+let ints t key n =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Ints a) when Array.length a = n ->
+    t.hits <- t.hits + 1;
+    Array.fill a 0 n 0;
+    a
+  | _ ->
+    t.misses <- t.misses + 1;
+    let a = Array.make n 0 in
+    Hashtbl.replace t.tbl key (Ints a);
+    a
+
+(* Memoize an arbitrary mutable scratch structure under [key].  The
+   caller owns resetting it; each key must always be used at one type
+   (the single [Obj] coercion below is safe exactly under that rule). *)
+let cached t key create =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Other o) ->
+    t.hits <- t.hits + 1;
+    Obj.obj o
+  | _ ->
+    t.misses <- t.misses + 1;
+    let v = create () in
+    Hashtbl.replace t.tbl key (Other (Obj.repr v));
+    v
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+
+(* resident float/int words, a rough footprint figure for reports *)
+let words t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e with
+      | Floats a -> acc + Array.length a
+      | Ints a -> acc + Array.length a
+      | Other _ -> acc)
+    t.tbl 0

@@ -1,0 +1,45 @@
+(** Keyed scratch-buffer arena.
+
+    Recycles the flow's big working arrays across iterations so
+    steady-state GP rounds, Netbox rescans, RUDY evaluations and
+    legalizer runs do no major-heap allocation.  The contract is
+    deliberately the same as [Array.make]: a buffer returned by
+    {!floats} / {!ints} is always zero-filled, recycled or not, so
+    arena-on and arena-off runs are bit-identical.
+
+    An arena is single-domain state: concurrent workers must each own
+    their own arena (the serve daemon creates one per worker context). *)
+
+type t
+
+val create : unit -> t
+
+val floats : t -> string -> int -> float array
+(** [floats t key n] returns a zero-filled float array of length [n],
+    recycling the buffer previously returned for [key] when its length
+    matches.  The buffer is invalidated by the next [floats t key n']
+    with [n' <> n]; two overlapping live uses of one key are a bug. *)
+
+val floats_raw : t -> string -> int -> float array
+(** As {!floats} but the contents are unspecified — for callers that
+    fully overwrite the buffer (notably when the previous buffer for the
+    key may alias the caller's own input, where zero-filling first would
+    destroy it). *)
+
+val ints : t -> string -> int -> int array
+(** [ints t key n] — as {!floats}, for int arrays (zero-filled). *)
+
+val cached : t -> string -> (unit -> 'a) -> 'a
+(** [cached t key create] memoizes an arbitrary scratch structure under
+    [key] ([create] runs on first use only).  The caller is responsible
+    for resetting the structure before each use, and every key must be
+    used at a single type. *)
+
+val clear : t -> unit
+(** Drop every buffer (subsequent requests reallocate). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val words : t -> int
+(** Total float/int words currently resident in the arena. *)

@@ -5,8 +5,12 @@ module Soa = Dpp_netlist.Soa
      lse_plus  = gamma * log sum exp(a_i / gamma)     = amax + gamma*log S+
      lse_minus = gamma * log sum exp(-a_i / gamma)    = -amin + gamma*log S-
    If [w] is non-empty it also receives the softmax gradient weights
-     w_i = exp((a_i - amax)/gamma)/S+ - exp((amin - a_i)/gamma)/S- . *)
-let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~want_grad =
+     w_i = exp((a_i - amax)/gamma)/S+ - exp((amin - a_i)/gamma)/S- .
+   [u]/[v] cache the summation loop's exponentials for the gradient loop
+   ([exp] dominates the kernel); the cached floats are exactly what the old
+   recomputation produced, so results are bit-identical. *)
+let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~(u : float array)
+    ~(v : float array) ~want_grad =
   let amax = ref a.(0) and amin = ref a.(0) in
   for i = 1 to k - 1 do
     if a.(i) > !amax then amax := a.(i);
@@ -14,14 +18,18 @@ let axis_value_grad (a : float array) k ~gamma ~(w : float array) ~want_grad =
   done;
   let splus = ref 0.0 and sminus = ref 0.0 in
   for i = 0 to k - 1 do
-    splus := !splus +. exp ((a.(i) -. !amax) /. gamma);
-    sminus := !sminus +. exp ((!amin -. a.(i)) /. gamma)
+    let ui = exp ((a.(i) -. !amax) /. gamma) in
+    let vi = exp ((!amin -. a.(i)) /. gamma) in
+    if want_grad then begin
+      u.(i) <- ui;
+      v.(i) <- vi
+    end;
+    splus := !splus +. ui;
+    sminus := !sminus +. vi
   done;
   if want_grad then
     for i = 0 to k - 1 do
-      w.(i) <-
-        (exp ((a.(i) -. !amax) /. gamma) /. !splus)
-        -. (exp ((!amin -. a.(i)) /. gamma) /. !sminus)
+      w.(i) <- (u.(i) /. !splus) -. (v.(i) /. !sminus)
     done;
   !amax -. !amin +. (gamma *. (log !splus +. log !sminus))
 
@@ -33,10 +41,10 @@ let value t ~gamma ~cx ~cy =
     if k >= 2 then begin
       let wn = s.Soa.net_weight.(n) in
       let vx =
-        axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:false
+        axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:false
       in
       let vy =
-        axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:false
+        axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:false
       in
       acc := !acc +. (wn *. (vx +. vy))
     end
@@ -51,12 +59,12 @@ let value_grad t ~gamma ~cx ~cy ~gx ~gy =
     let k = Pins.load_net t ~cx ~cy n in
     if k >= 2 then begin
       let wn = s.Soa.net_weight.(n) in
-      let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:true in
       for i = 0 to k - 1 do
         let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
         gx.(c) <- gx.(c) +. (wn *. t.Pins.scratch_w.(i))
       done;
-      let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~want_grad:true in
+      let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:true in
       for i = 0 to k - 1 do
         let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
         gy.(c) <- gy.(c) +. (wn *. t.Pins.scratch_w.(i))

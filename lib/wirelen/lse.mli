@@ -27,7 +27,14 @@ val upper_bound_gap : gamma:float -> degree:int -> float
     [hpwl <= lse <= hpwl + 2 * gap].  Used by tests. *)
 
 val axis_value_grad :
-  float array -> int -> gamma:float -> w:float array -> want_grad:bool -> float
+  float array ->
+  int ->
+  gamma:float ->
+  w:float array ->
+  u:float array ->
+  v:float array ->
+  want_grad:bool ->
+  float
 (** The per-net, per-axis building block over the first [k] entries of a
     scratch buffer; with [want_grad] the softmax weights land in [w].
     Exposed for {!Par_grad} (which runs it per net on worker domains) and

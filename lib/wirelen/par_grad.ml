@@ -36,12 +36,12 @@ let scan t pool kind ~gamma ~cx ~cy ~want_grad =
         let k = Pins.load_net view ~cx ~cy n in
         if k >= 2 then begin
           let wn = s.Soa.net_weight.(n) in
-          let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~want_grad in
+          let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
               t.pin_gx.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
             done;
-          let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~want_grad in
+          let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
               t.pin_gy.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
@@ -81,10 +81,23 @@ let reduce t ~want_grad ~gx ~gy =
 
 let no_grad = [||]
 
+(* The fan-out/reduce pair is bit-identical to the serial kernels at any
+   worker count (see [reduce]), so when the pool would run the scan on
+   the calling domain anyway we skip the net_val/pin_g staging entirely
+   and call the serial kernel — same floats, none of the staging-array
+   traffic. *)
+let serial_effective t pool = Pool.auto_serial pool ~n:(Soa.num_nets t.pins.Pins.soa)
+
 let value t pool kind ~gamma ~cx ~cy =
-  scan t pool kind ~gamma ~cx ~cy ~want_grad:false;
-  reduce t ~want_grad:false ~gx:no_grad ~gy:no_grad
+  if serial_effective t pool then Model.value kind t.pins ~gamma ~cx ~cy
+  else begin
+    scan t pool kind ~gamma ~cx ~cy ~want_grad:false;
+    reduce t ~want_grad:false ~gx:no_grad ~gy:no_grad
+  end
 
 let value_grad t pool kind ~gamma ~cx ~cy ~gx ~gy =
-  scan t pool kind ~gamma ~cx ~cy ~want_grad:true;
-  reduce t ~want_grad:true ~gx ~gy
+  if serial_effective t pool then Model.value_grad kind t.pins ~gamma ~cx ~cy ~gx ~gy
+  else begin
+    scan t pool kind ~gamma ~cx ~cy ~want_grad:true;
+    reduce t ~want_grad:true ~gx ~gy
+  end

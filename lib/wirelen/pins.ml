@@ -11,6 +11,8 @@ type t = {
   scratch_y : float array;
   scratch_w : float array;
   scratch_w2 : float array;
+  scratch_u : float array;  (** per-pin exp cache for the smooth-WL kernels *)
+  scratch_v : float array;
 }
 
 let of_soa (s : Soa.t) =
@@ -39,6 +41,8 @@ let of_soa (s : Soa.t) =
     scratch_y = Array.make max_deg 0.0;
     scratch_w = Array.make max_deg 0.0;
     scratch_w2 = Array.make max_deg 0.0;
+    scratch_u = Array.make max_deg 0.0;
+    scratch_v = Array.make max_deg 0.0;
   }
 
 let build (d : Design.t) = of_soa (Soa.of_design d)
@@ -56,6 +60,8 @@ let clone_scratch t =
     scratch_y = Array.make k 0.0;
     scratch_w = Array.make k 0.0;
     scratch_w2 = Array.make k 0.0;
+    scratch_u = Array.make k 0.0;
+    scratch_v = Array.make k 0.0;
   }
 
 let flip_cell_x t i =

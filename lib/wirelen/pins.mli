@@ -16,6 +16,8 @@ type t = {
   scratch_y : float array;
   scratch_w : float array;  (** softmax weight buffer for gradients *)
   scratch_w2 : float array;
+  scratch_u : float array;  (** per-pin exp caches for the smooth-WL kernels *)
+  scratch_v : float array;
 }
 
 val of_soa : Dpp_netlist.Soa.t -> t

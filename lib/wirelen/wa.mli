@@ -26,7 +26,14 @@ val error_bound : gamma:float -> float
     [4 * gamma] from the TCAD analysis for tests. *)
 
 val axis_value_grad :
-  float array -> int -> gamma:float -> w:float array -> want_grad:bool -> float
+  float array ->
+  int ->
+  gamma:float ->
+  w:float array ->
+  u:float array ->
+  v:float array ->
+  want_grad:bool ->
+  float
 (** Same contract as {!Lse.axis_value_grad}: the per-net, per-axis kernel,
     exposed so {!Par_grad} and the batched gradient oracle reuse the exact
     serial arithmetic. *)

@@ -176,8 +176,21 @@ let test_multilevel_vs_flat_hpwl () =
   Alcotest.(check int) "one trace entry per level" (List.length levels)
     (List.length ml.Gp.level_trace)
 
+let test_disconnected_falls_back_flat () =
+  (* PEKO nets are cell-disjoint: every connected component is one net
+     (at most 8 cells), so the V-cycle has nothing to exploit and build
+     must return [] — the flat-GP fallback — instead of coarsening dust *)
+  let pk, _ = Dpp_gen.Peko.build ~name:"peko_cc" ~cells:4000 () in
+  Alcotest.(check int) "flat fallback on disconnected design" 0
+    (List.length (Coarsen.build ~min_cells:500 ~seed:3 pk));
+  (* a connected design of the same scale still coarsens *)
+  let d = scaled_design ~cells:900 31 in
+  Alcotest.(check bool) "connected design still builds levels" true
+    (Coarsen.build ~min_cells:150 ~max_levels:2 ~seed:3 d <> [])
+
 let suite =
   [
+    Alcotest.test_case "disconnected falls back flat" `Quick test_disconnected_falls_back_flat;
     Alcotest.test_case "levels pass integrity oracle" `Quick test_levels_pass_integrity_oracle;
     Alcotest.test_case "dgroups never split" `Quick test_groups_never_split;
     Alcotest.test_case "build deterministic" `Quick test_build_deterministic;

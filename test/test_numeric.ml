@@ -193,6 +193,7 @@ let test_nlcg_quadratic_bowl () =
         (fun v g ->
           g.(0) <- 2.0 *. (v.(0) -. 3.0);
           g.(1) <- 20.0 *. (v.(1) +. 1.0));
+      eval_grad = None;
     }
   in
   let r = Nlcg.minimize p [| 0.0; 0.0 |] in
@@ -213,6 +214,7 @@ let test_nlcg_rosenbrock () =
           let b = v.(1) -. (v.(0) *. v.(0)) in
           g.(0) <- (-2.0 *. (1.0 -. v.(0))) -. (400.0 *. v.(0) *. b);
           g.(1) <- 200.0 *. b);
+      eval_grad = None;
     }
   in
   let options = { Nlcg.default_options with Nlcg.max_iter = 5000; f_tol = 0.0; grad_tol = 1e-7 } in
@@ -227,6 +229,7 @@ let test_nlcg_projection () =
       Nlcg.n = 1;
       eval = (fun v -> (v.(0) -. 5.0) ** 2.0);
       grad = (fun v g -> g.(0) <- 2.0 *. (v.(0) -. 5.0));
+      eval_grad = None;
     }
   in
   let project v = if v.(0) > 2.0 then v.(0) <- 2.0 in
@@ -244,6 +247,7 @@ let test_nlcg_monotone =
           Nlcg.n = 1;
           eval = (fun v -> a *. ((v.(0) -. c) ** 2.0));
           grad = (fun v g -> g.(0) <- 2.0 *. a *. (v.(0) -. c));
+          eval_grad = None;
         }
       in
       let f0 = p.Nlcg.eval [| 100.0 |] in
