@@ -746,6 +746,12 @@ let run_xl_bench () =
   let module R = Dpp_refkernels.Record_path in
   let module Flow = Dpp_core.Flow in
   let module Config = Dpp_core.Config in
+  (* The sweep's per-size top-heap mark is a committed, gated number:
+     cap the major heap's growth headroom so the mark tracks the live
+     set instead of the default 120% free-space slack.  Wall times are
+     unaffected where it matters — every timed kernel runs after its
+     own full-major settle in [best]. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 80 };
   let vm_hwm_kb () =
     (* peak resident set so far, from the kernel's own accounting *)
     let ic = open_in "/proc/self/status" in
@@ -802,6 +808,11 @@ let run_xl_bench () =
   let rows =
     List.map
       (fun name ->
+        (* return the previous size's garbage to the OS before this size
+           allocates, so the monotone top-heap / VmHWM marks sampled at
+           the end of the row are this size's own working set, not the
+           sweep's accumulation *)
+        Gc.compact ();
         let t0 = Unix.gettimeofday () in
         let d = Option.get (Dpp_gen.Xl.by_name ~seed:1 name) in
         let gen_s = Unix.gettimeofday () -. t0 in
@@ -861,6 +872,9 @@ let run_xl_bench () =
         gate (name ^ ": net boxes") !boxes_ok;
         (* --- gate 2: pooled kernels bit-stable across worker counts --- *)
         let pooled jobs =
+          (* each run rebuilds the pooled netbox and RUDY stores; collect
+             the previous run's before stacking the next on the heap peak *)
+          Gc.full_major ();
           Pool.with_pool ~nworkers:jobs @@ fun pool ->
           let pg = Par_grad.create pool pins in
           Array.fill gx 0 n 0.0;
@@ -945,7 +959,80 @@ let run_xl_bench () =
   say "XL: all SoA kernels bit-identical to the record path on %s"
     (String.concat ", " sizes);
   say "XL: pooled kernels bit-stable at 1/2/4 worker domains on every size";
-  (* --- streaming parse: wall-clock and allocation of Bookshelf.read --- *)
+  (* per-stage memory ledger entries for the flow JSON objects: wall
+     clock plus the VmHWM / top-heap marks each Trace.stage recorded *)
+  let module Trace = Dpp_report.Trace in
+  let stage_json (st : Trace.stage) =
+    Printf.sprintf {|{"stage":"%s","s":%.2f,"vm_hwm_kb":%d,"heap_kb":%d}|} st.Trace.name
+      st.Trace.wall_s st.Trace.vm_hwm_kb st.Trace.heap_kb
+  in
+  let say_stage (st : Trace.stage) =
+    say "    %-8s %8.2f s  hwm %8.1f MB  heap %8.1f MB" st.Trace.name st.Trace.wall_s
+      (float_of_int st.Trace.vm_hwm_kb /. 1024.)
+      (float_of_int st.Trace.heap_kb /. 1024.)
+  in
+  (* --- full flows, each in a fresh child process ---
+     VmHWM and top-heap are process-monotone, and the major-GC pacing the
+     pooled sweep's domain spawn/join churn leaves behind balloons a
+     subsequent in-process flow's heap several-fold (same allocation
+     totals, far fewer major slices; Gc.compact does not reset it).
+     Shelling out to dpp_place gives every flow a pristine process, so
+     the ledgered per-stage marks are the flow's own.  On a preset,
+     [--multilevel --jobs 1] is exactly the bench flow config below —
+     verified bit-identical by final HPWL. *)
+  let dpp_place_exe =
+    (* the bench runs as _build/default/bench/main.exe; the placer
+       binary is its sibling under bin/ *)
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "dpp_place.exe")
+  in
+  let flow_in_child preset =
+    let tracef = Filename.temp_file "dpp_flow_" ".trace.json" in
+    let cmd =
+      Printf.sprintf "%s --preset %s --multilevel --jobs 1 --trace %s > /dev/null"
+        (Filename.quote dpp_place_exe) (Filename.quote preset) (Filename.quote tracef)
+    in
+    let rc = Sys.command cmd in
+    if rc <> 0 then begin
+      Printf.eprintf "XL: flow child for %s exited %d (%s)\n%!" preset rc cmd;
+      exit 1
+    end;
+    let ic = open_in tracef in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tracef;
+    match Dpp_report.Json.parse body with
+    | Dpp_report.Json.Arr (run :: _) -> Trace.of_json run
+    | _ -> failwith "flow child wrote no trace run"
+  in
+  let final_of (tr : Trace.t) =
+    match List.rev tr.Trace.stages with
+    | last :: _ -> last
+    | [] -> failwith "flow child trace has no stages"
+  in
+  (* cell counts come from the sweep rows when available so the parent
+     never has to materialize the design a second time (at 1M cells the
+     regeneration alone would shift the parent's own RSS baseline) *)
+  let cells_of name =
+    match List.find_opt (fun (n, _, _, _, _, _, _, _, _) -> n = name) rows with
+    | Some (_, cells, _, _, _, _, _, _, _) -> cells
+    | None -> Design.num_cells (Option.get (Dpp_gen.Xl.by_name ~seed:1 name))
+  in
+  (* --- one full flow at 100k --- *)
+  let cfg = { Config.structure_aware with Config.multilevel = Config.Ml_on; jobs = 1 } in
+  let ftr = flow_in_child "xl100k" in
+  let flow_s = ftr.Trace.total_s in
+  let flow_hpwl = (final_of ftr).Trace.hpwl_after in
+  let flow_cells = cells_of "xl100k" in
+  say "XL: full flow on xl100k (%d cells): %.1f s, final HPWL %.0f" flow_cells flow_s
+    flow_hpwl;
+  List.iter say_stage ftr.Trace.stages;
+  (* --- streaming parse: wall-clock and allocation of Bookshelf.read ---
+     runs after the xl100k flow on purpose: the reader's transient peak
+     tops 1 GB, and the process-monotone VmHWM / top-heap marks in the
+     flow's stage ledger must reflect the flow, not the parse apparatus
+     (the xl1m flow below dwarfs the parse peak either way) *)
   let tmp = Filename.concat (Filename.get_temp_dir_name ()) "dpp_xl_parse" in
   let parse_design = "xl100k" in
   let pd = Option.get (Dpp_gen.Xl.by_name ~seed:1 parse_design) in
@@ -969,34 +1056,21 @@ let run_xl_bench () =
        (List.map (fun e -> tmp ^ e) [ ".aux"; ".nodes"; ".nets"; ".pl"; ".scl"; ".masters"; ".groups" ]));
   say "XL: streaming Bookshelf.read of %s: %.2f s, %.1f Mwords allocated (%.0f words/pin)"
     parse_design read_s parse_mwords parse_words_per_pin;
-  (* --- one full flow at 100k --- *)
-  let fd = Option.get (Dpp_gen.Xl.by_name ~seed:1 "xl100k") in
-  let cfg = { Config.structure_aware with Config.multilevel = Config.Ml_on; jobs = 1 } in
-  let t0 = Unix.gettimeofday () in
-  let fr = Flow.run fd cfg in
-  let flow_s = Unix.gettimeofday () -. t0 in
-  say "XL: full flow on xl100k (%d cells): %.1f s, final HPWL %.0f" (Design.num_cells fd)
-    flow_s fr.Flow.hpwl_final;
-  List.iter (fun (stage, s) -> say "    %-8s %8.2f s" stage s) fr.Flow.times;
   (* --- the million-cell flow: wall clock + peak RSS, end to end --- *)
   let flow_xl1m_json =
     if not (List.mem "xl1m" sizes) then "null"
     else begin
-      let md = Option.get (Dpp_gen.Xl.by_name ~seed:1 "xl1m") in
-      let t0 = Unix.gettimeofday () in
-      let mr = Flow.run md cfg in
-      let mflow_s = Unix.gettimeofday () -. t0 in
-      let mflow_hwm = vm_hwm_kb () in
-      say "XL: full flow on xl1m (%d cells): %.1f s, final HPWL %.0f, peak rss %d MB"
-        (Design.num_cells md) mflow_s mr.Flow.hpwl_final (mflow_hwm / 1024);
-      List.iter (fun (stage, s) -> say "    %-8s %8.2f s" stage s) mr.Flow.times;
+      let mtr = flow_in_child "xl1m" in
+      let mlast = final_of mtr in
+      let mcells = cells_of "xl1m" in
+      say "XL: full flow on xl1m (%d cells): %.1f s, final HPWL %.0f, peak rss %d MB" mcells
+        mtr.Trace.total_s mlast.Trace.hpwl_after
+        (mlast.Trace.vm_hwm_kb / 1024);
+      List.iter say_stage mtr.Trace.stages;
       Printf.sprintf
         {|{"design":"xl1m","cells":%d,"wall_s":%.2f,"hpwl":%.1f,"vm_hwm_kb":%d,"stages":[%s]}|}
-        (Design.num_cells md) mflow_s mr.Flow.hpwl_final mflow_hwm
-        (String.concat ","
-           (List.map
-              (fun (stage, s) -> Printf.sprintf {|{"stage":"%s","s":%.2f}|} stage s)
-              mr.Flow.times))
+        mcells mtr.Trace.total_s mlast.Trace.hpwl_after mlast.Trace.vm_hwm_kb
+        (String.concat "," (List.map stage_json mtr.Trace.stages))
     end
   in
   (* --- PEKO: absolute optimality gap ---
@@ -1039,12 +1113,8 @@ let run_xl_bench () =
        (List.map
           (fun (kname, ts, tr) -> Printf.sprintf {|"%s":%.3f|} kname (tr /. ts))
           largest_timed))
-    parse_design read_s parse_mwords parse_words_per_pin (Design.num_cells fd) flow_s
-    fr.Flow.hpwl_final
-    (String.concat ","
-       (List.map
-          (fun (stage, s) -> Printf.sprintf {|{"stage":"%s","s":%.2f}|} stage s)
-          fr.Flow.times))
+    parse_design read_s parse_mwords parse_words_per_pin flow_cells flow_s flow_hpwl
+    (String.concat "," (List.map stage_json ftr.Trace.stages))
     flow_xl1m_json
     (Design.num_cells pk) pk_opt pr.Flow.hpwl_final gap_pct peko_s;
   close_out oc;

@@ -1,19 +1,30 @@
 (* Perf-regression guard: compare a freshly produced BENCH_xl.json
    against the committed reference and fail when any watched wall-clock
-   number regresses past a generous tolerance factor.
+   or memory number regresses past its tolerance factor.
 
-   Watched numbers: the xl100k full-flow wall time and every per-size
-   SoA kernel time present in both files.  The tolerance defaults to
-   2.5x — CI runners are slow and noisy relative to the machine the
-   reference was recorded on, so this only catches order-of-magnitude
-   regressions (an accidentally quadratic loop, a lost optimization),
-   not jitter.  Sizes or kernels present in only one file are skipped,
-   so the guard keeps working when the sweep is capped via DPP_XL_MAX. *)
+   Watched wall-clock numbers: the xl100k full-flow wall time and every
+   per-size SoA kernel time present in both files.  The wall tolerance
+   defaults to 2.5x — CI runners are slow and noisy relative to the
+   machine the reference was recorded on, so this only catches
+   order-of-magnitude regressions (an accidentally quadratic loop, a
+   lost optimization), not jitter.
+
+   Watched memory numbers: per-size [vm_hwm_kb] and [top_heap_kb] from
+   the sweep, and the xl1m full-flow [vm_hwm_kb] when both files carry
+   one.  Resident footprint is far less noisy than wall time — the
+   same binary on the same input allocates the same bytes — so the
+   memory tolerance defaults to a much tighter 1.3x.  A change that
+   re-boxes the compact netlist core or leaks a per-level buffer trips
+   this gate even on a fast runner.
+
+   Sizes, kernels or memory fields present in only one file are
+   skipped, so the guard keeps working when the sweep is capped via
+   DPP_XL_MAX or when an older reference predates the memory ledger. *)
 
 module Json = Dpp_report.Json
 
 let usage () =
-  prerr_endline "usage: dpp_perfguard REFERENCE.json FRESH.json [TOLERANCE]";
+  prerr_endline "usage: dpp_perfguard REFERENCE.json FRESH.json [WALL_TOL] [MEM_TOL]";
   exit 2
 
 let read_file path =
@@ -30,11 +41,16 @@ let num path v =
     Printf.eprintf "warning: %s missing or not a number, skipped\n" path;
     None
 
+(* memory fields are optional (older references predate the ledger) —
+   no warning when absent, the join just skips them *)
+let num_opt v = match v with Some (Json.Num f) -> Some f | _ -> None
+
 let () =
-  let ref_path, fresh_path, tol =
+  let ref_path, fresh_path, wall_tol, mem_tol =
     match Array.to_list Sys.argv with
-    | [ _; r; f ] -> r, f, 2.5
-    | [ _; r; f; t ] -> r, f, float_of_string t
+    | [ _; r; f ] -> r, f, 2.5, 1.3
+    | [ _; r; f; t ] -> r, f, float_of_string t, 1.3
+    | [ _; r; f; t; m ] -> r, f, float_of_string t, float_of_string m
     | _ -> usage ()
   in
   let reference = Json.parse (read_file ref_path) in
@@ -44,9 +60,20 @@ let () =
     match r, f with
     | Some r, Some f when r > 0.0 ->
       let ratio = f /. r in
-      let bad = ratio > tol in
+      let bad = ratio > wall_tol in
       if bad then incr failures;
       Printf.printf "%-28s ref %8.3f s  fresh %8.3f s  %5.2fx %s\n" label r f ratio
+        (if bad then "FAIL" else "ok")
+    | _ -> ()
+  in
+  let check_mem label r f =
+    match r, f with
+    | Some r, Some f when r > 0.0 ->
+      let ratio = f /. r in
+      let bad = ratio > mem_tol in
+      if bad then incr failures;
+      Printf.printf "%-28s ref %8.1f MB fresh %8.1f MB %5.2fx %s\n" label (r /. 1024.)
+        (f /. 1024.) ratio
         (if bad then "FAIL" else "ok")
     | _ -> ()
   in
@@ -54,7 +81,7 @@ let () =
     num "flow.wall_s" (Option.bind (Json.member "flow" doc) (Json.member "wall_s"))
   in
   check "flow xl100k" (flow_wall reference) (flow_wall fresh);
-  (* per-size kernel times, joined by size name *)
+  (* per-size kernel times and memory marks, joined by size name *)
   let sizes doc =
     match Json.member "sizes" doc with
     | Some (Json.Arr xs) ->
@@ -69,8 +96,8 @@ let () =
     (fun (name, fx) ->
       match List.assoc_opt name ref_sizes with
       | None -> ()
-      | Some rx -> (
-        match Json.member "kernels" rx, Json.member "kernels" fx with
+      | Some rx ->
+        (match Json.member "kernels" rx, Json.member "kernels" fx with
         | Some (Json.Obj rk), Some (Json.Obj fk) ->
           List.iter
             (fun (kname, rv) ->
@@ -82,10 +109,24 @@ let () =
                   (num "soa_s" (Json.member "soa_s" rv))
                   (num "soa_s" (Json.member "soa_s" fv)))
             rk
-        | _ -> ()))
+        | _ -> ());
+        List.iter
+          (fun field ->
+            check_mem
+              (Printf.sprintf "%s %s" name field)
+              (num_opt (Json.member field rx))
+              (num_opt (Json.member field fx)))
+          [ "vm_hwm_kb"; "top_heap_kb" ])
     (sizes fresh);
+  (* the non-gating-in-CI xl1m flow still gates here when both files
+     recorded it: its VmHWM is the number the compact core exists for *)
+  let xl1m_hwm doc =
+    num_opt (Option.bind (Json.member "flow_xl1m" doc) (Json.member "vm_hwm_kb"))
+  in
+  check_mem "flow xl1m vm_hwm" (xl1m_hwm reference) (xl1m_hwm fresh);
   if !failures > 0 then begin
-    Printf.printf "%d regression(s) past %.1fx tolerance\n" !failures tol;
+    Printf.printf "%d regression(s) past tolerance (wall %.1fx, mem %.1fx)\n" !failures
+      wall_tol mem_tol;
     exit 1
   end
-  else Printf.printf "perf guard clean (tolerance %.1fx)\n" tol
+  else Printf.printf "perf guard clean (wall tolerance %.1fx, mem %.1fx)\n" wall_tol mem_tol

@@ -159,7 +159,7 @@ let gradient ?pool ?(samples = 12) ?(eps = 1e-5) ?(tol = 1e-3) ~seed ~model ~gam
         let k = Array.length np in
         for idx = 0 to k - 1 do
           let p = np.(idx) in
-          let c = view.Pins.pin_cell.(p) in
+          let c = Dpp_util.Compact.I32.get view.Pins.pin_cell p in
           let px = if c = pert then cx.(c) +. dx else cx.(c) in
           let py = if c = pert then cy.(c) +. dy else cy.(c) in
           view.Pins.scratch_x.(idx) <- px +. view.Pins.off_x.(p);

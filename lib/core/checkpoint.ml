@@ -122,37 +122,95 @@ module Snapshot = struct
 
   (* ----- JSON codec (the spool format the serve layer persists) ----- *)
 
-  let floats a = Json.Arr (Array.to_list (Array.map (fun f -> Json.Num f) a))
-  let ints a = Json.Arr (Array.to_list (Array.map (fun i -> Json.Num (float_of_int i)) a))
-
-  let rect_json (r : Rect.t) =
-    Json.Arr [ Json.Num r.Rect.xl; Json.Num r.Rect.yl; Json.Num r.Rect.xh; Json.Num r.Rect.yh ]
-
   let rect_of_json = function
     | Json.Arr [ a; b; c; d ] ->
       Rect.make ~xl:(Json.to_float a) ~yl:(Json.to_float b) ~xh:(Json.to_float c)
         ~yh:(Json.to_float d)
     | _ -> raise (Json.Parse_error "snapshot: malformed rectangle")
 
-  let to_json s =
-    Json.Obj
-      [
-        "stage", Json.Str s.stage;
-        "design", Json.Str s.design;
-        "cx", floats s.cx;
-        "cy", floats s.cy;
-        ( "orient",
-          Json.Arr
-            (Array.to_list (Array.map (fun o -> Json.Str (Orient.to_string o)) s.orient)) );
-        "skip_ids", ints s.skip_ids;
-        "flip_skip_ids", ints s.flip_skip_ids;
-        "obstacles", Json.Arr (List.map rect_json s.obstacles);
-        "bound", (match s.bound with Some r -> rect_json r | None -> Json.Null);
-        "assignment", ints s.assignment;
-        "failed", ints (Array.of_list s.failed);
-      ]
+  (* Streaming emit: a million-cell snapshot is four ~1M-element arrays,
+     and materializing them as a Json tree costs ~50 bytes of boxed
+     nodes per element before a single byte reaches the spool file.
+     Writing fields straight through [puts] keeps the writer O(1) in
+     retained memory; the byte stream is exactly what the old
+     [Json.encode (to_json s)] path produced, so spools stay
+     interchangeable across versions. *)
+  let emit ~(puts : string -> unit) s =
+    let num f = puts (Json.num_string f) in
+    let str v =
+      puts "\"";
+      puts (Json.escape_string v);
+      puts "\""
+    in
+    let floats a =
+      puts "[";
+      Array.iteri
+        (fun i f ->
+          if i > 0 then puts ",";
+          num f)
+        a;
+      puts "]"
+    in
+    let ints a =
+      puts "[";
+      Array.iteri
+        (fun i x ->
+          if i > 0 then puts ",";
+          num (float_of_int x))
+        a;
+      puts "]"
+    in
+    let rect (r : Rect.t) =
+      puts "[";
+      num r.Rect.xl;
+      puts ",";
+      num r.Rect.yl;
+      puts ",";
+      num r.Rect.xh;
+      puts ",";
+      num r.Rect.yh;
+      puts "]"
+    in
+    puts "{\"stage\":";
+    str s.stage;
+    puts ",\"design\":";
+    str s.design;
+    puts ",\"cx\":";
+    floats s.cx;
+    puts ",\"cy\":";
+    floats s.cy;
+    puts ",\"orient\":[";
+    Array.iteri
+      (fun i o ->
+        if i > 0 then puts ",";
+        str (Orient.to_string o))
+      s.orient;
+    puts "]";
+    puts ",\"skip_ids\":";
+    ints s.skip_ids;
+    puts ",\"flip_skip_ids\":";
+    ints s.flip_skip_ids;
+    puts ",\"obstacles\":[";
+    List.iteri
+      (fun i r ->
+        if i > 0 then puts ",";
+        rect r)
+      s.obstacles;
+    puts "]";
+    puts ",\"bound\":";
+    (match s.bound with Some r -> rect r | None -> puts "null");
+    puts ",\"assignment\":";
+    ints s.assignment;
+    puts ",\"failed\":";
+    ints (Array.of_list s.failed);
+    puts "}"
 
-  let encode s = Json.encode (to_json s)
+  let output oc s = emit ~puts:(output_string oc) s
+
+  let encode s =
+    let b = Buffer.create 4096 in
+    emit ~puts:(Buffer.add_string b) s;
+    Buffer.contents b
 
   let float_array key v =
     match Json.member key v with
@@ -204,9 +262,7 @@ module Snapshot = struct
        file for the restarted server to trip over *)
     let tmp = path ^ ".tmp" in
     let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (encode s));
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc s);
     Sys.rename tmp path
 
   let load ~path =

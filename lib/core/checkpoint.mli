@@ -48,9 +48,12 @@ module Snapshot : sig
       applied to both the design and the shared pin view, so no rebuild is
       needed.  @raise Invalid_argument on a cell-count mismatch. *)
 
-  val to_json : t -> Dpp_report.Json.t
   val of_json : Dpp_report.Json.t -> t
   (** The spool object; the serve layer embeds it next to the job spec. *)
+
+  val output : out_channel -> t -> unit
+  (** Stream the snapshot's JSON straight to a channel — no intermediate
+      tree or string, O(1) retained memory however large the design. *)
 
   val encode : t -> string
   val decode : string -> t

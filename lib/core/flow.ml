@@ -155,7 +155,7 @@ let gp_stage =
           if Config.multilevel_enabled cfg ~movables then
             (* bit-slices and movable macros seed the first-level
                clusters, so no group is ever split across clusters *)
-            Dpp_coarsen.build
+            Dpp_coarsen.build ~arena:ctx.Ctx.arena
               ~groups:(ctx.Ctx.dgroups @ ctx.Ctx.macro_dgs)
               ~min_cells:cfg.Config.ml_min_cells ~max_levels:cfg.Config.ml_max_levels
               ~seed:cfg.Config.seed d
@@ -383,6 +383,11 @@ let run_stages ?prepare ?observer ?(check = false) ~stages:stage_list (input : D
           hpwl_before = !hpwl_before;
           hpwl_after;
           overflow;
+          (* memory ledger samples: both are high-water marks, so the
+             stage whose record first shows a jump is the one that
+             spiked the footprint *)
+          vm_hwm_kb = Dpp_util.Meminfo.vm_hwm_kb ();
+          heap_kb = Dpp_util.Meminfo.top_heap_kb ();
           levels;
           check = verdict;
           extra;

@@ -105,12 +105,14 @@ let write_groups (d : Design.t) path =
             (Groups.num_stages g);
           Array.iter
             (fun row ->
-              let names =
-                Array.map
-                  (fun c -> if c < 0 then "-" else (Design.cell d c).Types.c_name)
-                  row
-              in
-              Printf.fprintf oc "  %s\n" (String.concat " " (Array.to_list names)))
+              output_char oc ' ';
+              Array.iter
+                (fun c ->
+                  output_char oc ' ';
+                  output_string oc
+                    (if c < 0 then "-" else (Design.cell d c).Types.c_name))
+                row;
+              output_char oc '\n')
             g.Groups.g_rows)
         d.Design.groups)
 
@@ -375,11 +377,14 @@ let read_scl path =
 let read_masters path =
   with_reader path (fun lr ->
       let tbl = Hashtbl.create 1024 in
+      (* the tokenizer allocates a fresh string per line, so a million
+         cells of "ram1" would otherwise pin a million identical blocks *)
+      let pool = Dpp_util.Strpool.create () in
       let rec loop () =
         match next_tokens lr with
         | None -> ()
         | Some [ name; master ] ->
-          Hashtbl.replace tbl name master;
+          Hashtbl.replace tbl name (Dpp_util.Strpool.intern pool master);
           loop ()
         | Some toks ->
           parse_error lr.lr_file lr.lr_num "bad masters line: %s" (String.concat " " toks)

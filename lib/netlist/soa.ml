@@ -1,5 +1,8 @@
 module Rect = Dpp_geom.Rect
 module Orient = Dpp_geom.Orient
+module I32 = Dpp_util.Compact.I32
+module I8 = Dpp_util.Compact.I8
+module F64 = Dpp_util.Compact.F64
 
 type t = {
   name : string;
@@ -12,28 +15,28 @@ type t = {
   num_pins : int;
   (* cell fields, indexed by cell id *)
   cell_name : string array;
-  cell_master : string array;
+  cell_master : string array;  (* interned: one block per distinct master *)
   width : float array;
   height : float array;
-  kind : int array;
+  kind : I8.t;
   x : float array;
   y : float array;
   orient : Orient.t array;
   (* cell -> pins CSR, preserving each cell's pin-list order *)
-  cell_pin_off : int array;
-  cell_pin : int array;
+  cell_pin_off : I32.t;
+  cell_pin : I32.t;
   (* net fields, indexed by net id *)
   net_name : string array;
   net_weight : float array;
   (* net -> pins CSR, preserving each net's pin-array order *)
-  net_pin_off : int array;
-  net_pin : int array;
+  net_pin_off : I32.t;
+  net_pin : I32.t;
   (* pin fields, indexed by pin id *)
-  pin_cell : int array;
-  pin_net : int array;
-  pin_dir : Types.direction array;
-  pin_dx : float array;
-  pin_dy : float array;
+  pin_cell : I32.t;
+  pin_net : I32.t;
+  pin_dir : I8.t;
+  pin_dx : F64.t;
+  pin_dy : F64.t;
   groups : Groups.t list;
 }
 
@@ -51,58 +54,76 @@ let kind_of_code = function
   | 1 -> Types.Fixed
   | _ -> Types.Pad
 
-let is_fixed t i = t.kind.(i) <> kind_movable
+let code_of_dir = function Types.Input -> 0 | Types.Output -> 1 | Types.Inout -> 2
+let dir_of_code = function 0 -> Types.Input | 1 -> Types.Output | _ -> Types.Inout
+
+let is_fixed t i = I8.uget t.kind i <> kind_movable
+
+(* The int32 CSR overflow gate: entity counts and pin offsets must fit an
+   int32 slot.  A design past 2^31 pins fails fast at derivation time
+   with the counted total, never by silent wraparound inside a kernel. *)
+let guard_pin_count ~name counted =
+  if counted > I32.max_value then
+    failwith
+      (Printf.sprintf
+         "Soa.of_design(%s): counted %d pins, which exceeds the int32 CSR offset range \
+          (max %d)"
+         name counted I32.max_value)
 
 let of_design (d : Design.t) =
   let nc = Design.num_cells d in
   let nn = Design.num_nets d in
   let np = Design.num_pins d in
+  guard_pin_count ~name:d.Design.name np;
+  let pool = Dpp_util.Strpool.create () in
   let cell_name = Array.make nc "" in
   let cell_master = Array.make nc "" in
   let width = Array.make nc 0.0 in
   let height = Array.make nc 0.0 in
-  let kind = Array.make nc kind_movable in
-  let cell_pin_off = Array.make (nc + 1) 0 in
+  let kind = I8.make nc kind_movable in
+  let cell_pin_off = I32.make (nc + 1) 0 in
   for i = 0 to nc - 1 do
     let c = d.Design.cells.(i) in
     cell_name.(i) <- c.Types.c_name;
-    cell_master.(i) <- c.Types.c_master;
+    cell_master.(i) <- Dpp_util.Strpool.intern pool c.Types.c_master;
     width.(i) <- c.Types.c_width;
     height.(i) <- c.Types.c_height;
-    kind.(i) <- code_of_kind c.Types.c_kind;
-    cell_pin_off.(i + 1) <- cell_pin_off.(i) + Array.length c.Types.c_pins
+    I8.set kind i (code_of_kind c.Types.c_kind);
+    I32.set cell_pin_off (i + 1) (I32.get cell_pin_off i + Array.length c.Types.c_pins)
   done;
-  let cell_pin = Array.make (max 1 cell_pin_off.(nc)) 0 in
+  let cell_pin = I32.make (max 1 (I32.get cell_pin_off nc)) 0 in
   for i = 0 to nc - 1 do
     let pins = d.Design.cells.(i).Types.c_pins in
-    Array.blit pins 0 cell_pin cell_pin_off.(i) (Array.length pins)
+    I32.blit_array pins ~src_off:0 cell_pin ~dst_off:(I32.get cell_pin_off i)
+      ~len:(Array.length pins)
   done;
   let net_name = Array.make nn "" in
   let net_weight = Array.make nn 0.0 in
-  let net_pin_off = Array.make (nn + 1) 0 in
+  let net_pin_off = I32.make (nn + 1) 0 in
   for n = 0 to nn - 1 do
     let nt = d.Design.nets.(n) in
-    net_name.(n) <- nt.Types.n_name;
+    net_name.(n) <- Dpp_util.Strpool.intern pool nt.Types.n_name;
     net_weight.(n) <- nt.Types.n_weight;
-    net_pin_off.(n + 1) <- net_pin_off.(n) + Array.length nt.Types.n_pins
+    I32.set net_pin_off (n + 1) (I32.get net_pin_off n + Array.length nt.Types.n_pins)
   done;
-  let net_pin = Array.make (max 1 net_pin_off.(nn)) 0 in
+  let net_pin = I32.make (max 1 (I32.get net_pin_off nn)) 0 in
   for n = 0 to nn - 1 do
     let pins = d.Design.nets.(n).Types.n_pins in
-    Array.blit pins 0 net_pin net_pin_off.(n) (Array.length pins)
+    I32.blit_array pins ~src_off:0 net_pin ~dst_off:(I32.get net_pin_off n)
+      ~len:(Array.length pins)
   done;
-  let pin_cell = Array.make np 0 in
-  let pin_net = Array.make np (-1) in
-  let pin_dir = Array.make np Types.Inout in
-  let pin_dx = Array.make np 0.0 in
-  let pin_dy = Array.make np 0.0 in
+  let pin_cell = I32.make (max 1 np) 0 in
+  let pin_net = I32.make (max 1 np) (-1) in
+  let pin_dir = I8.make (max 1 np) (code_of_dir Types.Inout) in
+  let pin_dx = F64.make (max 1 np) 0.0 in
+  let pin_dy = F64.make (max 1 np) 0.0 in
   for p = 0 to np - 1 do
     let pin = d.Design.pins.(p) in
-    pin_cell.(p) <- pin.Types.p_cell;
-    pin_net.(p) <- pin.Types.p_net;
-    pin_dir.(p) <- pin.Types.p_dir;
-    pin_dx.(p) <- pin.Types.p_dx;
-    pin_dy.(p) <- pin.Types.p_dy
+    I32.set pin_cell p pin.Types.p_cell;
+    I32.set pin_net p pin.Types.p_net;
+    I8.set pin_dir p (code_of_dir pin.Types.p_dir);
+    F64.set pin_dx p pin.Types.p_dx;
+    F64.set pin_dy p pin.Types.p_dy
   done;
   {
     name = d.Design.name;
@@ -141,34 +162,36 @@ let of_design (d : Design.t) =
 let to_design t =
   let cells =
     Array.init t.num_cells (fun i ->
+        let lo = I32.get t.cell_pin_off i in
         {
           Types.c_id = i;
           c_name = t.cell_name.(i);
           c_master = t.cell_master.(i);
           c_width = t.width.(i);
           c_height = t.height.(i);
-          c_kind = kind_of_code t.kind.(i);
-          c_pins = Array.sub t.cell_pin t.cell_pin_off.(i) (t.cell_pin_off.(i + 1) - t.cell_pin_off.(i));
+          c_kind = kind_of_code (I8.get t.kind i);
+          c_pins = I32.sub_array t.cell_pin ~off:lo ~len:(I32.get t.cell_pin_off (i + 1) - lo);
         })
   in
   let nets =
     Array.init t.num_nets (fun n ->
+        let lo = I32.get t.net_pin_off n in
         {
           Types.n_id = n;
           n_name = t.net_name.(n);
           n_weight = t.net_weight.(n);
-          n_pins = Array.sub t.net_pin t.net_pin_off.(n) (t.net_pin_off.(n + 1) - t.net_pin_off.(n));
+          n_pins = I32.sub_array t.net_pin ~off:lo ~len:(I32.get t.net_pin_off (n + 1) - lo);
         })
   in
   let pins =
     Array.init t.num_pins (fun p ->
         {
           Types.p_id = p;
-          p_cell = t.pin_cell.(p);
-          p_net = t.pin_net.(p);
-          p_dir = t.pin_dir.(p);
-          p_dx = t.pin_dx.(p);
-          p_dy = t.pin_dy.(p);
+          p_cell = I32.get t.pin_cell p;
+          p_net = I32.get t.pin_net p;
+          p_dir = dir_of_code (I8.get t.pin_dir p);
+          p_dx = F64.get t.pin_dx p;
+          p_dy = F64.get t.pin_dy p;
         })
   in
   {
@@ -189,8 +212,8 @@ let to_design t =
 let num_cells t = t.num_cells
 let num_nets t = t.num_nets
 let num_pins t = t.num_pins
-let net_degree t n = t.net_pin_off.(n + 1) - t.net_pin_off.(n)
-let cell_degree t i = t.cell_pin_off.(i + 1) - t.cell_pin_off.(i)
+let net_degree t n = I32.uget t.net_pin_off (n + 1) - I32.uget t.net_pin_off n
+let cell_degree t i = I32.uget t.cell_pin_off (i + 1) - I32.uget t.cell_pin_off i
 
 let max_net_degree t =
   let m = ref 1 in
@@ -205,3 +228,11 @@ let oriented_dims t i = Orient.apply t.orient.(i) ~w:t.width.(i) ~h:t.height.(i)
 let cell_rect t i =
   let w, h = oriented_dims t i in
   Rect.make ~xl:t.x.(i) ~yl:t.y.(i) ~xh:(t.x.(i) +. w) ~yh:(t.y.(i) +. h)
+
+(* resident bytes of the compact (non-aliased) payloads, for the memory
+   ledger and the bytes-per-cell accounting in DESIGN.md *)
+let compact_bytes t =
+  (4 * (I32.length t.cell_pin_off + I32.length t.cell_pin + I32.length t.net_pin_off
+       + I32.length t.net_pin + I32.length t.pin_cell + I32.length t.pin_net))
+  + I8.length t.kind + I8.length t.pin_dir
+  + (8 * (F64.length t.pin_dx + F64.length t.pin_dy))

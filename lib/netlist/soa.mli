@@ -10,6 +10,17 @@
     {!Bookshelf}, {!Validate}, the oracles); a [Soa.t] is derived from a
     {!Design.t} once per flow and kept authoritative from then on.
 
+    {2 Compact backing}
+
+    CSR connectivity and per-pin metadata are stored in
+    {!Dpp_util.Compact} Bigarrays — int32 for pin/cell/net indices (4
+    bytes per slot instead of 8), int8 for [kind]/[pin_dir], unboxed
+    float64 for pin offsets.  The payloads live outside the OCaml heap,
+    so the GC never scans the netlist's bulk.  Index values are plain
+    [int]s at every accessor; {!of_design} fails fast with [Failure]
+    when a design's pin count exceeds the int32 range (see
+    {!guard_pin_count}).
+
     {2 Handles and index conventions}
 
     A handle is a bare [int]: cell ids, net ids and pin ids are exactly
@@ -42,24 +53,28 @@ type t = {
   num_nets : int;
   num_pins : int;
   cell_name : string array;
-  cell_master : string array;
+  cell_master : string array;  (** interned: one shared block per distinct master *)
   width : float array;  (** unoriented cell width, indexed by cell id *)
   height : float array;
-  kind : int array;  (** {!kind_movable} / {!kind_fixed} / {!kind_pad} *)
+  kind : Dpp_util.Compact.I8.t;
+      (** {!kind_movable} / {!kind_fixed} / {!kind_pad} *)
   x : float array;  (** lower-left x — aliases [Design.x] *)
   y : float array;  (** lower-left y — aliases [Design.y] *)
   orient : Dpp_geom.Orient.t array;  (** aliases [Design.orient] *)
-  cell_pin_off : int array;  (** cell->pin CSR offsets, length [num_cells + 1] *)
-  cell_pin : int array;  (** pin ids, cell pin-list order preserved *)
-  net_name : string array;
+  cell_pin_off : Dpp_util.Compact.I32.t;
+      (** cell->pin CSR offsets, length [num_cells + 1] *)
+  cell_pin : Dpp_util.Compact.I32.t;  (** pin ids, cell pin-list order preserved *)
+  net_name : string array;  (** interned through the same pool as [cell_master] *)
   net_weight : float array;
-  net_pin_off : int array;  (** net->pin CSR offsets, length [num_nets + 1] *)
-  net_pin : int array;  (** pin ids, net pin-array order preserved *)
-  pin_cell : int array;  (** owning cell id per pin *)
-  pin_net : int array;  (** net id per pin, [-1] when unconnected *)
-  pin_dir : Types.direction array;
-  pin_dx : float array;  (** offset from the cell's lower-left corner, N orientation *)
-  pin_dy : float array;
+  net_pin_off : Dpp_util.Compact.I32.t;
+      (** net->pin CSR offsets, length [num_nets + 1] *)
+  net_pin : Dpp_util.Compact.I32.t;  (** pin ids, net pin-array order preserved *)
+  pin_cell : Dpp_util.Compact.I32.t;  (** owning cell id per pin *)
+  pin_net : Dpp_util.Compact.I32.t;  (** net id per pin, [-1] when unconnected *)
+  pin_dir : Dpp_util.Compact.I8.t;  (** {!code_of_dir} codes *)
+  pin_dx : Dpp_util.Compact.F64.t;
+      (** offset from the cell's lower-left corner, N orientation *)
+  pin_dy : Dpp_util.Compact.F64.t;
   groups : Groups.t list;
 }
 
@@ -72,11 +87,21 @@ val to_design : t -> Design.t
     {!of_design} (entity ids are the array indices, as {!Builder}
     guarantees); coordinate arrays are fresh copies. *)
 
+val guard_pin_count : name:string -> int -> unit
+(** The int32 CSR overflow gate: raises [Failure] with a counted-pins
+    message when the total pin count does not fit an int32 offset slot.
+    {!of_design} routes every design through it. *)
+
 val kind_movable : int
 val kind_fixed : int
 val kind_pad : int
 val code_of_kind : Types.cell_kind -> int
 val kind_of_code : int -> Types.cell_kind
+
+val code_of_dir : Types.direction -> int
+(** [Input] = 0, [Output] = 1, [Inout] = 2 — the [pin_dir] int8 codes. *)
+
+val dir_of_code : int -> Types.direction
 
 val is_fixed : t -> int -> bool
 (** Fixed cells and pads are immovable. *)
@@ -96,3 +121,7 @@ val oriented_dims : t -> int -> float * float
 val cell_rect : t -> int -> Dpp_geom.Rect.t
 (** Bounding box of cell [i] at its current position and orientation —
     same values as {!Design.cell_rect}. *)
+
+val compact_bytes : t -> int
+(** Total bytes of the off-heap compact payloads (CSR + per-pin
+    metadata), for memory-ledger reporting. *)

@@ -122,7 +122,7 @@ let swap_pass (s : Soa.t) pool nb skip (legal : Legal.t) =
   let buckets = Hashtbl.create 16 in
   for i = 0 to Soa.num_cells s - 1 do
     if
-      s.Soa.kind.(i) = Soa.kind_movable
+      Dpp_util.Compact.I8.get s.Soa.kind i = Soa.kind_movable
       && legal.Legal.assignment.(i) >= 0
       && (not (skip i))
       && single_row s i

@@ -699,7 +699,7 @@ let run_multilevel ?arena ?soa ?pins ?on_round ?on_level (d : Design.t) cfg
     coords.(0) <- (Array.copy cx, Array.copy cy);
     for k = 0 to nl - 1 do
       let fcx, fcy = coords.(k) in
-      coords.(k + 1) <- Dpp_coarsen.cluster_centers larr.(k) ~cx:fcx ~cy:fcy
+      coords.(k + 1) <- Dpp_coarsen.cluster_centers ?arena larr.(k) ~cx:fcx ~cy:fcy
     done;
     let timer = Dpp_util.Timer.create () in
     let trace = ref [] in

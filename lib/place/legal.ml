@@ -101,7 +101,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?arena ?soa ?(extra_obstacles = [])
   in
   let fixed_rects = ref [] in
   for i = nc - 1 downto 0 do
-    if s.Soa.kind.(i) = Soa.kind_fixed then
+    if Dpp_util.Compact.I8.get s.Soa.kind i = Soa.kind_fixed then
       match Rect.intersection (Soa.cell_rect s i) d.Design.die with
       | Some r -> fixed_rects := r :: !fixed_rects
       | None -> ()
@@ -111,7 +111,7 @@ let run (d : Design.t) ?(pool = Pool.serial) ?arena ?soa ?(extra_obstacles = [])
   let assignment = Array.make nc (-1) in
   let todo = ref [] in
   for i = nc - 1 downto 0 do
-    if s.Soa.kind.(i) = Soa.kind_movable && not (skip i) then
+    if Dpp_util.Compact.I8.get s.Soa.kind i = Soa.kind_movable && not (skip i) then
       todo := (cx.(i) -. (s.Soa.width.(i) /. 2.0), i) :: !todo
   done;
   let todo = List.sort compare !todo in

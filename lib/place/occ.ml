@@ -27,7 +27,7 @@ let build ?soa (d : Design.t) ~cx ~cy =
   let nrows = d.Design.num_rows in
   let rows = Array.make nrows [] in
   for i = Soa.num_cells s - 1 downto 0 do
-    let kind = s.Soa.kind.(i) in
+    let kind = Dpp_util.Compact.I8.get s.Soa.kind i in
     if kind = Soa.kind_movable then begin
       let h = s.Soa.height.(i) and w = s.Soa.width.(i) in
       let r0 = Design.row_of_y d (cy.(i) -. (h /. 2.0) +. 1e-9) in

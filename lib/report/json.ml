@@ -160,21 +160,49 @@ let escape s =
     s;
   Buffer.contents b
 
-let rec encode = function
-  | Null -> "null"
-  | Bool b -> if b then "true" else "false"
-  | Num f ->
-    if Float.is_finite f then
-      if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.0f" f
-      else Printf.sprintf "%.12g" f
-    else "null"
-  | Str s -> "\"" ^ escape s ^ "\""
-  | Arr xs -> "[" ^ String.concat "," (List.map encode xs) ^ "]"
+let num_string f =
+  if Float.is_finite f then
+    if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+  else "null"
+
+let escape_string = escape
+
+(* The streaming encoder is the primitive: one pass into the buffer, no
+   intermediate per-node strings, so encoding a value is O(output bytes)
+   in allocation rather than O(nodes) retained tree fragments. *)
+let rec add_to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f -> Buffer.add_string b (num_string f)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        add_to_buffer b x)
+      xs;
+    Buffer.add_char b ']'
   | Obj fields ->
-    "{"
-    ^ String.concat ","
-        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ encode v) fields)
-    ^ "}"
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        add_to_buffer b v)
+      fields;
+    Buffer.add_char b '}'
+
+let encode v =
+  let b = Buffer.create 256 in
+  add_to_buffer b v;
+  Buffer.contents b
 
 let to_list = function Arr xs -> xs | _ -> raise (Parse_error "expected an array")
 let to_float = function Num f -> f | _ -> raise (Parse_error "expected a number")

@@ -26,6 +26,17 @@ val encode : t -> string
     formatting ([%.12g], integral floats printed without a point).
     Non-finite numbers encode as [null], matching the {!Trace} writer. *)
 
+val add_to_buffer : Buffer.t -> t -> unit
+(** Streaming {!encode} into an existing buffer — same bytes, no
+    intermediate strings. *)
+
+val num_string : float -> string
+(** The canonical number formatting {!encode} uses, for writers that
+    stream JSON without building a {!t}. *)
+
+val escape_string : string -> string
+(** The canonical string-content escaping (quotes not included). *)
+
 val to_list : t -> t list
 (** Elements of an [Arr]. @raise Parse_error on any other constructor. *)
 

@@ -9,6 +9,8 @@ type stage = {
   hpwl_before : float;
   hpwl_after : float;
   overflow : float option;
+  vm_hwm_kb : int;
+  heap_kb : int;
   levels : level list;
   check : check option;
   extra : (string * Json.t) list;
@@ -45,9 +47,10 @@ let level_to_json l =
 
 let stage_to_string s =
   Printf.sprintf
-    {|{"name":"%s","wall_s":%s,"t_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s,"levels":[%s],"check":%s%s}|}
+    {|{"name":"%s","wall_s":%s,"t_s":%s,"hpwl_before":%s,"hpwl_after":%s,"overflow":%s,"vm_hwm_kb":%d,"heap_kb":%d,"levels":[%s],"check":%s%s}|}
     (escape s.name) (num s.wall_s) (num s.t_s) (num s.hpwl_before) (num s.hpwl_after)
     (match s.overflow with Some v -> num v | None -> "null")
+    s.vm_hwm_kb s.heap_kb
     (String.concat "," (List.map level_to_json s.levels))
     (match s.check with Some c -> check_to_json c | None -> "null")
     (String.concat ""
@@ -73,6 +76,8 @@ let stage_to_json s =
        "hpwl_before", Json.Num s.hpwl_before;
        "hpwl_after", Json.Num s.hpwl_after;
        "overflow", (match s.overflow with Some v -> Json.Num v | None -> Json.Null);
+       "vm_hwm_kb", Json.Num (float_of_int s.vm_hwm_kb);
+       "heap_kb", Json.Num (float_of_int s.heap_kb);
        ( "levels",
          Json.Arr
            (List.map
@@ -106,7 +111,10 @@ let stage_to_json s =
    error. *)
 
 let known_stage_fields =
-  [ "name"; "wall_s"; "t_s"; "hpwl_before"; "hpwl_after"; "overflow"; "levels"; "check" ]
+  [
+    "name"; "wall_s"; "t_s"; "hpwl_before"; "hpwl_after"; "overflow"; "vm_hwm_kb";
+    "heap_kb"; "levels"; "check";
+  ]
 
 let get_num ?(default = 0.0) key v =
   match Json.member key v with Some (Json.Num f) -> f | _ -> default
@@ -147,6 +155,8 @@ let stage_of_json v =
       hpwl_after = get_num "hpwl_after" v;
       overflow =
         (match Json.member "overflow" v with Some (Json.Num f) -> Some f | _ -> None);
+      vm_hwm_kb = int_of_float (get_num "vm_hwm_kb" v);
+      heap_kb = int_of_float (get_num "heap_kb" v);
       levels =
         (match Json.member "levels" v with
         | Some (Json.Arr xs) -> List.map level_of_json xs

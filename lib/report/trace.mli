@@ -48,6 +48,13 @@ type stage = {
   hpwl_before : float;  (** weighted HPWL entering the stage *)
   hpwl_after : float;
   overflow : float option;  (** density overflow, when the stage tracks it *)
+  vm_hwm_kb : int;
+      (** process VmHWM sampled at the stage boundary, in kB — monotone
+          across a run's stages, so the stage whose sample first jumps is
+          the one that spiked resident memory; [0] when unavailable *)
+  heap_kb : int;
+      (** OCaml major-heap high-water mark ([Gc.quick_stat] top-heap) at
+          the stage boundary, in kB; [0] when unavailable *)
   levels : level list;
       (** multilevel V-cycle solves, ascending level order; empty for
           every stage except a multilevel gp stage *)

@@ -139,17 +139,23 @@ let find_base t key =
 let resumable_stages = [ "legal"; "detail"; "flip" ]
 let spool_path t id = Option.map (fun dir -> Filename.concat dir (Printf.sprintf "job_%d.json" id)) t.cfg.spool
 
-let write_spool ~path json =
+(* The spool record streams: the spec object is tiny, but a snapshot
+   carries the full per-cell placement, so it goes through
+   [Snapshot.output] rather than a materialized Json tree.  The bytes
+   are identical to the old tree-built record. *)
+let write_spool ~path spec snapshot =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  output_string oc (Json.encode json);
+  output_string oc "{\"spec\":";
+  output_string oc (Json.encode (P.spec_to_json spec));
+  (match snapshot with
+  | Some s ->
+    output_string oc ",\"snapshot\":";
+    Snapshot.output oc s
+  | None -> ());
+  output_string oc "}";
   close_out oc;
   Sys.rename tmp path
-
-let spool_record spec snapshot =
-  Json.Obj
-    (("spec", P.spec_to_json spec)
-    :: (match snapshot with Some s -> [ "snapshot", Snapshot.to_json s ] | None -> []))
 
 (* Wrap a stage list so every resumable boundary checkpoints to the spool
    file and every boundary honours the abort flags. *)
@@ -163,7 +169,7 @@ let instrument t ~spec ~path stages =
             let ctx = s.Flow.run ctx in
             (match path with
             | Some p when List.mem s.Flow.name resumable_stages ->
-              write_spool ~path:p (spool_record spec (Some (Snapshot.capture ~stage:s.Flow.name ctx)))
+              write_spool ~path:p spec (Some (Snapshot.capture ~stage:s.Flow.name ctx))
             | _ -> ());
             if Atomic.get t.abort_all || Atomic.get t.abort_after = Some s.Flow.name then
               raise (Interrupted s.Flow.name);
@@ -189,7 +195,7 @@ let run_submit t ~id ~(spec : P.job_spec) ~reply_fn ?resume_from () =
   try
     let design = resolve_design spec.P.src in
     let cfg = config_of_spec spec in
-    (match path with Some p -> write_spool ~path:p (spool_record spec None) | None -> ());
+    (match path with Some p -> write_spool ~path:p spec None | None -> ());
     let result =
       match resume_from with
       | Some snap when List.mem snap.Snapshot.stage resumable_stages ->

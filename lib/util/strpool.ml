@@ -1,0 +1,27 @@
+(* A small string-interning pool.
+
+   The XL presets and real Bookshelf benches repeat a handful of master
+   names across a million cells; readers that allocate a fresh string
+   per line (Scanf does) then hold a million identical 16-byte blocks.
+   Threading every such string through [intern] collapses them to one
+   shared block per distinct content.
+
+   A pool is an ordinary single-domain value — create one per parse or
+   per derivation, drop it when done (interned strings stay alive
+   through their users; the pool itself holds the only index). *)
+
+type t = { tbl : (string, string) Hashtbl.t; mutable hits : int }
+
+let create ?(size = 64) () = { tbl = Hashtbl.create size; hits = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.tbl s with
+  | Some canonical ->
+    t.hits <- t.hits + 1;
+    canonical
+  | None ->
+    Hashtbl.add t.tbl s s;
+    s
+
+let distinct t = Hashtbl.length t.tbl
+let hits t = t.hits

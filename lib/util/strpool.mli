@@ -1,0 +1,17 @@
+(** String interning for repeated names (cell masters, library tags).
+
+    [intern] returns a canonical shared copy of the argument: equal
+    strings interned through one pool are physically equal afterwards,
+    so a million repetitions of ["ram1"] cost one heap block plus the
+    pointer array that holds them. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val intern : t -> string -> string
+
+val distinct : t -> int
+(** Number of distinct strings seen. *)
+
+val hits : t -> int
+(** Number of [intern] calls that found an existing entry. *)

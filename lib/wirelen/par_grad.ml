@@ -1,4 +1,5 @@
 module Soa = Dpp_netlist.Soa
+module I32 = Dpp_util.Compact.I32
 module Pool = Dpp_par.Pool
 
 type t = {
@@ -32,19 +33,19 @@ let scan t pool kind ~gamma ~cx ~cy ~want_grad =
   Pool.iter_chunks pool ~n:(Soa.num_nets s) (fun ~worker ~chunk:_ ~lo ~hi ->
       let view = t.views.(worker) in
       for n = lo to hi - 1 do
-        let plo = s.Soa.net_pin_off.(n) in
+        let plo = I32.uget s.Soa.net_pin_off n in
         let k = Pins.load_net view ~cx ~cy n in
         if k >= 2 then begin
           let wn = s.Soa.net_weight.(n) in
           let vx = axis view.Pins.scratch_x k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
-              t.pin_gx.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
+              t.pin_gx.(I32.uget s.Soa.net_pin (plo + i)) <- wn *. view.Pins.scratch_w.(i)
             done;
           let vy = axis view.Pins.scratch_y k ~gamma ~w:view.Pins.scratch_w ~u:view.Pins.scratch_u ~v:view.Pins.scratch_v ~want_grad in
           if want_grad then
             for i = 0 to k - 1 do
-              t.pin_gy.(s.Soa.net_pin.(plo + i)) <- wn *. view.Pins.scratch_w.(i)
+              t.pin_gy.(I32.uget s.Soa.net_pin (plo + i)) <- wn *. view.Pins.scratch_w.(i)
             done;
           t.net_val.(n) <- wn *. (vx +. vy)
         end
@@ -62,16 +63,18 @@ let reduce t ~want_grad ~gx ~gy =
   let net_pin = s.Soa.net_pin in
   let acc = ref 0.0 in
   for n = 0 to Soa.num_nets s - 1 do
-    let lo = s.Soa.net_pin_off.(n) and hi = s.Soa.net_pin_off.(n + 1) in
+    let lo = I32.uget s.Soa.net_pin_off n and hi = I32.uget s.Soa.net_pin_off (n + 1) in
     if hi - lo >= 2 then begin
       if want_grad then begin
         for i = lo to hi - 1 do
-          let p = net_pin.(i) in
-          gx.(pin_cell.(p)) <- gx.(pin_cell.(p)) +. t.pin_gx.(p)
+          let p = I32.uget net_pin i in
+          let c = I32.uget pin_cell p in
+          gx.(c) <- gx.(c) +. t.pin_gx.(p)
         done;
         for i = lo to hi - 1 do
-          let p = net_pin.(i) in
-          gy.(pin_cell.(p)) <- gy.(pin_cell.(p)) +. t.pin_gy.(p)
+          let p = I32.uget net_pin i in
+          let c = I32.uget pin_cell p in
+          gy.(c) <- gy.(c) +. t.pin_gy.(p)
         done
       end;
       acc := !acc +. t.net_val.(n)

@@ -1,10 +1,12 @@
 module Design = Dpp_netlist.Design
 module Soa = Dpp_netlist.Soa
 module Types = Dpp_netlist.Types
+module I32 = Dpp_util.Compact.I32
+module F64 = Dpp_util.Compact.F64
 
 type t = {
   soa : Soa.t;
-  pin_cell : int array;
+  pin_cell : I32.t;
   off_x : float array;
   off_y : float array;
   scratch_x : float array;
@@ -20,12 +22,12 @@ let of_soa (s : Soa.t) =
   let off_x = Array.make np 0.0 in
   let off_y = Array.make np 0.0 in
   for p = 0 to np - 1 do
-    let ci = s.Soa.pin_cell.(p) in
+    let ci = I32.uget s.Soa.pin_cell p in
     (* offsets respect the cell's orientation at build time (orientation is
        constant during an optimization phase; the flip pass rebuilds) *)
     let dx, dy =
       Dpp_geom.Orient.apply_offset s.Soa.orient.(ci) ~w:s.Soa.width.(ci) ~h:s.Soa.height.(ci)
-        (s.Soa.pin_dx.(p), s.Soa.pin_dy.(p))
+        (F64.uget s.Soa.pin_dx p, F64.uget s.Soa.pin_dy p)
     in
     let ow, oh = Dpp_geom.Orient.apply s.Soa.orient.(ci) ~w:s.Soa.width.(ci) ~h:s.Soa.height.(ci) in
     off_x.(p) <- dx -. (ow /. 2.0);
@@ -66,20 +68,20 @@ let clone_scratch t =
 
 let flip_cell_x t i =
   let s = t.soa in
-  for k = s.Soa.cell_pin_off.(i) to s.Soa.cell_pin_off.(i + 1) - 1 do
-    let p = s.Soa.cell_pin.(k) in
+  for k = I32.uget s.Soa.cell_pin_off i to I32.uget s.Soa.cell_pin_off (i + 1) - 1 do
+    let p = I32.uget s.Soa.cell_pin k in
     t.off_x.(p) <- -.t.off_x.(p)
   done
 
-let pin_x t ~cx p = cx.(t.pin_cell.(p)) +. t.off_x.(p)
-let pin_y t ~cy p = cy.(t.pin_cell.(p)) +. t.off_y.(p)
+let pin_x t ~cx p = Array.unsafe_get cx (I32.uget t.pin_cell p) +. Array.unsafe_get t.off_x p
+let pin_y t ~cy p = Array.unsafe_get cy (I32.uget t.pin_cell p) +. Array.unsafe_get t.off_y p
 
 let load_net t ~cx ~cy n =
   let s = t.soa in
-  let lo = s.Soa.net_pin_off.(n) in
-  let k = s.Soa.net_pin_off.(n + 1) - lo in
+  let lo = I32.uget s.Soa.net_pin_off n in
+  let k = I32.uget s.Soa.net_pin_off (n + 1) - lo in
   for i = 0 to k - 1 do
-    let p = s.Soa.net_pin.(lo + i) in
+    let p = I32.uget s.Soa.net_pin (lo + i) in
     t.scratch_x.(i) <- pin_x t ~cx p;
     t.scratch_y.(i) <- pin_y t ~cy p
   done;

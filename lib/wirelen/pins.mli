@@ -9,7 +9,7 @@
 
 type t = {
   soa : Dpp_netlist.Soa.t;  (** the flat netlist view the kernels scan *)
-  pin_cell : int array;  (** owning cell per pin (aliases [soa.pin_cell]) *)
+  pin_cell : Dpp_util.Compact.I32.t;  (** owning cell per pin (aliases [soa.pin_cell]) *)
   off_x : float array;  (** pin x offset from cell center *)
   off_y : float array;
   scratch_x : float array;  (** per-net pin coordinate buffers, max degree long *)

@@ -1,4 +1,5 @@
 module Soa = Dpp_netlist.Soa
+module I32 = Dpp_util.Compact.I32
 
 (* Weighted-average on one axis over scratch [a.(0..k-1)].  Fills [w] with
    d(value)/d(a_i) when [want_grad].  [u]/[v] cache the per-pin exponentials
@@ -54,18 +55,18 @@ let value_grad t ~gamma ~cx ~cy ~gx ~gy =
   let acc = ref 0.0 in
   let s = t.Pins.soa in
   for n = 0 to Soa.num_nets s - 1 do
-    let lo = s.Soa.net_pin_off.(n) in
+    let lo = I32.uget s.Soa.net_pin_off n in
     let k = Pins.load_net t ~cx ~cy n in
     if k >= 2 then begin
       let wn = s.Soa.net_weight.(n) in
       let vx = axis_value_grad t.Pins.scratch_x k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:true in
       for i = 0 to k - 1 do
-        let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
+        let c = I32.uget t.Pins.pin_cell (I32.uget s.Soa.net_pin (lo + i)) in
         gx.(c) <- gx.(c) +. (wn *. t.Pins.scratch_w.(i))
       done;
       let vy = axis_value_grad t.Pins.scratch_y k ~gamma ~w:t.Pins.scratch_w ~u:t.Pins.scratch_u ~v:t.Pins.scratch_v ~want_grad:true in
       for i = 0 to k - 1 do
-        let c = t.Pins.pin_cell.(s.Soa.net_pin.(lo + i)) in
+        let c = I32.uget t.Pins.pin_cell (I32.uget s.Soa.net_pin (lo + i)) in
         gy.(c) <- gy.(c) +. (wn *. t.Pins.scratch_w.(i))
       done;
       acc := !acc +. (wn *. (vx +. vy))

@@ -113,6 +113,8 @@ let test_protocol_responses () =
       hpwl_before = 100.0;
       hpwl_after = 120.0;
       overflow = Some 0.5;
+      vm_hwm_kb = 4096;
+      heap_kb = 2048;
       levels = [];
       check = Some { Trace.ok = true; oracles = [ "legality" ]; violations = [] };
       extra = [ "job", Json.Num 7.0 ];

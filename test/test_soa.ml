@@ -18,6 +18,7 @@ module Rudy = Dpp_congest.Rudy
 module Pool = Dpp_par.Pool
 module R = Dpp_refkernels.Record_path
 module Fuzz = Dpp_core.Fuzz
+module I32 = Dpp_util.Compact.I32
 
 let designs_under_test () =
   List.map
@@ -68,25 +69,25 @@ let test_csr_consistency () =
       let s = Soa.of_design d in
       let name = d.Design.name in
       Alcotest.(check int) (name ^ ": cell csr total") s.Soa.num_pins
-        s.Soa.cell_pin_off.(s.Soa.num_cells);
+        (I32.get s.Soa.cell_pin_off s.Soa.num_cells);
       for c = 0 to s.Soa.num_cells - 1 do
-        for k = s.Soa.cell_pin_off.(c) to s.Soa.cell_pin_off.(c + 1) - 1 do
-          if s.Soa.pin_cell.(s.Soa.cell_pin.(k)) <> c then
+        for k = I32.get s.Soa.cell_pin_off c to I32.get s.Soa.cell_pin_off (c + 1) - 1 do
+          if I32.get s.Soa.pin_cell (I32.get s.Soa.cell_pin k) <> c then
             Alcotest.failf "%s: pin %d listed under cell %d but owned by %d" name
-              s.Soa.cell_pin.(k) c
-              s.Soa.pin_cell.(s.Soa.cell_pin.(k))
+              (I32.get s.Soa.cell_pin k) c
+              (I32.get s.Soa.pin_cell (I32.get s.Soa.cell_pin k))
         done
       done;
       for n = 0 to s.Soa.num_nets - 1 do
         let pins = (Design.net d n).Types.n_pins in
-        let lo = s.Soa.net_pin_off.(n) in
+        let lo = I32.get s.Soa.net_pin_off n in
         Alcotest.(check int) (name ^ ": net degree") (Array.length pins)
           (Soa.net_degree s n);
         Array.iteri
           (fun i p ->
-            if s.Soa.net_pin.(lo + i) <> p then
+            if I32.get s.Soa.net_pin (lo + i) <> p then
               Alcotest.failf "%s: net %d pin order not preserved at slot %d" name n i;
-            if s.Soa.pin_net.(p) <> n then
+            if I32.get s.Soa.pin_net p <> n then
               Alcotest.failf "%s: pin_net inverse broken for pin %d" name p)
           pins
       done)
@@ -237,10 +238,30 @@ let test_peko_optimum_attained () =
       Alcotest.(check bool) "net degree from the cycle" true (k >= 2 && k <= 8))
     d.Design.nets
 
+(* The int32 CSR overflow gate: a pin total past the int32 range must
+   fail fast at derivation time with the counted number in the message,
+   and the largest representable total must pass silently. *)
+let test_int32_overflow_guard () =
+  let over = I32.max_value + 1 in
+  (match Soa.guard_pin_count ~name:"synthetic_xl" over with
+  | () -> Alcotest.fail "guard_pin_count accepted a pin total past the int32 range"
+  | exception Failure msg ->
+    let contains needle =
+      let nl = String.length needle and hl = String.length msg in
+      let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the design" true (contains "synthetic_xl");
+    Alcotest.(check bool) "message carries the counted pin total" true
+      (contains (string_of_int over)));
+  (* the boundary itself is representable: no failure at exactly max *)
+  Soa.guard_pin_count ~name:"at_the_edge" I32.max_value
+
 let suite =
   [
     Alcotest.test_case "round trip on presets and fuzz designs" `Quick
       test_roundtrip_presets;
+    Alcotest.test_case "int32 csr overflow guard" `Quick test_int32_overflow_guard;
     QCheck_alcotest.to_alcotest prop_roundtrip_random;
     Alcotest.test_case "round trip shares no mutable state" `Quick
       test_roundtrip_shares_nothing;
